@@ -1,0 +1,71 @@
+// Extension bench: the adaptive look-back window (the paper's §III-F
+// ongoing work) against the fixed settings of Table I.
+//
+// Table I shows the tension a fixed window creates: W=100 is optimal for
+// fast-manifesting faults but misses the slowly manifesting Hadoop DiskHog,
+// which needs W=500. The adaptive ladder should match the best fixed
+// setting of *each* fault without being told which fault it is.
+#include "bench_util.h"
+#include "fchain/adaptive.h"
+
+using namespace fchain;
+
+int main(int argc, char** argv) {
+  const auto args = benchutil::parseArgs(argc, argv);
+  std::printf(
+      "Adaptive look-back window vs fixed W (extension of Table I)\n"
+      "(%zu trials per fault, base seed %llu)\n\n",
+      args.trials, static_cast<unsigned long long>(args.seed));
+
+  std::vector<eval::FaultCase> cases = {
+      eval::rubisNetHog(), eval::systemsCpuHog(), eval::hadoopConcDiskHog()};
+  // Every variant starts from the same (default, W=100) configuration; the
+  // per-case tuned window of Table I is the "fixed-best" row.
+  for (auto& fault_case : cases) {
+    fault_case.fchain_config.lookback_sec = 100;
+  }
+
+  std::printf("%-22s %-16s %-16s %-16s %10s\n", "case", "fixed W=100",
+              "fixed W=500", "adaptive", "avg W");
+  for (const auto& fault_case : cases) {
+    eval::TrialOptions options;
+    options.trials = args.trials;
+    options.base_seed = args.seed;
+    const auto set = eval::generateTrials(fault_case, options);
+    if (set.trials.empty()) continue;
+
+    eval::Counts fixed100, fixed500, adaptive_counts;
+    double window_sum = 0.0;
+    for (const auto& trial : set.trials) {
+      core::FChainConfig narrow = fault_case.fchain_config;
+      fixed100.accumulate(
+          core::localizeRecord(trial.record, &trial.discovered, narrow)
+              .pinpointed,
+          trial.record.ground_truth);
+
+      core::FChainConfig wide = fault_case.fchain_config;
+      wide.lookback_sec = 500;
+      fixed500.accumulate(
+          core::localizeRecord(trial.record, &trial.discovered, wide)
+              .pinpointed,
+          trial.record.ground_truth);
+
+      const auto adaptive = core::localizeRecordAdaptive(
+          trial.record, &trial.discovered, fault_case.fchain_config);
+      adaptive_counts.accumulate(adaptive.result.pinpointed,
+                                 trial.record.ground_truth);
+      window_sum += static_cast<double>(adaptive.chosen_window);
+    }
+    auto cell = [](const eval::Counts& counts) {
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "P=%.2f R=%.2f",
+                    counts.precision(), counts.recall());
+      return std::string(buffer);
+    };
+    std::printf("%-22s %-16s %-16s %-16s %9.0fs\n", fault_case.label.c_str(),
+                cell(fixed100).c_str(), cell(fixed500).c_str(),
+                cell(adaptive_counts).c_str(),
+                window_sum / static_cast<double>(set.trials.size()));
+  }
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Reproduces paper Fig. 10: Hadoop multi-component concurrent faults — a
+// memory leak, an infinite-loop bug, and a Domain-0 disk hog injected into
+// all three map nodes at once.
+//
+// Expected shape: maps are the first tier, so Topology/Dependency do well
+// here (no back-pressure inversion); PAL suffers from Hadoop's bursty
+// metrics; NetMedic's default-impact guess happens to be right for
+// MemLeak/CpuHog but wrong for DiskHog; FChain stays high everywhere,
+// using the longer 500 s look-back window for the slow-manifesting DiskHog.
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace fchain;
+  return benchutil::runFigure(
+      "Figure 10: Hadoop multi-component concurrent fault localization "
+      "accuracy",
+      {eval::hadoopConcMemLeak(), eval::hadoopConcCpuHog(),
+       eval::hadoopConcDiskHog()},
+      argc, argv);
+}

@@ -1,0 +1,17 @@
+// Reproduces paper Fig. 6: fault localization accuracy (precision/recall
+// ROC) for the RUBiS single-component faults — MemLeak, CpuHog and NetHog —
+// across FChain, Histogram, NetMedic, Topology, Dependency and PAL.
+//
+// Expected shape: FChain dominates; Topology/Dependency collapse on the two
+// db-side faults (back-pressure makes them blame the upstream tier) but do
+// fine on NetHog (first tier, no back-pressure); Histogram struggles on the
+// fast-manifesting CpuHog/NetHog; NetMedic suffers from unseen states.
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace fchain;
+  return benchutil::runFigure(
+      "Figure 6: RUBiS single-component fault localization accuracy",
+      {eval::rubisMemLeak(), eval::rubisCpuHog(), eval::rubisNetHog()}, argc,
+      argv);
+}

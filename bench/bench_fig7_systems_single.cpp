@@ -1,0 +1,19 @@
+// Reproduces paper Fig. 7: System S single-component faults — MemLeak,
+// CpuHog, Bottleneck.
+//
+// Expected shape: FChain leads; the Dependency scheme collapses everywhere
+// because gap-based dependency discovery finds nothing in gap-free tuple
+// streams (it then reports every outlier component); Topology fails on
+// MemLeak/Bottleneck via back-pressure; every scheme has depressed precision
+// on Bottleneck because its propagation is near-instantaneous (the paper's
+// motivation for online validation, Fig. 11).
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace fchain;
+  return benchutil::runFigure(
+      "Figure 7: System S single-component fault localization accuracy",
+      {eval::systemsMemLeak(), eval::systemsCpuHog(),
+       eval::systemsBottleneck()},
+      argc, argv);
+}

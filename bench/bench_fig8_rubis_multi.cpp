@@ -1,0 +1,13 @@
+// Reproduces paper Fig. 8: RUBiS multi-component concurrent faults — the
+// two real software bugs, OffloadBug (JBoss JIRA #JBAS-1442) and LBBug
+// (mod_jk 1.2.30 uneven dispatch). Ground truth is {app1, app2}: the two
+// application servers whose load the bug directly re-shapes at injection
+// time (see DESIGN.md on this interpretation).
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace fchain;
+  return benchutil::runFigure(
+      "Figure 8: RUBiS multi-component concurrent fault localization accuracy",
+      {eval::rubisOffloadBug(), eval::rubisLBBug()}, argc, argv);
+}

@@ -1,0 +1,15 @@
+// Reproduces paper Fig. 9: System S multi-component concurrent faults —
+// MemLeak and CpuHog injected simultaneously into two randomly selected PEs.
+//
+// Expected shape: FChain does well on ConcMemLeak; ConcCpuHog is the paper's
+// own documented weak spot (smoothing can flip the onset order between a
+// propagated component and a true culprit, §III-C).
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace fchain;
+  return benchutil::runFigure(
+      "Figure 9: System S multi-component concurrent fault localization "
+      "accuracy",
+      {eval::systemsConcMemLeak(), eval::systemsConcCpuHog()}, argc, argv);
+}

@@ -1,0 +1,82 @@
+// Reproduces paper Table I: sensitivity of FChain's accuracy to its two key
+// parameters — the look-back window W (100/300/500 s) and the concurrency
+// threshold (2/5/10 s) — on NetHog (RUBiS), CpuHog (System S) and DiskHog
+// (Hadoop).
+//
+// Expected shape: the defaults (W=100, threshold=2 s) are optimal or near
+// optimal everywhere except the Hadoop DiskHog, whose slow manifestation
+// needs the longer W=500 window (W=100 misses the onset of the fault and
+// accuracy drops sharply) — exactly the paper's observation.
+#include "bench_util.h"
+
+using namespace fchain;
+
+namespace {
+
+eval::Counts scoreCase(const eval::FaultCase& base_case,
+                       const core::FChainConfig& config,
+                       const benchutil::Args& args) {
+  eval::FaultCase fault_case = base_case;
+  fault_case.fchain_config = config;
+  eval::TrialOptions options;
+  options.trials = args.trials;
+  options.base_seed = args.seed;
+  const auto set = eval::generateTrials(fault_case, options);
+
+  baselines::FChainScheme scheme(config);
+  eval::Counts counts;
+  for (const auto& trial : set.trials) {
+    counts.accumulate(
+        scheme.localize(eval::inputFor(trial), scheme.defaultThreshold()),
+        trial.record.ground_truth);
+  }
+  return counts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = benchutil::parseArgs(argc, argv);
+  std::printf(
+      "Table I: FChain sensitivity to look-back window W and concurrency "
+      "threshold\n(%zu trials per cell, base seed %llu)\n\n",
+      args.trials, static_cast<unsigned long long>(args.seed));
+
+  const std::vector<eval::FaultCase> cases = {
+      eval::rubisNetHog(), eval::systemsCpuHog(), eval::hadoopConcDiskHog()};
+
+  std::printf("%-28s", "look-back window W (sec)");
+  for (const auto& fault_case : cases) {
+    std::printf(" | %-20s", fault_case.label.c_str());
+  }
+  std::printf("\n");
+  for (TimeSec window : {100, 300, 500}) {
+    std::printf("%-28lld", static_cast<long long>(window));
+    for (const auto& fault_case : cases) {
+      core::FChainConfig config = fault_case.fchain_config;
+      config.lookback_sec = window;
+      const auto counts = scoreCase(fault_case, config, args);
+      std::printf(" | P=%.2f R=%.2f      ", counts.precision(),
+                  counts.recall());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n%-28s", "concurrency threshold (sec)");
+  for (const auto& fault_case : cases) {
+    std::printf(" | %-20s", fault_case.label.c_str());
+  }
+  std::printf("\n");
+  for (TimeSec threshold : {2, 5, 10}) {
+    std::printf("%-28lld", static_cast<long long>(threshold));
+    for (const auto& fault_case : cases) {
+      core::FChainConfig config = fault_case.fchain_config;
+      config.concurrency_threshold_sec = threshold;
+      const auto counts = scoreCase(fault_case, config, args);
+      std::printf(" | P=%.2f R=%.2f      ", counts.precision(),
+                  counts.recall());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

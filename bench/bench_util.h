@@ -1,0 +1,83 @@
+// Shared plumbing for the per-figure benchmark binaries: build the scheme
+// roster, run a figure's fault cases, print the paper-shaped tables.
+//
+// Each binary accepts [trials] [base_seed] on the command line (defaults:
+// 30 trials — the paper used 30-40 runs per fault — and seed 42).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "baselines/fchain_scheme.h"
+#include "baselines/graph_schemes.h"
+#include "baselines/histogram_scheme.h"
+#include "baselines/netmedic.h"
+#include "eval/report.h"
+#include "eval/runner.h"
+
+namespace fchain::benchutil {
+
+struct Args {
+  std::size_t trials = 30;
+  std::uint64_t seed = 42;
+};
+
+inline Args parseArgs(int argc, char** argv) {
+  Args args;
+  if (argc > 1) args.trials = std::strtoull(argv[1], nullptr, 10);
+  if (argc > 2) args.seed = std::strtoull(argv[2], nullptr, 10);
+  return args;
+}
+
+/// The six schemes of the paper's comparison (Fixed-Filtering has its own
+/// dedicated figure). The FChain config (with the case's look-back window
+/// etc.) is shared by the change-point-based schemes.
+inline std::vector<std::unique_ptr<baselines::FaultLocalizer>> makeSchemes(
+    const core::FChainConfig& config) {
+  std::vector<std::unique_ptr<baselines::FaultLocalizer>> schemes;
+  schemes.push_back(std::make_unique<baselines::FChainScheme>(config));
+  schemes.push_back(std::make_unique<baselines::HistogramScheme>(
+      config.lookback_sec));
+  schemes.push_back(std::make_unique<baselines::NetMedicScheme>());
+  schemes.push_back(std::make_unique<baselines::TopologyScheme>(config));
+  schemes.push_back(std::make_unique<baselines::DependencyScheme>(config));
+  schemes.push_back(std::make_unique<baselines::PalScheme>(config));
+  return schemes;
+}
+
+/// Runs one fault case against the full scheme roster and prints both the
+/// full ROC sweep and the best-point summary.
+inline void runCase(const eval::FaultCase& fault_case, const Args& args) {
+  eval::TrialOptions options;
+  options.trials = args.trials;
+  options.base_seed = args.seed;
+  const auto set = eval::generateTrials(fault_case, options);
+  if (set.trials.empty()) {
+    std::printf("== %s: no trial produced an SLO violation ==\n\n",
+                fault_case.label.c_str());
+    return;
+  }
+
+  const auto schemes = makeSchemes(fault_case.fchain_config);
+  std::vector<const baselines::FaultLocalizer*> scheme_ptrs;
+  for (const auto& scheme : schemes) scheme_ptrs.push_back(scheme.get());
+  const auto curves = eval::evaluateSchemes(scheme_ptrs, set);
+
+  eval::printCurves(std::cout, fault_case.label, curves, set.trials.size());
+  eval::printBestSummary(std::cout, fault_case.label, curves);
+}
+
+inline int runFigure(const char* title, std::vector<eval::FaultCase> cases,
+                     int argc, char** argv) {
+  const Args args = parseArgs(argc, argv);
+  std::printf("%s\n", title);
+  std::printf("(%zu trials per fault, base seed %llu)\n\n", args.trials,
+              static_cast<unsigned long long>(args.seed));
+  for (const auto& fault_case : cases) runCase(fault_case, args);
+  return 0;
+}
+
+}  // namespace fchain::benchutil

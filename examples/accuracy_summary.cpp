@@ -1,0 +1,49 @@
+// accuracy_summary: run N trials of every paper fault case and print
+// FChain's aggregate precision/recall per case — a quick health check of the
+// whole reproduction (the per-figure benches in bench/ give the full
+// scheme-by-scheme comparison).
+//
+// Usage: accuracy_summary [trials] [base_seed] [case-substring]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "baselines/fchain_scheme.h"
+#include "eval/report.h"
+#include "eval/runner.h"
+
+using namespace fchain;
+
+int main(int argc, char** argv) {
+  const std::size_t trials =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 10;
+  const std::uint64_t seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+  const std::string filter = argc > 3 ? argv[3] : "";
+
+  std::printf("%-22s %7s %7s %5s %5s %5s %7s\n", "case", "prec", "recall",
+              "tp", "fp", "fn", "trials");
+  for (const auto& fault_case : eval::allPaperCases()) {
+    if (!filter.empty() &&
+        fault_case.label.find(filter) == std::string::npos) {
+      continue;
+    }
+    eval::TrialOptions options;
+    options.trials = trials;
+    options.base_seed = seed;
+    const auto set = eval::generateTrials(fault_case, options);
+
+    baselines::FChainScheme scheme(fault_case.fchain_config);
+    eval::Counts counts;
+    for (const auto& trial : set.trials) {
+      const auto pinpointed =
+          scheme.localize(eval::inputFor(trial), scheme.defaultThreshold());
+      counts.accumulate(pinpointed, trial.record.ground_truth);
+    }
+    std::printf("%-22s %7.3f %7.3f %5zu %5zu %5zu %4zu/%zu\n",
+                fault_case.label.c_str(), counts.precision(), counts.recall(),
+                counts.tp, counts.fp, counts.fn, set.trials.size(),
+                set.attempted);
+  }
+  return 0;
+}

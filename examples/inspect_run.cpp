@@ -1,0 +1,118 @@
+// inspect_run: simulate one faulty run and dump FChain's view of it —
+// violation time, per-component abnormal change findings (onset, metrics,
+// observed vs expected prediction error), the propagation chain, the
+// discovered dependency graph, and the final pinpointing verdict.
+//
+// Usage: inspect_run [case-label] [seed]
+//   case-label: one of the paper cases, e.g. RUBiS/CpuHog (default),
+//               SystemS/Bottleneck, Hadoop/ConcDiskHog, ...
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "eval/runner.h"
+#include "fchain/fchain.h"
+
+using namespace fchain;
+
+int main(int argc, char** argv) {
+  const std::string label = argc > 1 ? argv[1] : "RUBiS/CpuHog";
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
+
+  auto all_cases = eval::allPaperCases();
+  for (auto& extension : eval::extensionCases()) {
+    all_cases.push_back(std::move(extension));
+  }
+  eval::FaultCase chosen;
+  bool found = false;
+  for (const auto& fault_case : all_cases) {
+    if (fault_case.label == label) {
+      chosen = fault_case;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    std::fprintf(stderr, "unknown case '%s'; known cases:\n", label.c_str());
+    for (const auto& fault_case : all_cases) {
+      std::fprintf(stderr, "  %s\n", fault_case.label.c_str());
+    }
+    return 1;
+  }
+
+  eval::TrialOptions options;
+  options.trials = 1;
+  options.base_seed = seed;
+  const auto set = eval::generateTrials(chosen, options);
+  if (set.trials.empty()) {
+    std::printf("run completed without an SLO violation (seed %llu)\n",
+                static_cast<unsigned long long>(seed));
+    return 0;
+  }
+  const auto& trial = set.trials.front();
+  const auto& record = trial.record;
+  const TimeSec tv = *record.violation_time;
+
+  std::printf("case %s  seed %llu\n", label.c_str(),
+              static_cast<unsigned long long>(seed));
+  std::printf("SLO violation at t=%lld\n", static_cast<long long>(tv));
+  std::printf("ground truth:");
+  for (ComponentId id : record.ground_truth) {
+    std::printf(" %s", record.app_spec.components[id].name.c_str());
+  }
+  std::printf("\nfault start: t=%lld\n\n",
+              static_cast<long long>(record.faults.front().start_time));
+
+  const auto& config = chosen.fchain_config;
+  core::AbnormalChangeSelector selector(config);
+  std::vector<core::ComponentFinding> findings;
+  for (ComponentId id = 0; id < record.metrics.size(); ++id) {
+    const auto model =
+        core::replayModel(record.metrics[id], tv + 1, config.predictor);
+    auto finding =
+        selector.analyzeComponent(id, record.metrics[id], model, tv);
+    const auto& name = record.app_spec.components[id].name;
+    if (!finding.has_value()) {
+      std::printf("%-8s normal\n", name.c_str());
+      continue;
+    }
+    std::printf("%-8s ABNORMAL onset=%lld trend=%s\n", name.c_str(),
+                static_cast<long long>(finding->onset),
+                std::string(trendName(finding->trend)).c_str());
+    for (const auto& metric : finding->metrics) {
+      std::printf("    %-13s onset=%lld cp=%lld err=%.3f expected=%.3f %s\n",
+                  std::string(metricName(metric.metric)).c_str(),
+                  static_cast<long long>(metric.onset),
+                  static_cast<long long>(metric.change_point),
+                  metric.prediction_error, metric.expected_error,
+                  std::string(trendName(metric.trend)).c_str());
+    }
+    findings.push_back(std::move(*finding));
+  }
+
+  std::printf("\ndiscovered dependencies (%zu edges):\n",
+              trial.discovered.edgeCount());
+  for (ComponentId from = 0; from < trial.discovered.componentCount();
+       ++from) {
+    for (ComponentId to : trial.discovered.adjacency()[from]) {
+      std::printf("  %s -> %s\n",
+                  record.app_spec.components[from].name.c_str(),
+                  record.app_spec.components[to].name.c_str());
+    }
+  }
+
+  core::IntegratedPinpointer pinpointer(config);
+  const auto result = pinpointer.pinpoint(findings, record.metrics.size(),
+                                          &trial.discovered);
+  if (result.external_factor) {
+    std::printf("\nverdict: EXTERNAL FACTOR (%s trend)\n",
+                std::string(trendName(result.external_trend)).c_str());
+    return 0;
+  }
+  std::printf("\npinpointed:");
+  for (ComponentId id : result.pinpointed) {
+    std::printf(" %s", record.app_spec.components[id].name.c_str());
+  }
+  std::printf("\n");
+  return 0;
+}

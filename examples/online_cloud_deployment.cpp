@@ -1,0 +1,127 @@
+// online_cloud_deployment: the full FChain system shape from Fig. 1 of the
+// paper, running "live" against a multi-tenant cloud.
+//
+//   - three tenants (RUBiS, System S, Hadoop) share six dual-core hosts;
+//   - one FChain slave runs per host, ingesting the 1 Hz metric samples of
+//     every RUBiS VM placed there and keeping the normal-fluctuation models
+//     up to date, second by second;
+//   - a memory leak hits the RUBiS database VM, while the co-located System
+//     S and Hadoop tenants provide realistic cross-tenant interference;
+//   - when the latency SLO fires, the FChain master fans the look-back
+//     analysis out to the slaves, combines the findings with the
+//     offline-discovered dependency graph, and validates the verdict by
+//     scaling resources on a snapshot of the world.
+#include <cstdio>
+
+#include "fchain/fchain.h"
+#include "netdep/dependency.h"
+#include "sim/cloud.h"
+#include "sim/injector.h"
+#include "sim/slo.h"
+
+using namespace fchain;
+
+int main() {
+  // --- The cloud: six hosts, three tenants deployed side by side. ---
+  Rng rng(7777);
+  sim::Cloud cloud(sim::CloudConfig{}, rng.next());
+  const std::size_t rubis =
+      cloud.deploy(sim::makeApplication(sim::AppKind::Rubis, 3600, rng));
+  cloud.deploy(sim::makeApplication(sim::AppKind::SystemS, 3600, rng));
+  cloud.deploy(sim::makeApplication(sim::AppKind::Hadoop, 3600, rng));
+
+  // --- FChain: one slave per host, one master. ---
+  std::vector<core::FChainSlave> slaves;
+  slaves.reserve(cloud.hostCount());
+  for (HostId host = 0; host < cloud.hostCount(); ++host) {
+    slaves.emplace_back(host);
+    for (ComponentId id : cloud.componentsOn(rubis, host)) {
+      slaves.back().addComponent(id, 0);
+    }
+  }
+  core::FChainMaster master;
+  for (auto& slave : slaves) master.registerSlave(&slave);
+
+  std::printf("deployed 3 tenants on %zu hosts; RUBiS placement:",
+              cloud.hostCount());
+  for (ComponentId id = 0; id < cloud.app(rubis).componentCount(); ++id) {
+    std::printf(" %s->host%u",
+                cloud.app(rubis).spec().components[id].name.c_str(),
+                cloud.hostOf(rubis, id));
+  }
+  std::printf("\nper-host NTP skew (ms):");
+  for (HostId host = 0; host < cloud.hostCount(); ++host) {
+    std::printf(" %.2f", cloud.clockSkewMs(host));
+  }
+  std::printf("  (all far below the 1 s sampling grid)\n");
+
+  // --- The fault: a memory leak in the RUBiS database VM at t=1900. ---
+  sim::FaultInjector injector;
+  faults::FaultSpec leak;
+  leak.type = faults::FaultType::MemLeak;
+  leak.targets = {3};
+  leak.start_time = 1900;
+  injector.add(leak);
+
+  // --- Live loop: sample, learn, watch the SLO. The per-edge traffic is
+  // recorded along the way to feed the offline dependency discovery. ---
+  sim::LatencySloMonitor slo(sim::sloLatencyThreshold(sim::AppKind::Rubis),
+                             30);
+  std::vector<std::vector<double>> traffic_history(
+      cloud.app(rubis).spec().edges.size());
+  std::optional<TimeSec> tv;
+  while (!tv.has_value() && cloud.now() < 3600) {
+    injector.apply(cloud.app(rubis), cloud.now());
+    cloud.step();
+    for (std::size_t e = 0; e < traffic_history.size(); ++e) {
+      traffic_history[e].push_back(cloud.app(rubis).edgeTraffic()[e]);
+    }
+    const TimeSec t = cloud.now() - 1;
+    for (ComponentId id = 0; id < cloud.app(rubis).componentCount(); ++id) {
+      std::array<double, kMetricCount> sample{};
+      for (MetricKind kind : kAllMetrics) {
+        sample[metricIndex(kind)] =
+            cloud.app(rubis).metricsOf(id).of(kind).at(t);
+      }
+      slaves[cloud.hostOf(rubis, id)].ingest(id, sample);
+    }
+    tv = slo.observe(t, cloud.app(rubis).latencySeconds());
+  }
+  if (!tv.has_value()) {
+    std::printf("no SLO violation occurred\n");
+    return 1;
+  }
+  std::printf("\nSLO violation at t=%lld (leak started at t=1900)\n",
+              static_cast<long long>(*tv));
+
+  // --- Offline-discovered dependencies (accumulated before the incident).
+  // In a real deployment this graph is refreshed out of band; here we
+  // synthesize it from the recorded traffic of the same run.
+  sim::RunRecord record;
+  record.app_spec = cloud.app(rubis).spec();
+  for (ComponentId id = 0; id < cloud.app(rubis).componentCount(); ++id) {
+    record.metrics.push_back(cloud.app(rubis).metricsOf(id));
+  }
+  record.edge_traffic = std::move(traffic_history);
+  master.setDependencies(netdep::discoverDependencies(record));
+
+  // --- Localization. ---
+  std::vector<ComponentId> components;
+  for (ComponentId id = 0; id < cloud.app(rubis).componentCount(); ++id) {
+    components.push_back(id);
+  }
+  const auto verdict = master.localize(components, *tv);
+  std::printf("propagation chain:");
+  for (const auto& finding : verdict.chain) {
+    std::printf(" %s@%lld(%s)",
+                record.app_spec.components[finding.component].name.c_str(),
+                static_cast<long long>(finding.onset),
+                std::string(trendName(finding.trend)).c_str());
+  }
+  std::printf("\npinpointed:");
+  for (ComponentId id : verdict.pinpointed) {
+    std::printf(" %s", record.app_spec.components[id].name.c_str());
+  }
+  std::printf("\n");
+  return 0;
+}

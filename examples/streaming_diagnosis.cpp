@@ -1,0 +1,77 @@
+// streaming_diagnosis: why FChain still works when dependency discovery
+// cannot (paper §II-C).
+//
+// IBM System S ships tuples as gap-free continuous packet streams, so the
+// gap-based black-box dependency discovery tool extracts a single endless
+// flow per edge and never accumulates enough flows to declare any
+// dependency. A dependency-only localizer then degenerates to "blame every
+// abnormal component". FChain falls back to its change-propagation
+// chronology and still pinpoints the culprit PE.
+#include <cstdio>
+
+#include "baselines/graph_schemes.h"
+#include "fchain/fchain.h"
+#include "netdep/dependency.h"
+
+using namespace fchain;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 11;
+
+  // A memory leak in PE3 of the System S tax application (Fig. 2 topology).
+  sim::ScenarioConfig scenario;
+  scenario.kind = sim::AppKind::SystemS;
+  scenario.seed = seed;
+  faults::FaultSpec leak;
+  leak.type = faults::FaultType::MemLeak;
+  leak.targets = {2};  // PE3
+  leak.start_time = 2100;
+  scenario.faults = {leak};
+
+  const auto result = sim::runScenario(scenario);
+  if (!result.record.violation_time.has_value()) {
+    std::printf("no SLO violation (seed %llu); try another seed\n",
+                static_cast<unsigned long long>(seed));
+    return 1;
+  }
+  const auto& record = result.record;
+  std::printf("per-tuple SLO violated at t=%lld (leak in PE3 at t=2100)\n",
+              static_cast<long long>(*record.violation_time));
+
+  // Gap-based discovery over the tuple streams: nothing.
+  const auto discovered = netdep::discoverDependencies(record);
+  std::printf(
+      "dependency discovery on the gap-free streams found %zu edges "
+      "(the paper's negative result)\n",
+      discovered.edgeCount());
+
+  // The Dependency baseline degenerates to every abnormal component.
+  baselines::DependencyScheme dependency_scheme;
+  baselines::LocalizeInput input;
+  input.record = &record;
+  input.discovered = &discovered;
+  const auto topology = netdep::fromTopology(record.app_spec);
+  input.topology = &topology;
+  const auto blamed =
+      dependency_scheme.localize(input, dependency_scheme.defaultThreshold());
+  std::printf("Dependency-only scheme blames %zu components:", blamed.size());
+  for (ComponentId id : blamed) {
+    std::printf(" %s", record.app_spec.components[id].name.c_str());
+  }
+
+  // FChain: chronology of abnormal change onsets, no dependencies needed.
+  const auto verdict = core::localizeRecord(record, &discovered, {});
+  std::printf("\nFChain propagation chain:");
+  for (const auto& finding : verdict.chain) {
+    std::printf(" %s@%lld",
+                record.app_spec.components[finding.component].name.c_str(),
+                static_cast<long long>(finding.onset));
+  }
+  std::printf("\nFChain pinpoints:");
+  for (ComponentId id : verdict.pinpointed) {
+    std::printf(" %s", record.app_spec.components[id].name.c_str());
+  }
+  std::printf("  (ground truth: PE3)\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+#include "baselines/fchain_scheme.h"
+
+namespace fchain::baselines {
+
+std::vector<ComponentId> FChainScheme::localize(const LocalizeInput& input,
+                                                double threshold) const {
+  core::FChainConfig config = config_;
+  // Scale the dynamic threshold's percentile aggressiveness via the burst
+  // magnitude: >1 demands larger errors (stricter), <1 is more permissive.
+  config.burst.magnitude_percentile =
+      std::min(99.0, config.burst.magnitude_percentile * threshold);
+  return core::localizeRecord(*input.record, input.discovered, config)
+      .pinpointed;
+}
+
+PalScheme::PalScheme(core::FChainConfig config) : config_(std::move(config)) {
+  config_.use_predictability = false;
+  config_.use_dependency = false;
+  config_.detect_external_factor = false;
+}
+
+std::vector<ComponentId> PalScheme::localize(const LocalizeInput& input,
+                                             double threshold) const {
+  core::FChainConfig config = config_;
+  config.outlier.mad_zscore = threshold;
+  return core::localizeRecord(*input.record, nullptr, config).pinpointed;
+}
+
+std::vector<ComponentId> FixedFilteringScheme::localize(
+    const LocalizeInput& input, double threshold) const {
+  core::FChainConfig config = config_;
+  config.fixed_error_threshold = threshold;
+  return core::localizeRecord(*input.record, input.discovered, config)
+      .pinpointed;
+}
+
+}  // namespace fchain::baselines

@@ -1,0 +1,70 @@
+// Adapters exposing the FChain core (and its ablation variants PAL and
+// Fixed-Filtering) through the common FaultLocalizer interface.
+#pragma once
+
+#include "baselines/localizer.h"
+#include "fchain/fchain.h"
+
+namespace fchain::baselines {
+
+/// Full FChain. The sweep parameter scales the dynamic burst threshold
+/// (1.0 = the paper's configuration), giving FChain a short ROC trace
+/// around its operating point.
+class FChainScheme : public FaultLocalizer {
+ public:
+  explicit FChainScheme(core::FChainConfig config = {})
+      : config_(std::move(config)) {}
+
+  std::string name() const override { return "FChain"; }
+  std::vector<ComponentId> localize(const LocalizeInput& input,
+                                    double threshold) const override;
+  std::vector<double> thresholdSweep() const override { return {1.0}; }
+  double defaultThreshold() const override { return 1.0; }
+
+  const core::FChainConfig& config() const { return config_; }
+
+ private:
+  core::FChainConfig config_;
+};
+
+/// PAL [13]: change-propagation chaining with smoothing + outlier change
+/// point detection, but *no* predictability filter and *no* dependency
+/// refinement. The sweep parameter is the outlier MAD z-score.
+class PalScheme : public FaultLocalizer {
+ public:
+  explicit PalScheme(core::FChainConfig config = {});
+
+  std::string name() const override { return "PAL"; }
+  std::vector<ComponentId> localize(const LocalizeInput& input,
+                                    double threshold) const override;
+  std::vector<double> thresholdSweep() const override {
+    return {1.0, 1.5, 2.0, 2.5, 3.0};
+  }
+  double defaultThreshold() const override { return 2.0; }
+
+ private:
+  core::FChainConfig config_;
+};
+
+/// Fixed-Filtering: the full FChain pipeline but with a *fixed* prediction
+/// error threshold (a multiple of the look-back window's robust scale)
+/// instead of the burstiness-derived dynamic threshold. The sweep parameter
+/// is that multiple.
+class FixedFilteringScheme : public FaultLocalizer {
+ public:
+  explicit FixedFilteringScheme(core::FChainConfig config = {})
+      : config_(std::move(config)) {}
+
+  std::string name() const override { return "Fixed-Filtering"; }
+  std::vector<ComponentId> localize(const LocalizeInput& input,
+                                    double threshold) const override;
+  std::vector<double> thresholdSweep() const override {
+    return {0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0};
+  }
+  double defaultThreshold() const override { return 2.0; }
+
+ private:
+  core::FChainConfig config_;
+};
+
+}  // namespace fchain::baselines

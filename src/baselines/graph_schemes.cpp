@@ -1,0 +1,71 @@
+#include "baselines/graph_schemes.h"
+
+#include <algorithm>
+
+namespace fchain::baselines {
+
+std::vector<core::ComponentFinding> detectAbnormalComponents(
+    const sim::RunRecord& record, double zscore,
+    const core::FChainConfig& base_config) {
+  std::vector<core::ComponentFinding> findings;
+  if (!record.violation_time.has_value()) return findings;
+  const TimeSec tv = *record.violation_time;
+
+  core::FChainConfig config = base_config;
+  config.use_predictability = false;
+  config.outlier.mad_zscore = zscore;
+  core::AbnormalChangeSelector selector(config);
+
+  for (ComponentId id = 0; id < record.metrics.size(); ++id) {
+    const auto model =
+        core::replayModel(record.metrics[id], tv + 1, config.predictor);
+    if (auto finding =
+            selector.analyzeComponent(id, record.metrics[id], model, tv)) {
+      findings.push_back(std::move(*finding));
+    }
+  }
+  return findings;
+}
+
+std::vector<ComponentId> upstreamAbnormal(
+    const std::vector<core::ComponentFinding>& abnormal,
+    const netdep::DependencyGraph& graph) {
+  std::vector<ComponentId> pinpointed;
+  for (const auto& candidate : abnormal) {
+    bool has_abnormal_predecessor = false;
+    for (const auto& other : abnormal) {
+      if (other.component == candidate.component) continue;
+      if (graph.hasEdge(other.component, candidate.component)) {
+        has_abnormal_predecessor = true;
+        break;
+      }
+    }
+    if (!has_abnormal_predecessor) pinpointed.push_back(candidate.component);
+  }
+  std::sort(pinpointed.begin(), pinpointed.end());
+  return pinpointed;
+}
+
+std::vector<ComponentId> TopologyScheme::localize(const LocalizeInput& input,
+                                                  double threshold) const {
+  const auto abnormal =
+      detectAbnormalComponents(*input.record, threshold, config_);
+  return upstreamAbnormal(abnormal, *input.topology);
+}
+
+std::vector<ComponentId> DependencyScheme::localize(const LocalizeInput& input,
+                                                    double threshold) const {
+  const auto abnormal =
+      detectAbnormalComponents(*input.record, threshold, config_);
+  if (input.discovered == nullptr || input.discovered->empty()) {
+    // No dependency information could be accumulated: every abnormal
+    // component is reported (paper §III-B on System S).
+    std::vector<ComponentId> all;
+    for (const auto& finding : abnormal) all.push_back(finding.component);
+    std::sort(all.begin(), all.end());
+    return all;
+  }
+  return upstreamAbnormal(abnormal, *input.discovered);
+}
+
+}  // namespace fchain::baselines

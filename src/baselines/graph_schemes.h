@@ -1,0 +1,68 @@
+// Topology and Dependency baselines (paper §III-A, schemes 3 and 4).
+//
+// Both first detect abnormal components with the PAL-style outlier change
+// point detector (no predictability filter), then blame graph structure:
+// every abnormal component with no abnormal predecessor in the graph's flow
+// direction is pinpointed (the fault is assumed to enter at the most
+// upstream abnormal tier and propagate downstream). This is exactly the
+// assumption back-pressure breaks: a faulty last tier (RUBiS db) drives its
+// upstream tiers abnormal, and these schemes blame the upstream tier.
+//
+//  - Topology *assumes* the true application topology as given knowledge.
+//  - Dependency uses the black-box *discovered* graph instead; when
+//    discovery found nothing (System S streams), it degenerates to
+//    outputting every abnormal component.
+#pragma once
+
+#include "baselines/localizer.h"
+#include "fchain/fchain.h"
+
+namespace fchain::baselines {
+
+/// Shared first stage: PAL-style abnormal component detection. `zscore` is
+/// the outlier MAD z-score threshold.
+std::vector<core::ComponentFinding> detectAbnormalComponents(
+    const sim::RunRecord& record, double zscore,
+    const core::FChainConfig& base_config);
+
+/// Of the abnormal components, those with no abnormal predecessor in
+/// `graph` (sources of the abnormal subgraph in flow direction).
+std::vector<ComponentId> upstreamAbnormal(
+    const std::vector<core::ComponentFinding>& abnormal,
+    const netdep::DependencyGraph& graph);
+
+class TopologyScheme : public FaultLocalizer {
+ public:
+  explicit TopologyScheme(core::FChainConfig config = {})
+      : config_(std::move(config)) {}
+
+  std::string name() const override { return "Topology"; }
+  std::vector<ComponentId> localize(const LocalizeInput& input,
+                                    double threshold) const override;
+  std::vector<double> thresholdSweep() const override {
+    return {1.0, 1.5, 2.0, 2.5, 3.0};
+  }
+  double defaultThreshold() const override { return 2.0; }
+
+ private:
+  core::FChainConfig config_;
+};
+
+class DependencyScheme : public FaultLocalizer {
+ public:
+  explicit DependencyScheme(core::FChainConfig config = {})
+      : config_(std::move(config)) {}
+
+  std::string name() const override { return "Dependency"; }
+  std::vector<ComponentId> localize(const LocalizeInput& input,
+                                    double threshold) const override;
+  std::vector<double> thresholdSweep() const override {
+    return {1.0, 1.5, 2.0, 2.5, 3.0};
+  }
+  double defaultThreshold() const override { return 2.0; }
+
+ private:
+  core::FChainConfig config_;
+};
+
+}  // namespace fchain::baselines

@@ -1,0 +1,45 @@
+#include "baselines/histogram_scheme.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+
+namespace fchain::baselines {
+
+double HistogramScheme::score(const sim::RunRecord& record, ComponentId id,
+                              TimeSec violation_time) const {
+  const MetricSeries& series = record.metrics[id];
+  double best = 0.0;
+  for (MetricKind kind : kAllMetrics) {
+    const TimeSeries& ts = series.of(kind);
+    const auto all = ts.window(ts.startTime(), violation_time + 1);
+    const auto recent =
+        ts.window(violation_time - lookback_, violation_time + 1);
+    if (all.size() < 2 * recent.size() || recent.size() < 10) continue;
+
+    const double lo = fchain::minValue(all);
+    double hi = fchain::maxValue(all);
+    if (hi <= lo) hi = lo + 1.0;
+    Histogram recent_hist(lo, hi, bins_);
+    Histogram full_hist(lo, hi, bins_);
+    recent_hist.addAll(recent);
+    full_hist.addAll(all);
+    best = std::max(best, klDivergence(recent_hist, full_hist));
+  }
+  return best;
+}
+
+std::vector<ComponentId> HistogramScheme::localize(const LocalizeInput& input,
+                                                   double threshold) const {
+  std::vector<ComponentId> pinpointed;
+  const sim::RunRecord& record = *input.record;
+  if (!record.violation_time.has_value()) return pinpointed;
+  for (ComponentId id = 0; id < record.metrics.size(); ++id) {
+    if (score(record, id, *record.violation_time) > threshold) {
+      pinpointed.push_back(id);
+    }
+  }
+  return pinpointed;
+}
+
+}  // namespace fchain::baselines

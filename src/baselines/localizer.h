@@ -1,0 +1,48 @@
+// Common interface for all fault localization schemes compared in the
+// paper's evaluation (§III-A): FChain itself plus Histogram, NetMedic,
+// Topology, Dependency, PAL and Fixed-Filtering.
+//
+// Every scheme maps a recorded run (metrics + violation time) to a set of
+// pinpointed components. Schemes expose one sweepable sensitivity parameter
+// so the evaluation can trace their precision/recall tradeoff ("we vary the
+// anomaly score threshold to show the tradeoff...", §III-A); schemes without
+// a natural knob (FChain) return a single operating point.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "netdep/dependency.h"
+#include "sim/simulator.h"
+
+namespace fchain::baselines {
+
+struct LocalizeInput {
+  const sim::RunRecord* record = nullptr;
+  /// Black-box *discovered* dependency graph (may be empty, e.g. System S).
+  const netdep::DependencyGraph* discovered = nullptr;
+  /// Ground-truth topology; only schemes that *assume* topology knowledge
+  /// (Topology, NetMedic) may read this.
+  const netdep::DependencyGraph* topology = nullptr;
+};
+
+class FaultLocalizer {
+ public:
+  virtual ~FaultLocalizer() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Pinpoints faulty components; `threshold` is the scheme's sensitivity
+  /// parameter (meaning is scheme-specific).
+  virtual std::vector<ComponentId> localize(const LocalizeInput& input,
+                                            double threshold) const = 0;
+
+  /// Thresholds to sweep for the ROC curve (most permissive to strictest).
+  virtual std::vector<double> thresholdSweep() const = 0;
+
+  /// The scheme's recommended single operating point.
+  virtual double defaultThreshold() const = 0;
+};
+
+}  // namespace fchain::baselines

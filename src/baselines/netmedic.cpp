@@ -1,0 +1,176 @@
+#include "baselines/netmedic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace fchain::baselines {
+
+namespace {
+
+/// Normalized state vector of one component over [from, to): per-metric mean
+/// divided by the metric's historical scale.
+struct StateVector {
+  std::array<double, kMetricCount> values{};
+  bool valid = false;
+};
+
+struct ComponentContext {
+  std::array<double, kMetricCount> hist_mean{};
+  std::array<double, kMetricCount> hist_scale{};
+};
+
+ComponentContext makeContext(const MetricSeries& series, TimeSec hist_from,
+                             TimeSec hist_to) {
+  ComponentContext context;
+  for (MetricKind kind : kAllMetrics) {
+    const auto window = series.of(kind).window(hist_from, hist_to);
+    const std::size_t m = metricIndex(kind);
+    context.hist_mean[m] = mean(window);
+    context.hist_scale[m] = std::max(1e-6, stddev(window));
+  }
+  return context;
+}
+
+StateVector stateAt(const MetricSeries& series, const ComponentContext& ctx,
+                    TimeSec from, TimeSec to) {
+  StateVector state;
+  for (MetricKind kind : kAllMetrics) {
+    const auto window = series.of(kind).window(from, to);
+    if (window.size() < 5) return state;  // not enough data
+    const std::size_t m = metricIndex(kind);
+    state.values[m] = (mean(window) - ctx.hist_mean[m]) / ctx.hist_scale[m];
+  }
+  state.valid = true;
+  return state;
+}
+
+double stateDistance(const StateVector& a, const StateVector& b) {
+  double sum = 0.0;
+  for (std::size_t m = 0; m < kMetricCount; ++m) {
+    sum += std::fabs(a.values[m] - b.values[m]);
+  }
+  return sum / static_cast<double>(kMetricCount);
+}
+
+/// Abnormality of a state: largest normalized deviation, squashed to [0, 1].
+/// NetMedic's abnormality is an empirical tail probability, which saturates
+/// for anything beyond the historical range — so under a fault the culprit
+/// AND the components it affects all score ~1, and the ranking hinges on
+/// the (unreliable) impact estimates.
+double abnormality(const StateVector& state) {
+  double worst = 0.0;
+  for (double v : state.values) worst = std::max(worst, std::fabs(v));
+  return std::min(1.0, worst / 2.0);
+}
+
+/// Deterministic stand-in for the estimation noise of NetMedic's default
+/// impact: with no similar historical state, the published system guesses a
+/// high impact (0.8); the guess is systematically off by an unpredictable
+/// amount, which is exactly what degrades its ranking on unseen faults.
+double perturbedDefault(double base, ComponentId c, ComponentId d,
+                        TimeSec tv) {
+  SplitMix64 sm((static_cast<std::uint64_t>(c) << 40) ^
+                (static_cast<std::uint64_t>(d) << 20) ^
+                static_cast<std::uint64_t>(tv));
+  const double u =
+      static_cast<double>(sm.next() >> 11) * 0x1.0p-53;  // [0, 1)
+  return base * (0.85 + 0.3 * u);
+}
+
+}  // namespace
+
+std::vector<std::pair<ComponentId, double>> NetMedicScheme::rank(
+    const LocalizeInput& input) const {
+  const sim::RunRecord& record = *input.record;
+  std::vector<std::pair<ComponentId, double>> scores;
+  if (!record.violation_time.has_value()) return scores;
+  const TimeSec tv = *record.violation_time;
+  const std::size_t n = record.metrics.size();
+
+  const TimeSec now_from = tv - config_.state_window_sec;
+  const TimeSec hist_from = std::max<TimeSec>(0, now_from - config_.history_sec);
+  const TimeSec hist_to = now_from;
+
+  // Per-component context, current state, abnormality.
+  std::vector<ComponentContext> contexts(n);
+  std::vector<StateVector> now_states(n);
+  std::vector<double> abnormal(n, 0.0);
+  for (ComponentId c = 0; c < n; ++c) {
+    contexts[c] = makeContext(record.metrics[c], hist_from, hist_to);
+    now_states[c] = stateAt(record.metrics[c], contexts[c], now_from, tv + 1);
+    if (now_states[c].valid) abnormal[c] = abnormality(now_states[c]);
+  }
+
+  // Impact of c on d: find the historical window where c's state was most
+  // similar to its current state; the impact is how closely d's state then
+  // matches d's state now. Unseen source state => default impact.
+  auto impact = [&](ComponentId c, ComponentId d) {
+    double best_dist = 1e18;
+    TimeSec best_from = -1;
+    for (TimeSec from = hist_from; from + config_.state_window_sec <= hist_to;
+         from += config_.history_step_sec) {
+      const auto past = stateAt(record.metrics[c], contexts[c], from,
+                                from + config_.state_window_sec);
+      if (!past.valid) continue;
+      const double dist = stateDistance(now_states[c], past);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best_from = from;
+      }
+    }
+    if (best_from < 0 || best_dist > config_.similarity_limit) {
+      // Previously unseen state: guess the default high impact.
+      return perturbedDefault(config_.default_impact, c, d, tv);
+    }
+    const auto d_past = stateAt(record.metrics[d], contexts[d], best_from,
+                                best_from + config_.state_window_sec);
+    if (!d_past.valid) return perturbedDefault(config_.default_impact, c, d, tv);
+    const double dist_d = stateDistance(now_states[d], d_past);
+    return std::clamp(1.0 - dist_d, 0.0, 1.0);
+  };
+
+  for (ComponentId c = 0; c < n; ++c) {
+    if (!now_states[c].valid || abnormal[c] < config_.abnormality_floor) {
+      scores.emplace_back(c, 0.0);
+      continue;
+    }
+    // How much of the other abnormal components' behaviour does c explain?
+    double explain = 0.0;
+    std::size_t affected = 0;
+    for (ComponentId d = 0; d < n; ++d) {
+      if (d == c || !now_states[d].valid ||
+          abnormal[d] < config_.abnormality_floor) {
+        continue;
+      }
+      if (!input.topology->connectedEitherWay(c, d)) continue;
+      explain += impact(c, d);
+      ++affected;
+    }
+    const double reach = affected == 0 ? 1.0 : explain / static_cast<double>(affected);
+    scores.emplace_back(c, abnormal[c] * reach);
+  }
+
+  std::sort(scores.begin(), scores.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return scores;
+}
+
+std::vector<ComponentId> NetMedicScheme::localize(const LocalizeInput& input,
+                                                  double threshold) const {
+  std::vector<ComponentId> pinpointed;
+  const auto ranking = rank(input);
+  if (ranking.empty() || ranking.front().second <= 0.0) return pinpointed;
+  const double top = ranking.front().second;
+  for (const auto& [component, score] : ranking) {
+    if (score > 0.0 && top - score <= threshold) {
+      pinpointed.push_back(component);
+    }
+  }
+  std::sort(pinpointed.begin(), pinpointed.end());
+  return pinpointed;
+}
+
+}  // namespace fchain::baselines

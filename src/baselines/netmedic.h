@@ -1,0 +1,63 @@
+// NetMedic baseline (paper §III-A scheme 2, after Kandula et al. [9]).
+//
+// NetMedic is application-agnostic multi-metric fault localization: it
+// assumes the application topology, describes each component by a state
+// vector of its metrics, estimates the impact an abnormal component exerts
+// on its topological neighbours by finding a *historical* interval whose
+// source-component state resembles the current one (using the paper-
+// specified 1800 s of recent history), and ranks components by how much of
+// the observed abnormality they explain. The crucial published detail we
+// reproduce: when no similar historical state exists — always the case for
+// previously unseen faults — NetMedic falls back to a default high edge
+// impact of 0.8, which is what makes its diagnosis brittle on novel faults
+// (and coincidentally right when the true culprit dominates anyway).
+//
+// Output is a ranked list; following the paper's methodology we pinpoint the
+// top-ranked component plus every component whose score is within delta of
+// it, sweeping delta for the ROC curve.
+#pragma once
+
+#include "baselines/localizer.h"
+
+namespace fchain::baselines {
+
+struct NetMedicConfig {
+  /// Current-state window before the violation (seconds).
+  TimeSec state_window_sec = 60;
+  /// History searched for similar states (paper: 1800 s).
+  TimeSec history_sec = 1800;
+  /// Step between candidate historical windows.
+  TimeSec history_step_sec = 30;
+  /// Normalized state distance below which a historical state is "similar".
+  double similarity_limit = 0.6;
+  /// Impact assigned when no similar historical state exists (paper: 0.8).
+  double default_impact = 0.8;
+  /// Abnormality (normalized deviation) above which a component enters the
+  /// ranking at all.
+  double abnormality_floor = 0.15;
+};
+
+class NetMedicScheme : public FaultLocalizer {
+ public:
+  explicit NetMedicScheme(NetMedicConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "NetMedic"; }
+
+  /// `threshold` is delta: components within delta of the top score are
+  /// also pinpointed.
+  std::vector<ComponentId> localize(const LocalizeInput& input,
+                                    double threshold) const override;
+  std::vector<double> thresholdSweep() const override {
+    return {0.02, 0.05, 0.1, 0.2, 0.35, 0.5};
+  }
+  double defaultThreshold() const override { return 0.1; }
+
+  /// Full ranking (component, score), highest first; exposed for tests.
+  std::vector<std::pair<ComponentId, double>> rank(
+      const LocalizeInput& input) const;
+
+ private:
+  NetMedicConfig config_;
+};
+
+}  // namespace fchain::baselines

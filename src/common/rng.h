@@ -1,0 +1,158 @@
+// Deterministic random number generation.
+//
+// Every experiment owns one Rng seeded from a (seed, fault, trial) triple so
+// a run is exactly reproducible. We implement SplitMix64 (for seeding) and
+// xoshiro256** 1.0 (as the main generator) rather than depending on the
+// platform-varying std::default_random_engine. Distribution helpers are
+// implemented here as well because libstdc++/libc++ distributions are not
+// guaranteed to produce identical streams.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace fchain {
+
+/// SplitMix64: used to expand one 64-bit seed into the xoshiro state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 by Blackman & Vigna; public-domain reference algorithm.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    // 53 high-quality mantissa bits.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t below(std::uint64_t n) {
+    // Lemire's nearly-divisionless bounded generation, simplified with a
+    // rejection loop; bias is unmeasurable for our n (< 2^32).
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t intIn(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal via Box-Muller (deterministic across platforms).
+  double gaussian() {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u1 = uniform();
+    // Avoid log(0).
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    spare_ = mag * std::sin(2.0 * std::numbers::pi * u2);
+    has_spare_ = true;
+    return mag * std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  double gaussian(double mean, double stddev) {
+    return mean + stddev * gaussian();
+  }
+
+  /// Exponential with the given rate (lambda).
+  double exponential(double rate) {
+    double u = uniform();
+    while (u <= 0.0) u = uniform();
+    return -std::log(u) / rate;
+  }
+
+  /// Pareto (heavy-tailed) sample with scale xm > 0 and shape alpha > 0.
+  double pareto(double xm, double alpha) {
+    double u = uniform();
+    while (u <= 0.0) u = uniform();
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Derives an independent child generator; used to give each component /
+  /// module its own stream so adding a consumer never perturbs the others.
+  Rng fork() { return Rng(next() ^ 0x9e3779b97f4a7c15ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+/// Mixes experiment coordinates into a single 64-bit seed.
+constexpr std::uint64_t mixSeed(std::uint64_t base, std::uint64_t a,
+                                std::uint64_t b = 0, std::uint64_t c = 0) {
+  SplitMix64 sm(base);
+  std::uint64_t s = sm.next();
+  s ^= a * 0x9e3779b97f4a7c15ULL;
+  s = SplitMix64(s).next();
+  s ^= b * 0xc2b2ae3d27d4eb4fULL;
+  s = SplitMix64(s).next();
+  s ^= c * 0x165667b19e3779f9ULL;
+  return SplitMix64(s).next();
+}
+
+}  // namespace fchain

@@ -1,0 +1,134 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fchain {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  if (n < 2) return 0.0;
+  const double m = mean(xs);
+  double sum = 0.0;
+  for (double x : xs) {
+    const double d = x - m;
+    sum += d * d;
+  }
+  return sum / static_cast<double>(n - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("percentile of empty span");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double rank =
+      std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double medianAbsDeviation(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  const double m = median(xs);
+  std::vector<double> deviations;
+  deviations.reserve(xs.size());
+  for (double x : xs) deviations.push_back(std::fabs(x - m));
+  return median(deviations);
+}
+
+double minValue(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double maxValue(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double slope(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  if (n < 2) return 0.0;
+  // OLS against index: slope = cov(i, x) / var(i).
+  const double nf = static_cast<double>(n);
+  const double mean_i = (nf - 1.0) / 2.0;
+  const double mean_x = mean(xs);
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double di = static_cast<double>(i) - mean_i;
+    num += di * (xs[i] - mean_x);
+    den += di * di;
+  }
+  return den == 0.0 ? 0.0 : num / den;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("Histogram needs >= 1 bin");
+  if (!(hi > lo)) throw std::invalid_argument("Histogram needs hi > lo");
+}
+
+void Histogram::add(double x) {
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+  idx = std::clamp<std::ptrdiff_t>(
+      idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+void Histogram::addAll(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+double Histogram::probability(std::size_t i) const {
+  // Laplace smoothing keeps KL finite when a bucket is empty on one side.
+  return (static_cast<double>(counts_[i]) + 1.0) /
+         (static_cast<double>(total_) + static_cast<double>(counts_.size()));
+}
+
+double klDivergence(const Histogram& p, const Histogram& q) {
+  if (p.binCount() != q.binCount()) {
+    throw std::invalid_argument("klDivergence: histogram bin mismatch");
+  }
+  double kl = 0.0;
+  for (std::size_t i = 0; i < p.binCount(); ++i) {
+    const double pi = p.probability(i);
+    kl += pi * std::log(pi / q.probability(i));
+  }
+  return kl;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  const std::size_t n = std::min(xs.size(), ys.size());
+  if (n < 2) return 0.0;
+  const double mx = mean(xs.subspan(0, n));
+  const double my = mean(ys.subspan(0, n));
+  double num = 0.0, dx = 0.0, dy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = xs[i] - mx;
+    const double b = ys[i] - my;
+    num += a * b;
+    dx += a * a;
+    dy += b * b;
+  }
+  if (dx == 0.0 || dy == 0.0) return 0.0;
+  return num / std::sqrt(dx * dy);
+}
+
+}  // namespace fchain

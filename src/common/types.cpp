@@ -1,0 +1,44 @@
+#include "common/types.h"
+
+#include <stdexcept>
+
+namespace fchain {
+
+std::string_view metricName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::CpuUsage:
+      return "cpu_usage";
+    case MetricKind::MemoryUsage:
+      return "memory_usage";
+    case MetricKind::NetworkIn:
+      return "network_in";
+    case MetricKind::NetworkOut:
+      return "network_out";
+    case MetricKind::DiskRead:
+      return "disk_read";
+    case MetricKind::DiskWrite:
+      return "disk_write";
+  }
+  return "unknown";
+}
+
+MetricKind metricFromName(std::string_view name) {
+  for (MetricKind kind : kAllMetrics) {
+    if (metricName(kind) == name) return kind;
+  }
+  throw std::invalid_argument("unknown metric name: " + std::string(name));
+}
+
+std::string_view trendName(Trend trend) {
+  switch (trend) {
+    case Trend::Up:
+      return "up";
+    case Trend::Down:
+      return "down";
+    case Trend::Flat:
+      return "flat";
+  }
+  return "unknown";
+}
+
+}  // namespace fchain

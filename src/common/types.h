@@ -1,0 +1,68 @@
+// Core identifiers and enumerations shared by every FChain module.
+//
+// FChain treats each guest VM as one opaque "component" and observes only
+// six system-level metrics per component, sampled at 1 Hz (paper §III-A).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace fchain {
+
+/// Opaque identifier of one component (one guest VM) inside an application.
+using ComponentId = std::uint32_t;
+
+/// Invalid / "no component" sentinel.
+inline constexpr ComponentId kNoComponent = static_cast<ComponentId>(-1);
+
+/// Identifier of a physical host (a cloud node running several VMs).
+using HostId = std::uint32_t;
+
+/// Simulation time in whole seconds. The paper samples metrics at 1 Hz, so
+/// one tick == one second == one sample.
+using TimeSec = std::int64_t;
+
+/// The six black-box system-level metrics FChain monitors from Domain 0
+/// (paper §III-A: cpu usage, memory usage, network in/out, disk read/write).
+enum class MetricKind : std::uint8_t {
+  CpuUsage = 0,   ///< percent of VM CPU allocation in use [0, 100+]
+  MemoryUsage,    ///< resident memory in MB
+  NetworkIn,      ///< inbound KB/s
+  NetworkOut,     ///< outbound KB/s
+  DiskRead,       ///< read KB/s
+  DiskWrite,      ///< write KB/s
+};
+
+inline constexpr std::size_t kMetricCount = 6;
+
+/// All metric kinds, for range-for iteration.
+inline constexpr std::array<MetricKind, kMetricCount> kAllMetrics = {
+    MetricKind::CpuUsage,   MetricKind::MemoryUsage, MetricKind::NetworkIn,
+    MetricKind::NetworkOut, MetricKind::DiskRead,    MetricKind::DiskWrite,
+};
+
+/// Human-readable metric name ("cpu_usage", ...).
+std::string_view metricName(MetricKind kind);
+
+/// Parses a metric name produced by metricName(). Throws std::invalid_argument
+/// on unknown names.
+MetricKind metricFromName(std::string_view name);
+
+/// Index of a metric kind into dense per-metric arrays.
+constexpr std::size_t metricIndex(MetricKind kind) {
+  return static_cast<std::size_t>(kind);
+}
+
+/// Trend direction of an abnormal change, used by the external-factor
+/// (workload change vs fault) classifier in the integrated pinpointer.
+enum class Trend : std::uint8_t {
+  Up,
+  Down,
+  Flat,
+};
+
+std::string_view trendName(Trend trend);
+
+}  // namespace fchain

@@ -1,0 +1,54 @@
+#include "eval/auc.h"
+
+#include <algorithm>
+#include <map>
+
+namespace fchain::eval {
+
+double prAuc(const SchemeCurve& curve) {
+  if (curve.points.empty()) return 0.0;
+
+  // Max precision at each distinct recall.
+  std::map<double, double> best;
+  for (const RocPoint& point : curve.points) {
+    auto [it, inserted] = best.emplace(point.recall, point.precision);
+    if (!inserted) it->second = std::max(it->second, point.precision);
+  }
+
+  // Anchor at recall 0 with the highest precision seen (flat-left
+  // extension), then trapezoid over recall.
+  double max_precision = 0.0;
+  for (const auto& [recall, precision] : best) {
+    max_precision = std::max(max_precision, precision);
+  }
+  double area = 0.0;
+  double prev_recall = 0.0;
+  double prev_precision = max_precision;
+  for (const auto& [recall, precision] : best) {
+    area += (recall - prev_recall) * 0.5 * (precision + prev_precision);
+    prev_recall = recall;
+    prev_precision = precision;
+  }
+  return area;
+}
+
+double bestF1(const SchemeCurve& curve) {
+  const RocPoint* best = curve.best();
+  return best == nullptr ? 0.0 : best->counts.f1();
+}
+
+std::size_t dominatedPoints(const SchemeCurve& curve,
+                            const SchemeCurve& other) {
+  std::size_t dominated = 0;
+  for (const RocPoint& theirs : other.points) {
+    for (const RocPoint& ours : curve.points) {
+      if (ours.precision > theirs.precision && ours.recall > theirs.recall) {
+        ++dominated;
+        break;
+      }
+    }
+  }
+  return dominated;
+}
+
+}  // namespace fchain::eval

@@ -1,0 +1,28 @@
+// Curve summary statistics: area under the precision/recall tradeoff and
+// related single-number summaries, so scheme comparisons can be automated
+// (the paper eyeballs its ROC plots; CI needs a scalar).
+#pragma once
+
+#include <vector>
+
+#include "eval/metrics.h"
+
+namespace fchain::eval {
+
+/// Area under the precision-over-recall curve, integrating precision with
+/// the trapezoid rule over the recall axis after sorting points by recall
+/// and collapsing duplicates (max precision per recall). Points span less
+/// than the full [0,1] recall range; the curve is conservatively anchored
+/// at (0, max precision) and extends flat-left from the lowest recall.
+/// Returns 0 for an empty curve.
+double prAuc(const SchemeCurve& curve);
+
+/// Best F1 across the sweep (0 for an empty curve).
+double bestF1(const SchemeCurve& curve);
+
+/// The point dominance count: how many of `other`'s points are strictly
+/// dominated (lower precision AND lower recall) by some point of `curve`.
+std::size_t dominatedPoints(const SchemeCurve& curve,
+                            const SchemeCurve& other);
+
+}  // namespace fchain::eval

@@ -1,0 +1,266 @@
+#include "eval/cases.h"
+
+#include <algorithm>
+#include <array>
+
+namespace fchain::eval {
+
+namespace {
+
+using faults::FaultSpec;
+using faults::FaultType;
+
+/// Random injection instant: late enough that the fluctuation models have
+/// learned the workload, early enough that manifestation + detection fit
+/// inside the run.
+TimeSec drawStart(Rng& rng, TimeSec lo = 1800, TimeSec hi = 2600) {
+  return rng.intIn(lo, hi);
+}
+
+FaultSpec single(FaultType type, ComponentId target, TimeSec start,
+                 double intensity = 1.0) {
+  FaultSpec spec;
+  spec.type = type;
+  spec.targets = {target};
+  spec.start_time = start;
+  spec.intensity = intensity;
+  return spec;
+}
+
+/// Two distinct random PEs among the System S middle stages (PE2..PE6).
+std::pair<ComponentId, ComponentId> twoRandomPes(Rng& rng) {
+  const ComponentId a = static_cast<ComponentId>(1 + rng.below(5));
+  ComponentId b = a;
+  while (b == a) b = static_cast<ComponentId>(1 + rng.below(5));
+  return {a, b};
+}
+
+/// A random PE on the main (high-rate) processing branch: PE2, PE3 or PE6.
+/// CPU-contention faults are injected here — on the light PE4->PE5 side
+/// branch their latency contribution is diluted below the per-tuple SLO and
+/// no detectable anomaly occurs (a scoping choice documented in DESIGN.md).
+ComponentId randomMainBranchPe(Rng& rng) {
+  constexpr std::array<ComponentId, 3> kMain{1, 2, 5};
+  return kMain[rng.below(kMain.size())];
+}
+
+}  // namespace
+
+FaultCase rubisMemLeak() {
+  FaultCase fault_case;
+  fault_case.label = "RUBiS/MemLeak";
+  fault_case.kind = sim::AppKind::Rubis;
+  fault_case.make_faults = [](Rng& rng, const sim::ApplicationSpec&) {
+    return std::vector<FaultSpec>{
+        single(FaultType::MemLeak, /*db=*/3, drawStart(rng))};
+  };
+  return fault_case;
+}
+
+FaultCase rubisCpuHog() {
+  FaultCase fault_case;
+  fault_case.label = "RUBiS/CpuHog";
+  fault_case.kind = sim::AppKind::Rubis;
+  fault_case.make_faults = [](Rng& rng, const sim::ApplicationSpec&) {
+    // A multi-threaded hog: the db keeps only ~1/3 of its CPU, so its
+    // throughput drops below the request rate and back-pressure builds.
+    return std::vector<FaultSpec>{
+        single(FaultType::CpuHog, /*db=*/3, drawStart(rng), /*intensity=*/1.35)};
+  };
+  return fault_case;
+}
+
+FaultCase rubisNetHog() {
+  FaultCase fault_case;
+  fault_case.label = "RUBiS/NetHog";
+  fault_case.kind = sim::AppKind::Rubis;
+  fault_case.make_faults = [](Rng& rng, const sim::ApplicationSpec&) {
+    return std::vector<FaultSpec>{
+        single(FaultType::NetHog, /*web=*/0, drawStart(rng))};
+  };
+  return fault_case;
+}
+
+FaultCase rubisOffloadBug() {
+  FaultCase fault_case;
+  fault_case.label = "RUBiS/OffloadBug";
+  fault_case.kind = sim::AppKind::Rubis;
+  fault_case.make_faults = [](Rng& rng, const sim::ApplicationSpec&) {
+    FaultSpec spec;
+    spec.type = FaultType::OffloadBug;
+    spec.targets = {/*app1=*/1, /*app2=*/2};
+    spec.start_time = drawStart(rng);
+    return std::vector<FaultSpec>{spec};
+  };
+  return fault_case;
+}
+
+FaultCase rubisLBBug() {
+  FaultCase fault_case;
+  fault_case.label = "RUBiS/LBBug";
+  fault_case.kind = sim::AppKind::Rubis;
+  fault_case.make_faults = [](Rng& rng, const sim::ApplicationSpec&) {
+    FaultSpec spec;
+    spec.type = FaultType::LBBug;
+    spec.targets = {/*app1=*/1, /*app2=*/2};
+    spec.start_time = drawStart(rng);
+    return std::vector<FaultSpec>{spec};
+  };
+  return fault_case;
+}
+
+FaultCase systemsMemLeak() {
+  FaultCase fault_case;
+  fault_case.label = "SystemS/MemLeak";
+  fault_case.kind = sim::AppKind::SystemS;
+  fault_case.make_faults = [](Rng& rng, const sim::ApplicationSpec&) {
+    const ComponentId pe = static_cast<ComponentId>(1 + rng.below(5));
+    return std::vector<FaultSpec>{
+        single(FaultType::MemLeak, pe, drawStart(rng))};
+  };
+  return fault_case;
+}
+
+FaultCase systemsCpuHog() {
+  FaultCase fault_case;
+  fault_case.label = "SystemS/CpuHog";
+  fault_case.kind = sim::AppKind::SystemS;
+  fault_case.make_faults = [](Rng& rng, const sim::ApplicationSpec&) {
+    // The hog's fair share more than triples the PE's per-tuple service
+    // time: the tuple SLO trips from latency alone, mostly without
+    // throughput collapse, so the fault stays localized to the hogged PE.
+    return std::vector<FaultSpec>{single(FaultType::CpuHog,
+                                         randomMainBranchPe(rng),
+                                         drawStart(rng), /*intensity=*/1.4)};
+  };
+  return fault_case;
+}
+
+FaultCase systemsBottleneck() {
+  FaultCase fault_case;
+  fault_case.label = "SystemS/Bottleneck";
+  fault_case.kind = sim::AppKind::SystemS;
+  fault_case.make_faults = [](Rng& rng, const sim::ApplicationSpec&) {
+    return std::vector<FaultSpec>{single(
+        FaultType::Bottleneck, randomMainBranchPe(rng), drawStart(rng))};
+  };
+  return fault_case;
+}
+
+FaultCase systemsConcMemLeak() {
+  FaultCase fault_case;
+  fault_case.label = "SystemS/ConcMemLeak";
+  fault_case.kind = sim::AppKind::SystemS;
+  fault_case.make_faults = [](Rng& rng, const sim::ApplicationSpec&) {
+    const auto [a, b] = twoRandomPes(rng);
+    const TimeSec start = drawStart(rng);
+    return std::vector<FaultSpec>{single(FaultType::MemLeak, a, start),
+                                  single(FaultType::MemLeak, b, start)};
+  };
+  return fault_case;
+}
+
+FaultCase systemsConcCpuHog() {
+  FaultCase fault_case;
+  fault_case.label = "SystemS/ConcCpuHog";
+  fault_case.kind = sim::AppKind::SystemS;
+  fault_case.make_faults = [](Rng& rng, const sim::ApplicationSpec&) {
+    const ComponentId a = randomMainBranchPe(rng);
+    ComponentId b = a;
+    while (b == a) b = randomMainBranchPe(rng);
+    const TimeSec start = drawStart(rng);
+    return std::vector<FaultSpec>{
+        single(FaultType::CpuHog, a, start, /*intensity=*/1.4),
+        single(FaultType::CpuHog, b, start, /*intensity=*/1.4)};
+  };
+  return fault_case;
+}
+
+FaultCase hadoopConcMemLeak() {
+  FaultCase fault_case;
+  fault_case.label = "Hadoop/ConcMemLeak";
+  fault_case.kind = sim::AppKind::Hadoop;
+  fault_case.make_faults = [](Rng& rng, const sim::ApplicationSpec&) {
+    const TimeSec start = drawStart(rng);
+    std::vector<FaultSpec> specs;
+    for (ComponentId map = 0; map < 3; ++map) {
+      specs.push_back(single(FaultType::MemLeak, map, start));
+    }
+    return specs;
+  };
+  return fault_case;
+}
+
+FaultCase hadoopConcCpuHog() {
+  FaultCase fault_case;
+  fault_case.label = "Hadoop/ConcCpuHog";
+  fault_case.kind = sim::AppKind::Hadoop;
+  fault_case.make_faults = [](Rng& rng, const sim::ApplicationSpec&) {
+    const TimeSec start = drawStart(rng);
+    std::vector<FaultSpec> specs;
+    for (ComponentId map = 0; map < 3; ++map) {
+      // The paper's Hadoop "CpuHog" is an infinite-loop bug in the map task.
+      specs.push_back(single(FaultType::InfiniteLoop, map, start));
+    }
+    return specs;
+  };
+  return fault_case;
+}
+
+FaultCase hadoopConcDiskHog() {
+  FaultCase fault_case;
+  fault_case.label = "Hadoop/ConcDiskHog";
+  fault_case.kind = sim::AppKind::Hadoop;
+  // DiskHog manifests slowly; the paper uses a 500 s look-back window and
+  // injects early enough for the stall to emerge within the run.
+  fault_case.fchain_config.lookback_sec = 500;
+  fault_case.make_faults = [](Rng& rng, const sim::ApplicationSpec&) {
+    const TimeSec start = drawStart(rng, 1200, 1800);
+    std::vector<FaultSpec> specs;
+    for (ComponentId map = 0; map < 3; ++map) {
+      specs.push_back(single(FaultType::DiskHog, map, start));
+    }
+    return specs;
+  };
+  return fault_case;
+}
+
+FaultCase rubisWorkloadSurge() {
+  FaultCase fault_case;
+  fault_case.label = "RUBiS/WorkloadSurge";
+  fault_case.kind = sim::AppKind::Rubis;
+  fault_case.make_faults = [](Rng& rng, const sim::ApplicationSpec&) {
+    FaultSpec spec;
+    spec.type = FaultType::WorkloadSurge;
+    spec.start_time = drawStart(rng);
+    return std::vector<FaultSpec>{spec};  // no faulty component
+  };
+  return fault_case;
+}
+
+FaultCase hadoopSharedSlowdown() {
+  FaultCase fault_case;
+  fault_case.label = "Hadoop/SharedSlowdown";
+  fault_case.kind = sim::AppKind::Hadoop;
+  fault_case.make_faults = [](Rng& rng, const sim::ApplicationSpec&) {
+    FaultSpec spec;
+    spec.type = FaultType::SharedSlowdown;
+    spec.start_time = drawStart(rng);
+    return std::vector<FaultSpec>{spec};
+  };
+  return fault_case;
+}
+
+std::vector<FaultCase> allPaperCases() {
+  return {rubisMemLeak(),       rubisCpuHog(),      rubisNetHog(),
+          systemsMemLeak(),     systemsCpuHog(),    systemsBottleneck(),
+          rubisOffloadBug(),    rubisLBBug(),       systemsConcMemLeak(),
+          systemsConcCpuHog(),  hadoopConcMemLeak(), hadoopConcCpuHog(),
+          hadoopConcDiskHog()};
+}
+
+std::vector<FaultCase> extensionCases() {
+  return {rubisWorkloadSurge(), hadoopSharedSlowdown()};
+}
+
+}  // namespace fchain::eval

@@ -1,0 +1,64 @@
+// The paper's fault-injection matrix (§III-A) as reusable experiment cases.
+// Every case knows which benchmark it runs on, how to draw a concrete fault
+// spec for one trial (random injection time, random target PEs, ...) and any
+// per-case FChain configuration (only the Hadoop DiskHog needs one: the
+// longer 500 s look-back window).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "fchain/config.h"
+#include "sim/simulator.h"
+
+namespace fchain::eval {
+
+struct FaultCase {
+  std::string label;
+  sim::AppKind kind = sim::AppKind::Rubis;
+  /// Draws the trial's fault spec(s).
+  std::function<std::vector<faults::FaultSpec>(
+      Rng&, const sim::ApplicationSpec&)>
+      make_faults;
+  /// FChain configuration for this case (paper defaults unless noted).
+  core::FChainConfig fchain_config;
+  /// Run length; the default one-hour run of the paper.
+  std::size_t duration_sec = 3600;
+};
+
+// --- RUBiS single-component faults (Fig. 6). ---
+FaultCase rubisMemLeak();
+FaultCase rubisCpuHog();
+FaultCase rubisNetHog();
+
+// --- RUBiS multi-component faults (Fig. 8). ---
+FaultCase rubisOffloadBug();
+FaultCase rubisLBBug();
+
+// --- System S single-component faults (Fig. 7). ---
+FaultCase systemsMemLeak();
+FaultCase systemsCpuHog();
+FaultCase systemsBottleneck();
+
+// --- System S multi-component faults (Figs. 9, 11). ---
+FaultCase systemsConcMemLeak();
+FaultCase systemsConcCpuHog();
+
+// --- Hadoop multi-component faults (Fig. 10). ---
+FaultCase hadoopConcMemLeak();
+FaultCase hadoopConcCpuHog();  // infinite-loop bug in all map tasks
+FaultCase hadoopConcDiskHog(); // W = 500 s per the paper
+
+// --- External factors (workload-change detection, §II-C). ---
+FaultCase rubisWorkloadSurge();
+FaultCase hadoopSharedSlowdown();
+
+/// All thirteen paper cases, in figure order.
+std::vector<FaultCase> allPaperCases();
+
+/// Extension cases beyond the paper's figures (external factors).
+std::vector<FaultCase> extensionCases();
+
+}  // namespace fchain::eval

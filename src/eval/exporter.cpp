@@ -1,0 +1,61 @@
+#include "eval/exporter.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace fchain::eval {
+
+void writeCurvesCsv(std::ostream& out,
+                    const std::vector<SchemeCurve>& curves) {
+  out << "scheme,threshold,precision,recall,tp,fp,fn\n";
+  for (const SchemeCurve& curve : curves) {
+    for (const RocPoint& point : curve.points) {
+      out << curve.scheme << "," << point.threshold << "," << point.precision
+          << "," << point.recall << "," << point.counts.tp << ","
+          << point.counts.fp << "," << point.counts.fn << "\n";
+    }
+  }
+}
+
+void writeCurvesCsv(const std::string& path,
+                    const std::vector<SchemeCurve>& curves) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot create csv file: " + path);
+  writeCurvesCsv(out, curves);
+}
+
+void writeMetricsCsv(std::ostream& out, const sim::RunRecord& record) {
+  out << "time";
+  for (std::size_t c = 0; c < record.metrics.size(); ++c) {
+    for (MetricKind kind : kAllMetrics) {
+      out << "," << record.app_spec.components[c].name << "."
+          << metricName(kind);
+    }
+  }
+  out << "\n";
+
+  TimeSec from = 0, to = 0;
+  for (const auto& series : record.metrics) {
+    const auto& cpu = series.of(MetricKind::CpuUsage);
+    from = std::min(from, cpu.startTime());
+    to = std::max(to, cpu.endTime());
+  }
+  for (TimeSec t = from; t < to; ++t) {
+    out << t;
+    for (const auto& series : record.metrics) {
+      for (MetricKind kind : kAllMetrics) {
+        out << ",";
+        if (series.of(kind).contains(t)) out << series.of(kind).at(t);
+      }
+    }
+    out << "\n";
+  }
+}
+
+void writeMetricsCsv(const std::string& path, const sim::RunRecord& record) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot create csv file: " + path);
+  writeMetricsCsv(out, record);
+}
+
+}  // namespace fchain::eval

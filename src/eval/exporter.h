@@ -1,0 +1,25 @@
+// CSV export of evaluation artifacts, for plotting with any external tool:
+// ROC curves (one row per scheme x threshold) and raw metric series (one
+// row per second, one column per component x metric).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "sim/simulator.h"
+
+namespace fchain::eval {
+
+/// Header: scheme,threshold,precision,recall,tp,fp,fn
+void writeCurvesCsv(std::ostream& out, const std::vector<SchemeCurve>& curves);
+void writeCurvesCsv(const std::string& path,
+                    const std::vector<SchemeCurve>& curves);
+
+/// Header: time,<component>.<metric>,... — one row per second covering the
+/// union of all components' sample ranges.
+void writeMetricsCsv(std::ostream& out, const sim::RunRecord& record);
+void writeMetricsCsv(const std::string& path, const sim::RunRecord& record);
+
+}  // namespace fchain::eval

@@ -1,0 +1,36 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+namespace fchain::eval {
+
+void Counts::accumulate(const std::vector<ComponentId>& pinpointed,
+                        const std::vector<ComponentId>& truth) {
+  for (ComponentId id : pinpointed) {
+    if (std::binary_search(truth.begin(), truth.end(), id)) {
+      ++tp;
+    } else {
+      ++fp;
+    }
+  }
+  for (ComponentId id : truth) {
+    if (!std::binary_search(pinpointed.begin(), pinpointed.end(), id)) {
+      ++fn;
+    }
+  }
+}
+
+const RocPoint* SchemeCurve::best() const {
+  const RocPoint* best_point = nullptr;
+  double best_f1 = -1.0;
+  for (const RocPoint& point : points) {
+    const double f1 = point.counts.f1();
+    if (f1 > best_f1) {
+      best_f1 = f1;
+      best_point = &point;
+    }
+  }
+  return best_point;
+}
+
+}  // namespace fchain::eval

@@ -1,0 +1,55 @@
+// Precision / recall scoring (paper Eq. 1) and ROC curve containers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fchain::eval {
+
+/// Running true/false positive & false negative tallies across trials.
+struct Counts {
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  std::size_t fn = 0;
+
+  /// Scores one trial: `pinpointed` vs ground-truth `truth` (both sorted
+  /// ascending, duplicate-free).
+  void accumulate(const std::vector<ComponentId>& pinpointed,
+                  const std::vector<ComponentId>& truth);
+
+  double precision() const {
+    return tp + fp == 0 ? 1.0
+                        : static_cast<double>(tp) /
+                              static_cast<double>(tp + fp);
+  }
+  double recall() const {
+    return tp + fn == 0 ? 1.0
+                        : static_cast<double>(tp) /
+                              static_cast<double>(tp + fn);
+  }
+  double f1() const {
+    const double p = precision();
+    const double r = recall();
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+};
+
+struct RocPoint {
+  double threshold = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  Counts counts;
+};
+
+struct SchemeCurve {
+  std::string scheme;
+  std::vector<RocPoint> points;
+
+  /// The point with the best F1 (the scheme's best achievable tradeoff).
+  const RocPoint* best() const;
+};
+
+}  // namespace fchain::eval

@@ -1,0 +1,44 @@
+#include "eval/report.h"
+
+#include <iomanip>
+#include <ostream>
+
+namespace fchain::eval {
+
+void printCurves(std::ostream& out, const std::string& title,
+                 const std::vector<SchemeCurve>& curves,
+                 std::size_t trial_count) {
+  out << "== " << title << " (" << trial_count << " trials) ==\n";
+  out << std::left << std::setw(17) << "scheme" << std::right << std::setw(10)
+      << "threshold" << std::setw(11) << "precision" << std::setw(8)
+      << "recall" << std::setw(6) << "tp" << std::setw(6) << "fp"
+      << std::setw(6) << "fn" << "\n";
+  for (const SchemeCurve& curve : curves) {
+    for (const RocPoint& point : curve.points) {
+      out << std::left << std::setw(17) << curve.scheme << std::right
+          << std::setw(10) << std::fixed << std::setprecision(2)
+          << point.threshold << std::setw(11) << std::setprecision(3)
+          << point.precision << std::setw(8) << point.recall << std::setw(6)
+          << point.counts.tp << std::setw(6) << point.counts.fp
+          << std::setw(6) << point.counts.fn << "\n";
+    }
+  }
+  out << "\n";
+}
+
+void printBestSummary(std::ostream& out, const std::string& title,
+                      const std::vector<SchemeCurve>& curves) {
+  out << "-- " << title << ": best operating point per scheme --\n";
+  for (const SchemeCurve& curve : curves) {
+    const RocPoint* best = curve.best();
+    if (best == nullptr) continue;
+    out << std::left << std::setw(17) << curve.scheme << std::right
+        << "  P=" << std::fixed << std::setprecision(3) << best->precision
+        << "  R=" << best->recall << "  F1=" << best->counts.f1()
+        << "  (threshold " << std::setprecision(2) << best->threshold
+        << ")\n";
+  }
+  out << "\n";
+}
+
+}  // namespace fchain::eval

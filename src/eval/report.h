@@ -1,0 +1,24 @@
+// Plain-text reporting of ROC curves and summary tables, in the shape of
+// the paper's figures (precision/recall per scheme per fault).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+
+namespace fchain::eval {
+
+/// Prints one experiment's curves:
+///   == <title> (N trials) ==
+///   scheme        threshold  precision  recall   tp  fp  fn
+void printCurves(std::ostream& out, const std::string& title,
+                 const std::vector<SchemeCurve>& curves,
+                 std::size_t trial_count);
+
+/// Prints a one-line-per-scheme summary using each scheme's best-F1 point.
+void printBestSummary(std::ostream& out, const std::string& title,
+                      const std::vector<SchemeCurve>& curves);
+
+}  // namespace fchain::eval

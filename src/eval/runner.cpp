@@ -1,0 +1,77 @@
+#include "eval/runner.h"
+
+#include <functional>
+#include <string>
+
+namespace fchain::eval {
+
+TrialSet generateTrials(const FaultCase& fault_case,
+                        const TrialOptions& options) {
+  TrialSet set;
+  for (std::size_t trial = 0; trial < options.trials; ++trial) {
+    ++set.attempted;
+    const std::uint64_t seed = mixSeed(options.base_seed,
+                                       std::hash<std::string>{}(fault_case.label),
+                                       trial);
+    Rng fault_rng(mixSeed(seed, 0xfa17));
+
+    sim::ScenarioConfig config;
+    config.kind = fault_case.kind;
+    config.seed = seed;
+    config.duration_sec = fault_case.duration_sec;
+    config.faults = fault_case.make_faults(
+        fault_rng, sim::makeAppSpec(fault_case.kind));
+
+    auto result = sim::runScenario(config);
+    if (!result.record.violation_time.has_value()) continue;
+
+    TrialData data;
+    data.topology = netdep::fromTopology(result.record.app_spec);
+    data.discovered = netdep::discoverDependencies(result.record);
+    if (options.keep_snapshots) {
+      data.snapshot = std::move(result.snapshot_at_violation);
+    }
+    data.record = std::move(result.record);
+    set.trials.push_back(std::move(data));
+  }
+  return set;
+}
+
+baselines::LocalizeInput inputFor(const TrialData& trial) {
+  baselines::LocalizeInput input;
+  input.record = &trial.record;
+  input.discovered = &trial.discovered;
+  input.topology = &trial.topology;
+  return input;
+}
+
+SchemeCurve evaluateScheme(const baselines::FaultLocalizer& scheme,
+                           const TrialSet& trials) {
+  SchemeCurve curve;
+  curve.scheme = scheme.name();
+  for (double threshold : scheme.thresholdSweep()) {
+    RocPoint point;
+    point.threshold = threshold;
+    for (const TrialData& trial : trials.trials) {
+      const auto pinpointed = scheme.localize(inputFor(trial), threshold);
+      point.counts.accumulate(pinpointed, trial.record.ground_truth);
+    }
+    point.precision = point.counts.precision();
+    point.recall = point.counts.recall();
+    curve.points.push_back(point);
+  }
+  return curve;
+}
+
+std::vector<SchemeCurve> evaluateSchemes(
+    const std::vector<const baselines::FaultLocalizer*>& schemes,
+    const TrialSet& trials) {
+  std::vector<SchemeCurve> curves;
+  curves.reserve(schemes.size());
+  for (const auto* scheme : schemes) {
+    curves.push_back(evaluateScheme(*scheme, trials));
+  }
+  return curves;
+}
+
+}  // namespace fchain::eval

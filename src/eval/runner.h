@@ -1,0 +1,55 @@
+// Experiment runner: generates trials for a fault case (each trial = one
+// one-hour application run with one injected fault drawn at a random time),
+// then scores every scheme x threshold over the shared trial data. Sharing
+// the simulated runs across schemes mirrors the paper's methodology (all
+// schemes diagnose the same incidents) and keeps the benches fast.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "baselines/localizer.h"
+#include "eval/cases.h"
+#include "eval/metrics.h"
+
+namespace fchain::eval {
+
+struct TrialData {
+  sim::RunRecord record;
+  netdep::DependencyGraph discovered;
+  netdep::DependencyGraph topology;
+  /// Simulation snapshot at violation time (for online validation).
+  std::optional<sim::Simulation> snapshot;
+};
+
+struct TrialOptions {
+  std::size_t trials = 30;
+  std::uint64_t base_seed = 42;
+  /// Skip trials whose run never violated the SLO (counted separately).
+  bool keep_snapshots = false;
+};
+
+struct TrialSet {
+  std::vector<TrialData> trials;
+  std::size_t attempted = 0;  ///< includes runs with no SLO violation
+};
+
+/// Runs `options.trials` independent scenarios for the case. Trials whose
+/// fault never triggered the SLO are dropped (attempted still counts them).
+TrialSet generateTrials(const FaultCase& fault_case,
+                        const TrialOptions& options = {});
+
+/// Sweeps one scheme's thresholds over the trial set.
+SchemeCurve evaluateScheme(const baselines::FaultLocalizer& scheme,
+                           const TrialSet& trials);
+
+/// Evaluates many schemes over the same trial set.
+std::vector<SchemeCurve> evaluateSchemes(
+    const std::vector<const baselines::FaultLocalizer*>& schemes,
+    const TrialSet& trials);
+
+/// One trial's localizer input view.
+baselines::LocalizeInput inputFor(const TrialData& trial);
+
+}  // namespace fchain::eval

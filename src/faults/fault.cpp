@@ -1,0 +1,31 @@
+#include "faults/fault.h"
+
+namespace fchain::faults {
+
+std::string_view faultTypeName(FaultType type) {
+  switch (type) {
+    case FaultType::MemLeak:
+      return "MemLeak";
+    case FaultType::CpuHog:
+      return "CpuHog";
+    case FaultType::InfiniteLoop:
+      return "InfiniteLoop";
+    case FaultType::NetHog:
+      return "NetHog";
+    case FaultType::DiskHog:
+      return "DiskHog";
+    case FaultType::Bottleneck:
+      return "Bottleneck";
+    case FaultType::OffloadBug:
+      return "OffloadBug";
+    case FaultType::LBBug:
+      return "LBBug";
+    case FaultType::WorkloadSurge:
+      return "WorkloadSurge";
+    case FaultType::SharedSlowdown:
+      return "SharedSlowdown";
+  }
+  return "unknown";
+}
+
+}  // namespace fchain::faults

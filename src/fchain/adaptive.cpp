@@ -1,0 +1,140 @@
+#include "fchain/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace fchain::core {
+
+namespace {
+
+/// Normalized drift of a stretch: |OLS slope| x length over the stretch's
+/// own robust sigma. Scale-invariant, so a collapsed-but-locally-flat
+/// regime and a healthy regime compare on equal terms.
+double normalizedDrift(std::span<const double> xs) {
+  double sigma = fchain::medianAbsDeviation(xs) * 1.4826;
+  if (sigma < 1e-9) sigma = std::max(1e-9, fchain::stddev(xs));
+  return std::fabs(fchain::slope(xs)) * static_cast<double>(xs.size()) /
+         sigma;
+}
+
+/// True when the stretch of `series` from `from` up to `onset` is a normal
+/// baseline. Its normalized drift is compared against the normalized drift
+/// this metric shows on same-length stretches of history taken well before
+/// the violation: ambient workload drifts the same *relative* amount
+/// regardless of diurnal phase, whereas the tail of an in-progress fault
+/// drifts many of its own (collapsed-regime) sigmas.
+bool quietBaselineBefore(const TimeSeries& series, TimeSec from, TimeSec onset,
+                         double drift_sigmas) {
+  // Trim a guard gap before the onset: the rollback estimate can land a few
+  // seconds late, and even two manifestation samples at the end of the
+  // segment would dominate its OLS slope.
+  const auto segment = series.window(from, onset - 8);
+  if (segment.size() < 10) return false;  // no baseline to speak of
+  const double drift = normalizedDrift(segment);
+
+  // Reference stretches end 600 s before the window so a slowly
+  // manifesting fault cannot contaminate its own yardstick.
+  const auto len = static_cast<TimeSec>(segment.size());
+  std::vector<double> reference;
+  for (TimeSec start = from - 1500; start + len <= from - 600;
+       start += len / 2 + 1) {
+    const auto hist = series.window(start, start + len);
+    if (hist.size() == segment.size()) {
+      reference.push_back(normalizedDrift(hist));
+    }
+  }
+  double allowance = drift_sigmas;
+  if (reference.size() >= 4) {
+    allowance = std::max(allowance, 1.8 * fchain::percentile(reference, 90.0));
+  }
+  return drift <= allowance;
+}
+
+}  // namespace
+
+AdaptiveResult localizeRecordAdaptive(
+    const sim::RunRecord& record, const netdep::DependencyGraph* dependencies,
+    const FChainConfig& config, const AdaptiveWindowConfig& adaptive) {
+  AdaptiveResult out;
+  if (!record.violation_time.has_value() || adaptive.ladder.empty()) {
+    return out;
+  }
+  const TimeSec tv = *record.violation_time;
+
+  // The fluctuation models are window-independent; replay them once.
+  std::vector<NormalFluctuationModel> models;
+  models.reserve(record.metrics.size());
+  for (const auto& series : record.metrics) {
+    models.push_back(replayModel(series, tv + 1, config.predictor));
+  }
+
+  std::vector<ComponentFinding> findings;
+  for (std::size_t rung = 0; rung < adaptive.ladder.size(); ++rung) {
+    const TimeSec window = adaptive.ladder[rung];
+    out.chosen_window = window;
+    out.rungs_tried = rung + 1;
+
+    FChainConfig rung_config = config;
+    rung_config.lookback_sec = window;
+    AbnormalChangeSelector selector(rung_config);
+
+    findings.clear();
+    for (ComponentId id = 0; id < record.metrics.size(); ++id) {
+      if (auto finding = selector.analyzeComponent(id, record.metrics[id],
+                                                   models[id], tv)) {
+        findings.push_back(std::move(*finding));
+      }
+    }
+
+    const bool last_rung = rung + 1 == adaptive.ladder.size();
+    if (findings.empty()) {
+      if (last_rung) break;
+      continue;  // nothing visible yet: manifestation predates the window
+    }
+    const auto& earliest_finding =
+        *std::min_element(findings.begin(), findings.end(),
+                          [](const auto& a, const auto& b) {
+                            return a.onset < b.onset;
+                          });
+    const TimeSec earliest = earliest_finding.onset;
+    const TimeSec edge =
+        tv - window +
+        static_cast<TimeSec>(adaptive.edge_fraction *
+                             static_cast<double>(window));
+    if (earliest <= edge && !last_rung) {
+      continue;  // onset pinned at the window edge: likely truncated
+    }
+    // The earliest finding must sit on a quiet baseline; a drifting one
+    // means this window only sees the tail of a longer manifestation.
+    const auto& earliest_metric =
+        *std::min_element(earliest_finding.metrics.begin(),
+                          earliest_finding.metrics.end(),
+                          [](const auto& a, const auto& b) {
+                            return a.onset < b.onset;
+                          });
+    const auto& series =
+        record.metrics[earliest_finding.component].of(earliest_metric.metric);
+    if (!last_rung &&
+        !quietBaselineBefore(series, tv - window, earliest,
+                             adaptive.quiet_drift_sigmas)) {
+      continue;
+    }
+
+    IntegratedPinpointer pinpointer(rung_config);
+    out.result = pinpointer.pinpoint(std::move(findings),
+                                     record.metrics.size(), dependencies);
+    return out;
+  }
+
+  // Ladder exhausted: analyze with the widest window regardless.
+  FChainConfig final_config = config;
+  final_config.lookback_sec = adaptive.ladder.back();
+  IntegratedPinpointer pinpointer(final_config);
+  out.result = pinpointer.pinpoint(std::move(findings), record.metrics.size(),
+                                   dependencies);
+  return out;
+}
+
+}  // namespace fchain::core

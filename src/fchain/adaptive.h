@@ -1,0 +1,47 @@
+// Adaptive look-back window selection (the paper's stated ongoing work,
+// §III-F: "investigating an adaptive look-back window configuration scheme
+// by examining the metric changing speed").
+//
+// The look-back window must be "long enough to capture the fault
+// manifestation": the Hadoop DiskHog needs W = 500 s where everything else
+// is happiest at W = 100 s (Table I). Instead of a per-fault constant, the
+// adaptive scheme climbs a window ladder and stops as soon as the
+// manifestation is *fully contained*:
+//
+//   - if no component shows any abnormal change although the SLO is being
+//     violated, the manifestation predates the window -> widen;
+//   - if the earliest abnormal onset sits at the very edge of the window,
+//     the manifestation is likely truncated (the change was already in
+//     progress when the window opens) -> widen;
+//   - otherwise the window brackets the manifestation -> analyze here.
+#pragma once
+
+#include "fchain/fchain.h"
+
+namespace fchain::core {
+
+struct AdaptiveWindowConfig {
+  /// Window sizes tried in order (seconds).
+  std::vector<TimeSec> ladder = {100, 200, 400, 600};
+  /// The earliest onset must clear this fraction of the window from its
+  /// left edge, or the next rung is tried.
+  double edge_fraction = 0.15;
+  /// The window data *before* the earliest onset must be a quiet baseline:
+  /// if it drifts by more than this many robust sigmas, the manifestation
+  /// was already in progress when the window opens ("examining the metric
+  /// changing speed") and the next rung is tried.
+  double quiet_drift_sigmas = 2.5;
+};
+
+struct AdaptiveResult {
+  PinpointResult result;
+  TimeSec chosen_window = 0;
+  std::size_t rungs_tried = 0;
+};
+
+/// Runs the FChain pipeline with the adaptive window ladder.
+AdaptiveResult localizeRecordAdaptive(
+    const sim::RunRecord& record, const netdep::DependencyGraph* dependencies,
+    const FChainConfig& config = {}, const AdaptiveWindowConfig& adaptive = {});
+
+}  // namespace fchain::core

@@ -1,0 +1,29 @@
+#include "fchain/fchain.h"
+
+namespace fchain::core {
+
+PinpointResult localizeRecord(const sim::RunRecord& record,
+                              const netdep::DependencyGraph* dependencies,
+                              const FChainConfig& config) {
+  PinpointResult result;
+  if (!record.violation_time.has_value()) return result;
+  const TimeSec tv = *record.violation_time;
+
+  AbnormalChangeSelector selector(config);
+  std::vector<ComponentFinding> findings;
+  for (ComponentId id = 0; id < record.metrics.size(); ++id) {
+    // Reconstruct the slave's continuously learned model as of tv.
+    const auto model =
+        replayModel(record.metrics[id], tv + 1, config.predictor);
+    if (auto finding =
+            selector.analyzeComponent(id, record.metrics[id], model, tv)) {
+      findings.push_back(std::move(*finding));
+    }
+  }
+
+  IntegratedPinpointer pinpointer(config);
+  return pinpointer.pinpoint(std::move(findings), record.metrics.size(),
+                             dependencies);
+}
+
+}  // namespace fchain::core

@@ -1,0 +1,25 @@
+// Umbrella header for the FChain core library, plus the one-call offline
+// entry point used by the evaluation harness: run the whole FChain pipeline
+// (replayed fluctuation models -> abnormal change point selection ->
+// integrated pinpointing) over a recorded run.
+#pragma once
+
+#include "fchain/change_selector.h"
+#include "fchain/config.h"
+#include "fchain/fluctuation_model.h"
+#include "fchain/master.h"
+#include "fchain/pinpoint.h"
+#include "fchain/slave.h"
+#include "fchain/validation.h"
+#include "sim/simulator.h"
+
+namespace fchain::core {
+
+/// Runs FChain end to end over a recorded run. `dependencies` may be null
+/// (chronology-only fallback). Uses the record's SLO violation time; returns
+/// an empty result when the run never violated its SLO.
+PinpointResult localizeRecord(const sim::RunRecord& record,
+                              const netdep::DependencyGraph* dependencies,
+                              const FChainConfig& config = {});
+
+}  // namespace fchain::core

@@ -1,0 +1,45 @@
+#include "fchain/fluctuation_model.h"
+
+#include <algorithm>
+
+namespace fchain::core {
+
+namespace {
+std::array<markov::OnlinePredictor, kMetricCount> makePredictors(
+    TimeSec start_time, const markov::PredictorConfig& config) {
+  return {markov::OnlinePredictor(start_time, config),
+          markov::OnlinePredictor(start_time, config),
+          markov::OnlinePredictor(start_time, config),
+          markov::OnlinePredictor(start_time, config),
+          markov::OnlinePredictor(start_time, config),
+          markov::OnlinePredictor(start_time, config)};
+}
+}  // namespace
+
+NormalFluctuationModel::NormalFluctuationModel(
+    TimeSec start_time, const markov::PredictorConfig& config)
+    : predictors_(makePredictors(start_time, config)) {}
+
+void NormalFluctuationModel::observe(
+    const std::array<double, kMetricCount>& sample) {
+  for (std::size_t m = 0; m < kMetricCount; ++m) {
+    predictors_[m].observe(sample[m]);
+  }
+}
+
+NormalFluctuationModel replayModel(const MetricSeries& series, TimeSec until,
+                                   const markov::PredictorConfig& config) {
+  const TimeSec start = series.of(MetricKind::CpuUsage).startTime();
+  NormalFluctuationModel model(start, config);
+  const TimeSec end = std::min(until, series.endTime());
+  for (TimeSec t = start; t < end; ++t) {
+    std::array<double, kMetricCount> sample{};
+    for (MetricKind kind : kAllMetrics) {
+      sample[metricIndex(kind)] = series.of(kind).at(t);
+    }
+    model.observe(sample);
+  }
+  return model;
+}
+
+}  // namespace fchain::core

@@ -1,0 +1,101 @@
+#include "fchain/incident.h"
+
+#include <sstream>
+
+namespace fchain::core {
+
+IncidentReport diagnoseIncident(const sim::RunRecord& record,
+                                const sim::Simulation* snapshot,
+                                const DiagnosisOptions& options) {
+  IncidentReport report;
+  if (!record.violation_time.has_value()) return report;
+  report.diagnosed = true;
+  report.violation_time = *record.violation_time;
+
+  netdep::DependencyGraph dependencies;
+  if (options.discover_dependencies) {
+    dependencies = netdep::discoverDependencies(record);
+  }
+  report.dependency_edges = dependencies.edgeCount();
+  report.dependency_available = !dependencies.empty();
+
+  if (options.adaptive_window) {
+    auto adaptive = localizeRecordAdaptive(record, &dependencies,
+                                           options.config, options.adaptive);
+    report.result = std::move(adaptive.result);
+    report.lookback_window = adaptive.chosen_window;
+  } else {
+    report.result =
+        localizeRecord(record, &dependencies, options.config);
+    report.lookback_window = options.config.lookback_sec;
+  }
+
+  if (snapshot != nullptr && !report.result.external_factor &&
+      !report.result.pinpointed.empty()) {
+    OnlineValidator validator;
+    report.validated = validator.validate(*snapshot, report.result);
+  }
+  return report;
+}
+
+std::string formatIncidentReport(const IncidentReport& report,
+                                 const sim::RunRecord& record) {
+  std::ostringstream out;
+  if (!report.diagnosed) {
+    out << "no SLO violation in the record; nothing to diagnose\n";
+    return out.str();
+  }
+  auto name = [&](ComponentId id) -> const std::string& {
+    return record.app_spec.components[id].name;
+  };
+
+  out << "SLO violation at t=" << report.violation_time
+      << "  (look-back window " << report.lookback_window << " s, "
+      << (report.dependency_available
+              ? std::to_string(report.dependency_edges) +
+                    " dependency edges discovered"
+              : std::string("no dependency information — chronology only"))
+      << ")\n";
+
+  if (report.result.external_factor) {
+    out << "verdict: EXTERNAL FACTOR ("
+        << trendName(report.result.external_trend) << " trend) — "
+        << (report.result.external_trend == Trend::Up
+                ? "likely a workload increase; no component is at fault"
+                : "likely a shared-service degradation; no component is at "
+                  "fault")
+        << "\n";
+    return out.str();
+  }
+
+  out << "abnormal change propagation chain:\n";
+  for (const auto& finding : report.result.chain) {
+    out << "  t=" << finding.onset << "  " << name(finding.component)
+        << "  (" << trendName(finding.trend) << ";";
+    for (const auto& metric : finding.metrics) {
+      out << " " << metricName(metric.metric);
+    }
+    out << ")\n";
+  }
+
+  out << "pinpointed faulty component(s):";
+  if (report.result.pinpointed.empty()) {
+    out << " none";
+  }
+  for (ComponentId id : report.result.pinpointed) {
+    out << " " << name(id);
+  }
+  out << "\n";
+
+  if (report.validated.has_value()) {
+    out << "after online validation:";
+    if (report.validated->empty()) out << " none confirmed";
+    for (ComponentId id : *report.validated) {
+      out << " " << name(id);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace fchain::core

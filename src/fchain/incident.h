@@ -1,0 +1,55 @@
+// Incident reporting: the top of the public API.
+//
+// `diagnoseIncident` bundles the whole pipeline — dependency discovery,
+// adaptive-window localization, optional online validation — and returns a
+// structured report with the evidence behind the verdict, plus a
+// `formatIncidentReport` renderer for humans/on-call tooling. This is the
+// single call a downstream system integrates against.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "fchain/adaptive.h"
+#include "fchain/validation.h"
+#include "netdep/dependency.h"
+
+namespace fchain::core {
+
+struct DiagnosisOptions {
+  FChainConfig config;
+  AdaptiveWindowConfig adaptive;
+  /// Use the adaptive window ladder (otherwise config.lookback_sec fixed).
+  bool adaptive_window = true;
+  /// Discover dependencies from the record's traffic (otherwise none used).
+  bool discover_dependencies = true;
+};
+
+struct IncidentReport {
+  /// False when the record carries no SLO violation (nothing to diagnose).
+  bool diagnosed = false;
+  TimeSec violation_time = 0;
+  TimeSec lookback_window = 0;
+
+  /// The verdict.
+  PinpointResult result;
+  /// Validation outcome (set only when a snapshot was supplied).
+  std::optional<std::vector<ComponentId>> validated;
+
+  /// Evidence context.
+  std::size_t dependency_edges = 0;
+  bool dependency_available = false;
+};
+
+/// Runs the full diagnosis over a recorded incident. When `snapshot` is
+/// non-null, online validation refines the pinpointed set.
+IncidentReport diagnoseIncident(const sim::RunRecord& record,
+                                const sim::Simulation* snapshot = nullptr,
+                                const DiagnosisOptions& options = {});
+
+/// Multi-line human-readable rendering of the report (component names taken
+/// from the record).
+std::string formatIncidentReport(const IncidentReport& report,
+                                 const sim::RunRecord& record);
+
+}  // namespace fchain::core

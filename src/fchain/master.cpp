@@ -1,0 +1,32 @@
+#include "fchain/master.h"
+
+namespace fchain::core {
+
+PinpointResult FChainMaster::localize(
+    const std::vector<ComponentId>& components,
+    TimeSec violation_time) const {
+  std::vector<ComponentFinding> findings;
+  for (ComponentId id : components) {
+    for (const FChainSlave* slave : slaves_) {
+      if (!slave->monitors(id)) continue;
+      if (auto finding = slave->analyze(id, violation_time)) {
+        findings.push_back(std::move(*finding));
+      }
+      break;
+    }
+  }
+  return pinpointer_.pinpoint(std::move(findings), components.size(),
+                              &dependencies_);
+}
+
+PinpointResult FChainMaster::localizeAndValidate(
+    const std::vector<ComponentId>& components, TimeSec violation_time,
+    const sim::Simulation& snapshot, const ValidationConfig& validation) const {
+  PinpointResult result = localize(components, violation_time);
+  if (result.external_factor || result.pinpointed.empty()) return result;
+  OnlineValidator validator(validation);
+  result.pinpointed = validator.validate(snapshot, result);
+  return result;
+}
+
+}  // namespace fchain::core

@@ -1,0 +1,50 @@
+// FChain master (paper Fig. 1): runs on a dedicated server. When the SLO
+// monitor reports a performance anomaly at time tv, the master fans the
+// analysis request out to the slaves hosting the failing application's VMs,
+// collects their abnormal-change findings, runs integrated pinpointing
+// against the (offline-discovered) dependency graph, and optionally runs the
+// online validation pass to shed false alarms.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "fchain/pinpoint.h"
+#include "fchain/slave.h"
+#include "fchain/validation.h"
+
+namespace fchain::core {
+
+class FChainMaster {
+ public:
+  explicit FChainMaster(FChainConfig config = {})
+      : config_(config), pinpointer_(config) {}
+
+  /// Registers a slave; the master only keeps a handle, the data stays on
+  /// the slave's host. The slave must outlive the master.
+  void registerSlave(FChainSlave* slave) { slaves_.push_back(slave); }
+
+  /// Supplies the offline-discovered dependency graph (may be empty — e.g.
+  /// for stream processing systems, where discovery finds nothing).
+  void setDependencies(netdep::DependencyGraph graph) {
+    dependencies_ = std::move(graph);
+  }
+
+  /// Localizes the fault for the application made of `components`.
+  PinpointResult localize(const std::vector<ComponentId>& components,
+                          TimeSec violation_time) const;
+
+  /// Localize + online validation against a simulation snapshot.
+  PinpointResult localizeAndValidate(
+      const std::vector<ComponentId>& components, TimeSec violation_time,
+      const sim::Simulation& snapshot,
+      const ValidationConfig& validation = {}) const;
+
+ private:
+  FChainConfig config_;
+  IntegratedPinpointer pinpointer_;
+  std::vector<FChainSlave*> slaves_;
+  netdep::DependencyGraph dependencies_;
+};
+
+}  // namespace fchain::core

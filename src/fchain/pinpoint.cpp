@@ -1,0 +1,86 @@
+#include "fchain/pinpoint.h"
+
+#include <algorithm>
+
+namespace fchain::core {
+
+PinpointResult IntegratedPinpointer::pinpoint(
+    std::vector<ComponentFinding> findings, std::size_t total_components,
+    const netdep::DependencyGraph* dependencies) const {
+  PinpointResult result;
+  if (findings.empty()) return result;
+
+  std::sort(findings.begin(), findings.end(),
+            [](const ComponentFinding& a, const ComponentFinding& b) {
+              if (a.onset != b.onset) return a.onset < b.onset;
+              return a.component < b.component;
+            });
+  result.chain = findings;
+
+  // External-factor check: every component abnormal and *every* abnormal
+  // metric trending the same way -> workload change (up) or shared-service
+  // degradation (down). A single counter-trending metric anywhere (e.g. the
+  // spinning task's CPU burn during a stall) vetoes the external verdict.
+  const TimeSec onset_spread = findings.back().onset - findings.front().onset;
+  if (config_.detect_external_factor &&
+      findings.size() == total_components && total_components > 1 &&
+      onset_spread <= config_.external_max_spread_sec) {
+    const Trend trend = findings.front().trend;
+    const bool uniform = std::all_of(
+        findings.begin(), findings.end(), [trend](const ComponentFinding& f) {
+          return std::all_of(f.metrics.begin(), f.metrics.end(),
+                             [trend](const MetricFinding& m) {
+                               return m.trend == trend;
+                             });
+        });
+    if (uniform) {
+      result.external_factor = true;
+      result.external_trend = trend;
+      return result;  // nothing inside the application is pinpointed
+    }
+  }
+
+  // Chain head + concurrent faults.
+  const TimeSec head_onset = findings.front().onset;
+  std::vector<bool> pinned(findings.size(), false);
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    if (findings[i].onset - head_onset <= config_.concurrency_threshold_sec) {
+      pinned[i] = true;
+    }
+  }
+
+  // Dependency refinement: a suspicious component unreachable from (and
+  // unable to reach) every pinpointed component must hold its own fault.
+  const bool have_deps = config_.use_dependency && dependencies != nullptr &&
+                         !dependencies->empty();
+  if (have_deps) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t i = 0; i < findings.size(); ++i) {
+        if (pinned[i]) continue;
+        bool explained = false;
+        for (std::size_t j = 0; j < findings.size(); ++j) {
+          if (!pinned[j]) continue;
+          if (dependencies->connectedEitherWay(findings[j].component,
+                                               findings[i].component)) {
+            explained = true;
+            break;
+          }
+        }
+        if (!explained) {
+          pinned[i] = true;  // independent fault
+          changed = true;    // it may now explain later components
+        }
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    if (pinned[i]) result.pinpointed.push_back(findings[i].component);
+  }
+  std::sort(result.pinpointed.begin(), result.pinpointed.end());
+  return result;
+}
+
+}  // namespace fchain::core

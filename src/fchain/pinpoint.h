@@ -1,0 +1,50 @@
+// Integrated faulty component pinpointing (paper §II-C).
+//
+// 1. Sort abnormal components by onset into a propagation chain and pinpoint
+//    the head (earliest manifestation).
+// 2. Pinpoint every component whose onset is within the concurrency
+//    threshold of the chain head (concurrent faults).
+// 3. External-factor check: when *every* component is abnormal with the same
+//    trend direction, blame a workload increase (upward) or a shared-service
+//    problem (downward) instead of any component.
+// 4. Dependency refinement: an abnormal component with no dependency path to
+//    or from any pinpointed component cannot have been reached by anomaly
+//    propagation, so it carries an independent fault and is pinpointed too.
+//    When dependency information is unavailable (e.g. stream processing
+//    defeats the discovery tool), FChain falls back to chronology alone.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fchain/change_selector.h"
+#include "netdep/dependency.h"
+
+namespace fchain::core {
+
+struct PinpointResult {
+  std::vector<ComponentId> pinpointed;  ///< sorted ascending
+  /// All abnormal components, sorted by onset (the propagation chain).
+  std::vector<ComponentFinding> chain;
+  bool external_factor = false;
+  Trend external_trend = Trend::Flat;
+};
+
+class IntegratedPinpointer {
+ public:
+  explicit IntegratedPinpointer(FChainConfig config = {})
+      : config_(std::move(config)) {}
+
+  /// `findings`: abnormal components from the selectors (any order).
+  /// `total_components`: application size, for the external-factor check.
+  /// `dependencies`: discovered dependency graph; pass nullptr (or an empty
+  /// graph) when unavailable.
+  PinpointResult pinpoint(std::vector<ComponentFinding> findings,
+                          std::size_t total_components,
+                          const netdep::DependencyGraph* dependencies) const;
+
+ private:
+  FChainConfig config_;
+};
+
+}  // namespace fchain::core

@@ -1,0 +1,35 @@
+#include "fchain/slave.h"
+
+namespace fchain::core {
+
+void FChainSlave::addComponent(ComponentId id, TimeSec start_time) {
+  vms_.emplace(id,
+               VmState{MetricSeries(start_time),
+                       NormalFluctuationModel(
+                           start_time, selector_.config().predictor)});
+}
+
+std::vector<ComponentId> FChainSlave::components() const {
+  std::vector<ComponentId> ids;
+  ids.reserve(vms_.size());
+  for (const auto& [id, vm] : vms_) ids.push_back(id);
+  return ids;
+}
+
+void FChainSlave::ingest(ComponentId id,
+                         const std::array<double, kMetricCount>& sample) {
+  auto it = vms_.find(id);
+  if (it == vms_.end()) return;
+  it->second.series.append(sample);
+  it->second.model.observe(sample);
+}
+
+std::optional<ComponentFinding> FChainSlave::analyze(
+    ComponentId id, TimeSec violation_time) const {
+  const auto it = vms_.find(id);
+  if (it == vms_.end()) return std::nullopt;
+  return selector_.analyzeComponent(id, it->second.series, it->second.model,
+                                    violation_time);
+}
+
+}  // namespace fchain::core

@@ -1,0 +1,49 @@
+// FChain slave (paper Fig. 1): runs in Domain 0 of one cloud node, samples
+// the six system metrics of every local guest VM each second, and keeps the
+// per-metric normal fluctuation models up to date. When the master asks, it
+// runs the abnormal change point selector over its local components'
+// look-back windows and returns the findings — the compute-heavy selection
+// work thereby stays distributed across hosts (paper §III-G).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "fchain/change_selector.h"
+
+namespace fchain::core {
+
+class FChainSlave {
+ public:
+  explicit FChainSlave(HostId host, FChainConfig config = {})
+      : host_(host), selector_(std::move(config)) {}
+
+  HostId host() const { return host_; }
+
+  /// Registers a guest VM hosted on this node. `start_time` is the first
+  /// sample's timestamp.
+  void addComponent(ComponentId id, TimeSec start_time);
+
+  bool monitors(ComponentId id) const { return vms_.contains(id); }
+  std::vector<ComponentId> components() const;
+
+  /// Feeds one second of samples for one local VM.
+  void ingest(ComponentId id, const std::array<double, kMetricCount>& sample);
+
+  /// Master RPC: analyze one local component's look-back window.
+  std::optional<ComponentFinding> analyze(ComponentId id,
+                                          TimeSec violation_time) const;
+
+ private:
+  struct VmState {
+    MetricSeries series;
+    NormalFluctuationModel model;
+  };
+
+  HostId host_;
+  AbnormalChangeSelector selector_;
+  std::map<ComponentId, VmState> vms_;
+};
+
+}  // namespace fchain::core

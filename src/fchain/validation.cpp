@@ -1,0 +1,128 @@
+#include "fchain/validation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fchain::core {
+
+namespace {
+
+/// Applies the resource scaling implied by the fault-related metrics.
+void applyScaling(sim::Simulation& sim, const ComponentFinding& finding,
+                  double factor) {
+  sim::FaultState& fault = sim.app().faultStateOf(finding.component);
+  for (const MetricFinding& metric : finding.metrics) {
+    switch (metric.metric) {
+      case MetricKind::CpuUsage:
+      case MetricKind::NetworkIn:
+      case MetricKind::NetworkOut:
+        // Network pressure is absorbed by CPU headroom in the VM model.
+        fault.scale_cpu = std::max(fault.scale_cpu, factor);
+        break;
+      case MetricKind::MemoryUsage:
+        fault.scale_mem = std::max(fault.scale_mem, factor);
+        break;
+      case MetricKind::DiskRead:
+      case MetricKind::DiskWrite:
+        fault.scale_disk = std::max(fault.scale_disk, factor);
+        break;
+    }
+  }
+}
+
+/// Mean SLO signal (latency, or negated progress rate) over a what-if run's
+/// final third, where the scaling impact has settled.
+double settledSloSignal(sim::Simulation sim, std::size_t observe_sec) {
+  const TimeSec until = sim.now() + static_cast<TimeSec>(observe_sec);
+  const TimeSec settle =
+      sim.now() + static_cast<TimeSec>(observe_sec * 2 / 3);
+  double sum = 0.0;
+  std::size_t count = 0;
+  while (sim.now() < until) {
+    sim.step();
+    if (sim.now() >= settle) {
+      sum += sim.sloSignal();
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+}  // namespace
+
+bool OnlineValidator::validateComponent(const sim::Simulation& snapshot,
+                                        const ComponentFinding& finding) const {
+  sim::Simulation scaled = snapshot;
+  applyScaling(scaled, finding, config_.scale_factor);
+  const double scaled_signal =
+      settledSloSignal(std::move(scaled), config_.observe_sec);
+  const double control_signal =
+      settledSloSignal(snapshot, config_.observe_sec);
+
+  if (snapshot.batch()) {
+    // Batch SLO signal is -progress_rate (more negative = healthier).
+    return scaled_signal < control_signal - 1e-5;
+  }
+  return scaled_signal < config_.improvement_ratio * control_signal;
+}
+
+std::vector<ComponentId> OnlineValidator::validate(
+    const sim::Simulation& snapshot, const PinpointResult& result) const {
+  // Collect the findings behind the pinpointed set (they carry the
+  // fault-related metrics, hence which resource to scale).
+  std::vector<const ComponentFinding*> findings;
+  for (ComponentId id : result.pinpointed) {
+    const auto finding =
+        std::find_if(result.chain.begin(), result.chain.end(),
+                     [id](const ComponentFinding& f) {
+                       return f.component == id;
+                     });
+    if (finding != result.chain.end()) findings.push_back(&*finding);
+  }
+  if (findings.empty()) return {};
+
+  if (findings.size() == 1) {
+    return validateComponent(snapshot, *findings.front())
+               ? std::vector<ComponentId>{findings.front()->component}
+               : std::vector<ComponentId>{};
+  }
+
+  // Group validation. All what-if runs replay identical noise streams, so
+  // the comparisons are deterministic.
+  auto signalWithScaling =
+      [&](const std::vector<const ComponentFinding*>& scaled_set) {
+        sim::Simulation what_if = snapshot;
+        for (const ComponentFinding* finding : scaled_set) {
+          applyScaling(what_if, *finding, config_.scale_factor);
+        }
+        return settledSloSignal(std::move(what_if), config_.observe_sec);
+      };
+
+  const double signal_none = signalWithScaling({});
+  const double signal_all = signalWithScaling(findings);
+  if (signal_all >= config_.improvement_ratio * signal_none) {
+    // Scaling everything did not recover the SLO: the validation cannot
+    // prove or refute anything, so the pinpointed set stands.
+    return result.pinpointed;
+  }
+
+  // Leave-one-out attribution: removing a true culprit's scaling gives back
+  // a noticeable share of the recovered SLO headroom.
+  const double headroom = signal_none - signal_all;
+  std::vector<ComponentId> confirmed;
+  for (std::size_t skip = 0; skip < findings.size(); ++skip) {
+    std::vector<const ComponentFinding*> without;
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+      if (i != skip) without.push_back(findings[i]);
+    }
+    const double signal_without = signalWithScaling(without);
+    if (signal_without >
+        signal_all + (1.0 - config_.improvement_ratio) * headroom) {
+      confirmed.push_back(findings[skip]->component);
+    }
+  }
+  std::sort(confirmed.begin(), confirmed.end());
+  return confirmed;
+}
+
+}  // namespace fchain::core

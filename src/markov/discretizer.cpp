@@ -1,0 +1,49 @@
+#include "markov/discretizer.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fchain::markov {
+
+Discretizer::Discretizer(std::size_t bins, std::size_t calibration_samples,
+                         double padding)
+    : bins_(bins), calibration_samples_(calibration_samples),
+      padding_(padding) {
+  if (bins_ == 0) throw std::invalid_argument("Discretizer needs >= 1 bin");
+  buffer_.reserve(calibration_samples_);
+}
+
+bool Discretizer::observe(double value) {
+  if (calibrated_) return true;
+  buffer_.push_back(value);
+  if (buffer_.size() >= calibration_samples_) finalizeRange();
+  return calibrated_;
+}
+
+void Discretizer::finalizeRange() {
+  const auto [lo_it, hi_it] = std::minmax_element(buffer_.begin(), buffer_.end());
+  double lo = *lo_it;
+  double hi = *hi_it;
+  double span = hi - lo;
+  if (span <= 0.0) span = std::max(1.0, std::abs(hi) * 0.1);
+  lo_ = lo - padding_ * span;
+  hi_ = hi + padding_ * span;
+  width_ = (hi_ - lo_) / static_cast<double>(bins_);
+  calibrated_ = true;
+  buffer_.clear();
+  buffer_.shrink_to_fit();
+}
+
+std::size_t Discretizer::stateOf(double value) const {
+  if (!calibrated_) throw std::logic_error("Discretizer not calibrated");
+  const auto raw = static_cast<std::ptrdiff_t>((value - lo_) / width_);
+  return static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(
+      raw, 0, static_cast<std::ptrdiff_t>(bins_) - 1));
+}
+
+double Discretizer::centerOf(std::size_t state) const {
+  if (!calibrated_) throw std::logic_error("Discretizer not calibrated");
+  return lo_ + (static_cast<double>(state) + 0.5) * width_;
+}
+
+}  // namespace fchain::markov

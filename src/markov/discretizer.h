@@ -1,0 +1,53 @@
+// Value discretization for the discrete-time Markov-chain predictor.
+//
+// PRESS [12] discretizes each metric's value range into equal-width states.
+// Our discretizer calibrates its range from the first samples it sees and
+// then keeps the binning stable (Markov transition counts stay meaningful);
+// values outside the calibrated range clamp into the edge states. A faulty
+// metric that leaves the calibrated range therefore predicts poorly — which
+// is exactly the signal FChain's predictability test relies on.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fchain::markov {
+
+class Discretizer {
+ public:
+  /// `bins`: number of states. `calibration_samples`: how many samples are
+  /// buffered to fix the range. `padding`: fraction of the observed range
+  /// added on both sides so mild drift does not clamp immediately.
+  explicit Discretizer(std::size_t bins = 40,
+                       std::size_t calibration_samples = 60,
+                       double padding = 0.25);
+
+  /// Feeds a sample. Returns true once the range is calibrated.
+  bool observe(double value);
+
+  bool calibrated() const { return calibrated_; }
+  std::size_t bins() const { return bins_; }
+
+  /// State index for a value. Requires calibrated().
+  std::size_t stateOf(double value) const;
+
+  /// Center value of a state. Requires calibrated().
+  double centerOf(std::size_t state) const;
+
+  double rangeLo() const { return lo_; }
+  double rangeHi() const { return hi_; }
+
+ private:
+  void finalizeRange();
+
+  std::size_t bins_;
+  std::size_t calibration_samples_;
+  double padding_;
+  std::vector<double> buffer_;
+  bool calibrated_ = false;
+  double lo_ = 0.0;
+  double hi_ = 1.0;
+  double width_ = 1.0;
+};
+
+}  // namespace fchain::markov

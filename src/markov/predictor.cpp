@@ -1,0 +1,50 @@
+#include "markov/predictor.h"
+
+#include <cmath>
+
+namespace fchain::markov {
+
+OnlinePredictor::OnlinePredictor(TimeSec start_time,
+                                 const PredictorConfig& config)
+    : discretizer_(config.bins, config.calibration_samples,
+                   config.range_padding),
+      model_(config.bins, config.decay, config.laplace),
+      errors_(start_time) {}
+
+double OnlinePredictor::observe(double value) {
+  double error = 0.0;
+  if (!discretizer_.calibrated()) {
+    discretizer_.observe(value);
+    errors_.append(0.0);
+    return 0.0;
+  }
+
+  if (predicted_next_.has_value()) {
+    error = std::fabs(value - *predicted_next_);
+  }
+  errors_.append(error);
+
+  const std::size_t state = discretizer_.stateOf(value);
+  if (last_state_.has_value()) {
+    model_.recordTransition(*last_state_, state);
+  }
+  last_state_ = state;
+
+  // Predict the next sample as the expectation over next states; fall back
+  // to persistence (the raw value) for never-seen states so that the first
+  // excursion into new territory scores by how far it keeps moving.
+  if (model_.seenState(state)) {
+    predicted_next_ = discretizer_.centerOf(0) +
+                      (discretizer_.centerOf(1) - discretizer_.centerOf(0)) *
+                          model_.expectedNextState(state);
+  } else {
+    predicted_next_ = value;
+  }
+  return error;
+}
+
+std::optional<double> OnlinePredictor::predictNext() const {
+  return predicted_next_;
+}
+
+}  // namespace fchain::markov

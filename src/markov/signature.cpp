@@ -1,0 +1,75 @@
+#include "markov/signature.h"
+
+#include <cmath>
+#include <vector>
+
+namespace fchain::markov {
+
+void SignaturePredictor::observe(double value) {
+  history_.push_back(value);
+  while (history_.size() > config_.history) history_.pop_front();
+
+  if (++since_refresh_ < config_.refresh &&
+      (period_.has_value() || history_.size() % config_.refresh != 0)) {
+    return;
+  }
+  since_refresh_ = 0;
+
+  const std::vector<double> window(history_.begin(), history_.end());
+  const auto dominant = signal::dominantPeriod(window, config_.min_period,
+                                               config_.max_period);
+  if (dominant.has_value() &&
+      dominant->power_fraction >= config_.min_power_fraction &&
+      history_.size() >= 2 * dominant->period) {
+    period_ = dominant->period;
+  } else {
+    period_ = std::nullopt;
+  }
+}
+
+std::optional<double> SignaturePredictor::predictNext() const {
+  if (!period_.has_value()) return std::nullopt;
+  const std::size_t period = *period_;
+  double sum = 0.0;
+  std::size_t count = 0;
+  // The next sample sits at offset history_.size(); its pattern siblings
+  // are one period (minus one step) back, two periods back, ...
+  for (std::size_t k = 1; k <= config_.pattern_depth; ++k) {
+    const std::size_t back = k * period;
+    if (back > history_.size()) break;
+    sum += history_[history_.size() - back];
+    ++count;
+  }
+  if (count == 0) return std::nullopt;
+  return sum / static_cast<double>(count);
+}
+
+HybridPredictor::HybridPredictor(TimeSec start_time,
+                                 const PredictorConfig& markov_config,
+                                 const SignatureConfig& signature_config)
+    : markov_(start_time, markov_config), signature_(signature_config),
+      errors_(start_time) {}
+
+double HybridPredictor::observe(double value) {
+  double error = 0.0;
+  if (last_prediction_.has_value()) {
+    error = std::fabs(value - *last_prediction_);
+  }
+  errors_.append(error);
+
+  // Both models stay warm; the active one serves the next prediction.
+  markov_.observe(value);
+  signature_.observe(value);
+  if (auto from_signature = signature_.predictNext()) {
+    last_prediction_ = from_signature;
+  } else {
+    last_prediction_ = markov_.predictNext();
+  }
+  return error;
+}
+
+std::optional<double> HybridPredictor::predictNext() const {
+  return last_prediction_;
+}
+
+}  // namespace fchain::markov

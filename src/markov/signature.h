@@ -1,0 +1,85 @@
+// Signature-driven prediction (the other half of PRESS [12]).
+//
+// PRESS first checks whether a metric carries a *repeating pattern*
+// (periodogram: one period concentrating a large share of the signal
+// energy). If so, it predicts from the pattern — the average of the values
+// one period, two periods, ... back — which beats a state-based model on
+// strongly periodic metrics (batch jobs, periodic merges, cron-like load).
+// Otherwise it falls back to the state-driven Markov predictor.
+//
+// The HybridPredictor packages the PRESS decision: it maintains both
+// predictors, re-evaluates the periodicity verdict on a fixed cadence, and
+// serves predictions (and error bookkeeping) from the active mode.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "common/time_series.h"
+#include "markov/predictor.h"
+#include "signal/spectrum.h"
+
+namespace fchain::markov {
+
+struct SignatureConfig {
+  /// History kept for pattern extraction (samples).
+  std::size_t history = 1800;
+  /// Periodicity is re-evaluated every `refresh` samples.
+  std::size_t refresh = 300;
+  /// Minimum share of non-DC energy the dominant period must hold.
+  double min_power_fraction = 0.35;
+  /// Period search band (samples).
+  std::size_t min_period = 4;
+  std::size_t max_period = 600;
+  /// Periods averaged for the signature prediction.
+  std::size_t pattern_depth = 4;
+};
+
+/// Pure signature predictor: predicts x[t] as the mean of
+/// x[t - P], x[t - 2P], ..., once a dominant period P is locked in.
+class SignaturePredictor {
+ public:
+  explicit SignaturePredictor(const SignatureConfig& config = {})
+      : config_(config) {}
+
+  /// Feeds one sample; re-detects the period on the refresh cadence.
+  void observe(double value);
+
+  /// Prediction for the next sample; nullopt until a period is locked.
+  std::optional<double> predictNext() const;
+
+  std::optional<std::size_t> period() const { return period_; }
+
+ private:
+  SignatureConfig config_;
+  std::deque<double> history_;
+  std::size_t since_refresh_ = 0;
+  std::optional<std::size_t> period_;
+};
+
+/// PRESS-style hybrid: signature mode when the metric is strongly periodic,
+/// state-driven Markov otherwise. Interface mirrors OnlinePredictor.
+class HybridPredictor {
+ public:
+  HybridPredictor(TimeSec start_time, const PredictorConfig& markov_config = {},
+                  const SignatureConfig& signature_config = {});
+
+  /// Feeds one sample; returns the absolute error of the previous
+  /// prediction (whichever mode made it).
+  double observe(double value);
+
+  std::optional<double> predictNext() const;
+
+  /// True while the signature mode is active.
+  bool signatureMode() const { return signature_.period().has_value(); }
+
+  const TimeSeries& errors() const { return errors_; }
+
+ private:
+  OnlinePredictor markov_;
+  SignaturePredictor signature_;
+  TimeSeries errors_;
+  std::optional<double> last_prediction_;
+};
+
+}  // namespace fchain::markov

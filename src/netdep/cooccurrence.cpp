@@ -1,0 +1,103 @@
+#include "netdep/cooccurrence.h"
+
+#include <algorithm>
+#include <map>
+
+namespace fchain::netdep {
+
+namespace {
+
+using EdgeKey = std::pair<ComponentId, ComponentId>;
+
+/// Flow start timestamps per directed pair, after gap-based segmentation
+/// (consecutive events closer than the gap threshold belong to one flow).
+std::map<EdgeKey, std::vector<double>> flowStarts(
+    std::vector<FlowEvent>& trace, double gap_threshold) {
+  std::sort(trace.begin(), trace.end(),
+            [](const FlowEvent& a, const FlowEvent& b) {
+              if (a.from != b.from) return a.from < b.from;
+              if (a.to != b.to) return a.to < b.to;
+              return a.start_sec < b.start_sec;
+            });
+  std::map<EdgeKey, std::vector<double>> starts;
+  std::size_t i = 0;
+  while (i < trace.size()) {
+    const EdgeKey key{trace[i].from, trace[i].to};
+    auto& list = starts[key];
+    double flow_end = -1e18;
+    std::size_t j = i;
+    while (j < trace.size() && trace[j].from == key.first &&
+           trace[j].to == key.second) {
+      if (trace[j].start_sec - flow_end > gap_threshold) {
+        list.push_back(trace[j].start_sec);
+      }
+      flow_end = std::max(flow_end, trace[j].endSec());
+      ++j;
+    }
+    i = j;
+  }
+  return starts;
+}
+
+}  // namespace
+
+std::vector<CoOccurrenceEdge> coOccurrenceStatistics(
+    std::size_t component_count, std::vector<FlowEvent> trace,
+    const DiscoveryConfig& discovery, const CoOccurrenceConfig& config) {
+  const auto starts = flowStarts(trace, discovery.gap_threshold_sec);
+
+  std::vector<CoOccurrenceEdge> edges;
+  for (const auto& [parent_key, parent_starts] : starts) {
+    if (parent_starts.size() < config.min_samples) continue;
+    const ComponentId middle = parent_key.second;
+    for (const auto& [child_key, child_starts] : starts) {
+      if (child_key.first != middle) continue;
+      if (child_key.second == parent_key.first) continue;  // the reply path
+      if (child_starts.empty()) continue;
+
+      std::size_t hits = 0;
+      for (double t : parent_starts) {
+        // Any child flow starting in [t, t + window]?
+        const auto it =
+            std::lower_bound(child_starts.begin(), child_starts.end(), t);
+        if (it != child_starts.end() && *it <= t + config.window_sec) {
+          ++hits;
+        }
+      }
+      CoOccurrenceEdge edge;
+      edge.parent_from = parent_key.first;
+      edge.middle = middle;
+      edge.child_to = child_key.second;
+      edge.samples = parent_starts.size();
+      edge.probability =
+          static_cast<double>(hits) / static_cast<double>(parent_starts.size());
+      if (component_count == 0 ||
+          (edge.parent_from < component_count &&
+           edge.child_to < component_count)) {
+        edges.push_back(edge);
+      }
+    }
+  }
+  return edges;
+}
+
+DependencyGraph inferCoOccurrence(std::size_t component_count,
+                                  std::vector<FlowEvent> trace,
+                                  const DiscoveryConfig& discovery,
+                                  const CoOccurrenceConfig& config) {
+  // Directly observed client-facing edges.
+  DependencyGraph graph =
+      discoverDependencies(component_count, trace, discovery);
+  // Plus the causally inferred downstream dependencies.
+  for (const auto& edge : coOccurrenceStatistics(component_count,
+                                                 std::move(trace), discovery,
+                                                 config)) {
+    if (edge.probability >= config.min_probability &&
+        edge.samples >= config.min_samples) {
+      graph.addEdge(edge.middle, edge.child_to);
+    }
+  }
+  return graph;
+}
+
+}  // namespace fchain::netdep

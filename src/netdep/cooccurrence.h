@@ -1,0 +1,51 @@
+// Sherlock-style co-occurrence dependency inference.
+//
+// Gap-based flow counting (dependency.h) answers "who talks to whom"; the
+// co-occurrence analysis answers the stronger question "whose requests
+// *cause* whose": if flows on edge B->C reliably start within a short
+// window after flows on edge A->B, then B's handling of A's requests
+// depends on C. This is how Sherlock [11] assembles multi-level dependency
+// graphs from nothing but packet timestamps — and it inherits the same
+// failure mode: gap-free streams yield one flow per edge, hence no start
+// events to correlate.
+#pragma once
+
+#include "netdep/dependency.h"
+
+namespace fchain::netdep {
+
+struct CoOccurrenceConfig {
+  /// A child flow must start within this window after the parent flow's
+  /// start to count as co-occurring.
+  double window_sec = 0.5;
+  /// Conditional probability P(child start | parent start) above which the
+  /// dependency is accepted.
+  double min_probability = 0.5;
+  /// Parent flow starts required before the estimate is trusted.
+  std::size_t min_samples = 50;
+};
+
+struct CoOccurrenceEdge {
+  ComponentId parent_from = 0;  ///< the triggering edge A -> B
+  ComponentId middle = 0;       ///< B, the service whose dependency this is
+  ComponentId child_to = 0;     ///< the dependent edge B -> C
+  double probability = 0.0;
+  std::size_t samples = 0;
+};
+
+/// Full co-occurrence statistics for every edge pair (A->B, B->C) sharing a
+/// middle component; ordering/causality analysis over a packet trace.
+std::vector<CoOccurrenceEdge> coOccurrenceStatistics(
+    std::size_t component_count, std::vector<FlowEvent> trace,
+    const DiscoveryConfig& discovery = {},
+    const CoOccurrenceConfig& config = {});
+
+/// Dependency graph implied by the co-occurrence analysis: an edge B -> C
+/// for every accepted (A->B, B->C) pair, plus the client-facing edges A -> B
+/// themselves (they are directly observed).
+DependencyGraph inferCoOccurrence(std::size_t component_count,
+                                  std::vector<FlowEvent> trace,
+                                  const DiscoveryConfig& discovery = {},
+                                  const CoOccurrenceConfig& config = {});
+
+}  // namespace fchain::netdep

@@ -1,0 +1,136 @@
+#include "netdep/dependency.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace fchain::netdep {
+
+std::vector<FlowEvent> synthesizePacketTrace(const sim::RunRecord& record,
+                                             const PacketTraceConfig& config) {
+  std::vector<FlowEvent> trace;
+  Rng rng(config.seed);
+  const bool streaming = record.app_spec.wire_style == sim::WireStyle::Streaming;
+
+  for (std::size_t e = 0; e < record.edge_traffic.size(); ++e) {
+    const auto& edge = record.app_spec.edges[e];
+    const auto& traffic = record.edge_traffic[e];
+    Rng edge_rng = rng.fork();
+    for (std::size_t t = 0; t < traffic.size(); ++t) {
+      const double units = traffic[t];
+      if (units <= 0.0) continue;
+      const double tick = static_cast<double>(t);
+      if (streaming) {
+        // Tuples flow continuously: activity covers the entire second, so
+        // consecutive ticks abut and gap-based segmentation sees one flow.
+        trace.push_back(FlowEvent{edge.from, edge.to, tick, 1.0});
+        continue;
+      }
+      // Request/reply: traffic arrives as distinct short sessions.
+      auto sessions = static_cast<std::size_t>(units / config.units_per_session);
+      if (sessions == 0) sessions = 1;
+      sessions = std::min<std::size_t>(sessions, 50);
+      for (std::size_t s = 0; s < sessions; ++s) {
+        const double duration = edge_rng.uniform(config.min_session_sec,
+                                                 config.max_session_sec);
+        const double start =
+            tick + edge_rng.uniform(0.0, std::max(1e-3, 1.0 - duration));
+        trace.push_back(FlowEvent{edge.from, edge.to, start, duration});
+      }
+    }
+  }
+
+  std::sort(trace.begin(), trace.end(),
+            [](const FlowEvent& a, const FlowEvent& b) {
+              if (a.from != b.from) return a.from < b.from;
+              if (a.to != b.to) return a.to < b.to;
+              return a.start_sec < b.start_sec;
+            });
+  return trace;
+}
+
+void DependencyGraph::addEdge(ComponentId from, ComponentId to) {
+  if (from >= n_ || to >= n_ || from == to) return;
+  auto& row = adjacency_[from];
+  if (std::find(row.begin(), row.end(), to) == row.end()) row.push_back(to);
+}
+
+bool DependencyGraph::hasEdge(ComponentId from, ComponentId to) const {
+  if (from >= n_) return false;
+  const auto& row = adjacency_[from];
+  return std::find(row.begin(), row.end(), to) != row.end();
+}
+
+std::size_t DependencyGraph::edgeCount() const {
+  std::size_t count = 0;
+  for (const auto& row : adjacency_) count += row.size();
+  return count;
+}
+
+bool DependencyGraph::reaches(ComponentId from, ComponentId to) const {
+  if (from >= n_ || to >= n_) return false;
+  if (from == to) return true;
+  std::vector<bool> seen(n_, false);
+  std::deque<ComponentId> frontier{from};
+  seen[from] = true;
+  while (!frontier.empty()) {
+    const ComponentId cur = frontier.front();
+    frontier.pop_front();
+    for (ComponentId next : adjacency_[cur]) {
+      if (next == to) return true;
+      if (!seen[next]) {
+        seen[next] = true;
+        frontier.push_back(next);
+      }
+    }
+  }
+  return false;
+}
+
+DependencyGraph discoverDependencies(std::size_t component_count,
+                                     std::vector<FlowEvent> trace,
+                                     const DiscoveryConfig& config) {
+  std::sort(trace.begin(), trace.end(),
+            [](const FlowEvent& a, const FlowEvent& b) {
+              if (a.from != b.from) return a.from < b.from;
+              if (a.to != b.to) return a.to < b.to;
+              return a.start_sec < b.start_sec;
+            });
+
+  DependencyGraph graph(component_count);
+  std::size_t i = 0;
+  while (i < trace.size()) {
+    // One directed pair's events form a contiguous range after sorting.
+    std::size_t j = i;
+    std::size_t flows = 0;
+    double flow_end = -1e18;
+    while (j < trace.size() && trace[j].from == trace[i].from &&
+           trace[j].to == trace[i].to) {
+      if (trace[j].start_sec - flow_end > config.gap_threshold_sec) {
+        ++flows;  // idle gap: a new flow starts
+      }
+      flow_end = std::max(flow_end, trace[j].endSec());
+      ++j;
+    }
+    if (flows >= config.min_flows) {
+      graph.addEdge(trace[i].from, trace[i].to);
+    }
+    i = j;
+  }
+  return graph;
+}
+
+DependencyGraph discoverDependencies(const sim::RunRecord& record,
+                                     const DiscoveryConfig& config) {
+  return discoverDependencies(record.app_spec.components.size(),
+                              synthesizePacketTrace(record), config);
+}
+
+DependencyGraph fromTopology(const sim::ApplicationSpec& spec) {
+  DependencyGraph graph(spec.components.size());
+  for (const auto& edge : spec.edges) {
+    if (edge.weight > 0.0) graph.addEdge(edge.from, edge.to);
+  }
+  return graph;
+}
+
+}  // namespace fchain::netdep

@@ -1,0 +1,122 @@
+#include "netdep/orion.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace fchain::netdep {
+
+namespace {
+
+using EdgeKey = std::pair<ComponentId, ComponentId>;
+
+std::map<EdgeKey, std::vector<double>> flowStartsByEdge(
+    std::vector<FlowEvent>& trace, double gap_threshold) {
+  std::sort(trace.begin(), trace.end(),
+            [](const FlowEvent& a, const FlowEvent& b) {
+              if (a.from != b.from) return a.from < b.from;
+              if (a.to != b.to) return a.to < b.to;
+              return a.start_sec < b.start_sec;
+            });
+  std::map<EdgeKey, std::vector<double>> starts;
+  std::size_t i = 0;
+  while (i < trace.size()) {
+    const EdgeKey key{trace[i].from, trace[i].to};
+    auto& list = starts[key];
+    double flow_end = -1e18;
+    std::size_t j = i;
+    while (j < trace.size() && trace[j].from == key.first &&
+           trace[j].to == key.second) {
+      if (trace[j].start_sec - flow_end > gap_threshold) {
+        list.push_back(trace[j].start_sec);
+      }
+      flow_end = std::max(flow_end, trace[j].endSec());
+      ++j;
+    }
+    i = j;
+  }
+  return starts;
+}
+
+}  // namespace
+
+std::vector<DelaySpike> delaySpikes(std::size_t component_count,
+                                    std::vector<FlowEvent> trace,
+                                    const DiscoveryConfig& discovery,
+                                    const OrionConfig& config) {
+  const auto starts = flowStartsByEdge(trace, discovery.gap_threshold_sec);
+  const auto bins =
+      static_cast<std::size_t>(config.max_delay_sec / config.bin_width_sec);
+
+  std::vector<DelaySpike> spikes;
+  for (const auto& [parent_key, parent_starts] : starts) {
+    const ComponentId middle = parent_key.second;
+    for (const auto& [child_key, child_starts] : starts) {
+      if (child_key.first != middle) continue;
+      if (child_key.second == parent_key.first) continue;  // reply path
+      if (child_starts.empty()) continue;
+
+      // Histogram the delay from each parent start to the first child
+      // start that follows it.
+      std::vector<std::size_t> histogram(bins, 0);
+      std::size_t samples = 0;
+      for (double t : parent_starts) {
+        const auto it =
+            std::lower_bound(child_starts.begin(), child_starts.end(), t);
+        if (it == child_starts.end()) continue;
+        const double delay = *it - t;
+        if (delay >= config.max_delay_sec) continue;
+        ++histogram[static_cast<std::size_t>(delay / config.bin_width_sec)];
+        ++samples;
+      }
+      if (samples < config.min_samples) continue;
+
+      // Strongest 3-bin band.
+      std::size_t best_bin = 0;
+      std::size_t best_mass = 0;
+      for (std::size_t b = 0; b < bins; ++b) {
+        std::size_t mass = histogram[b];
+        if (b > 0) mass += histogram[b - 1];
+        if (b + 1 < bins) mass += histogram[b + 1];
+        if (mass > best_mass) {
+          best_mass = mass;
+          best_bin = b;
+        }
+      }
+      const double uniform_mass =
+          3.0 * static_cast<double>(samples) / static_cast<double>(bins);
+
+      DelaySpike spike;
+      spike.middle = middle;
+      spike.child_to = child_key.second;
+      spike.delay_sec =
+          (static_cast<double>(best_bin) + 0.5) * config.bin_width_sec;
+      spike.mass_ratio =
+          static_cast<double>(best_mass) / std::max(1e-9, uniform_mass);
+      spike.samples = samples;
+      if (component_count == 0 ||
+          (spike.middle < component_count &&
+           spike.child_to < component_count)) {
+        spikes.push_back(spike);
+      }
+    }
+  }
+  return spikes;
+}
+
+DependencyGraph inferOrion(std::size_t component_count,
+                           std::vector<FlowEvent> trace,
+                           const DiscoveryConfig& discovery,
+                           const OrionConfig& config) {
+  DependencyGraph graph =
+      discoverDependencies(component_count, trace, discovery);
+  for (const auto& spike :
+       delaySpikes(component_count, std::move(trace), discovery, config)) {
+    if (spike.mass_ratio >= config.spike_ratio) {
+      graph.addEdge(spike.middle, spike.child_to);
+    }
+  }
+  return graph;
+}
+
+}  // namespace fchain::netdep

@@ -1,0 +1,54 @@
+// Orion-style dependency discovery from delay distributions (related work
+// [27]: Chen et al., "Automating network application dependency discovery",
+// OSDI 2008).
+//
+// Orion's observation: if service B depends on service C, the delay between
+// B-bound traffic and C-bound traffic concentrates in a *typical spike* of
+// the delay distribution (the service's processing time), whereas unrelated
+// service pairs see delays spread across the whole range. This module
+// histograms the start-to-start delays between candidate edge pairs and
+// accepts a dependency when one narrow delay band holds an outsized share
+// of the mass.
+//
+// Like every flow-based technique, it inherits the gap-free-stream failure
+// mode the paper documents for System S.
+#pragma once
+
+#include "netdep/dependency.h"
+
+namespace fchain::netdep {
+
+struct OrionConfig {
+  /// Delay histogram range and resolution (seconds).
+  double max_delay_sec = 2.0;
+  double bin_width_sec = 0.05;
+  /// Minimum number of delay samples before a verdict is attempted.
+  std::size_t min_samples = 100;
+  /// A spike is accepted when its 3-bin band holds at least this multiple
+  /// of the mass a uniform distribution would put there.
+  double spike_ratio = 8.0;
+};
+
+struct DelaySpike {
+  ComponentId middle = 0;   ///< B: the service whose dependency is inferred
+  ComponentId child_to = 0; ///< C: what B calls
+  double delay_sec = 0.0;   ///< location of the typical spike
+  double mass_ratio = 0.0;  ///< spike mass vs uniform expectation
+  std::size_t samples = 0;
+};
+
+/// Delay-spike statistics for every edge pair (A->B, B->C) sharing a middle
+/// component.
+std::vector<DelaySpike> delaySpikes(std::size_t component_count,
+                                    std::vector<FlowEvent> trace,
+                                    const DiscoveryConfig& discovery = {},
+                                    const OrionConfig& config = {});
+
+/// Dependency graph accepted by the delay-spike criterion, unioned with the
+/// directly observed flow-count edges.
+DependencyGraph inferOrion(std::size_t component_count,
+                           std::vector<FlowEvent> trace,
+                           const DiscoveryConfig& discovery = {},
+                           const OrionConfig& config = {});
+
+}  // namespace fchain::netdep

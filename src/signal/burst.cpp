@@ -1,0 +1,45 @@
+#include "signal/burst.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+#include "signal/fft.h"
+
+namespace fchain::signal {
+
+std::vector<double> burstSignal(std::span<const double> xs,
+                                const BurstConfig& config) {
+  const std::size_t n = xs.size();
+  if (n < 2) return std::vector<double>(n, 0.0);
+
+  // Remove the mean before padding so zero-padding does not fabricate an
+  // artificial step (which would leak energy into every frequency).
+  const double m = fchain::mean(xs);
+  std::vector<double> centered(xs.begin(), xs.end());
+  for (double& x : centered) x -= m;
+
+  auto spectrum = fftReal(centered);
+  const std::size_t len = spectrum.size();
+  // Real-signal spectrum is conjugate-symmetric: bins i and len-i carry the
+  // same physical frequency min(i, len-i) in [0, len/2]. "Top 90 % of
+  // frequencies" keeps every bin whose physical frequency lies in the upper
+  // 90 % of [0, len/2], i.e. zeroes the lowest 10 % (including DC).
+  const double nyquist = static_cast<double>(len / 2);
+  const double cutoff = (1.0 - config.high_freq_fraction) * nyquist;
+  for (std::size_t i = 0; i < len; ++i) {
+    const double freq = static_cast<double>(std::min(i, len - i));
+    if (freq < cutoff || i == 0) spectrum[i] = 0.0;
+  }
+  return ifftToReal(std::move(spectrum), n);
+}
+
+double expectedPredictionError(std::span<const double> xs,
+                               const BurstConfig& config) {
+  if (xs.size() < 2) return 0.0;
+  auto burst = burstSignal(xs, config);
+  for (double& b : burst) b = std::fabs(b);
+  return fchain::percentile(burst, config.magnitude_percentile);
+}
+
+}  // namespace fchain::signal

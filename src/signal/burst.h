@@ -1,0 +1,35 @@
+// Burstiness-derived dynamic prediction-error threshold (paper §II-B).
+//
+// For a candidate change point x_t, FChain takes the surrounding window
+// X = x_{t-Q} .. x_{t+Q}, FFTs it, treats the top-k fraction (default 90 %)
+// of frequencies as "high" frequencies, inverse-FFTs only those components to
+// synthesize a *burst signal*, and uses a high percentile (default 90th) of
+// the burst magnitude as the *expected prediction error* at x_t. A bursty
+// series therefore tolerates larger prediction errors before a change point
+// is declared abnormal; a stable series gets a tight threshold.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace fchain::signal {
+
+struct BurstConfig {
+  /// Fraction of the frequency spectrum counted as high frequency, from the
+  /// top (paper: "top k (e.g., 90%) frequencies").
+  double high_freq_fraction = 0.9;
+  /// Percentile of |burst| used as the expected prediction error.
+  double magnitude_percentile = 90.0;
+};
+
+/// Synthesizes the burst (high-frequency) component of `xs`.
+/// The result has the same length as `xs`.
+std::vector<double> burstSignal(std::span<const double> xs,
+                                const BurstConfig& config = {});
+
+/// Expected prediction error for a window: the configured percentile of the
+/// absolute burst signal. Returns 0 for windows shorter than 2 samples.
+double expectedPredictionError(std::span<const double> xs,
+                               const BurstConfig& config = {});
+
+}  // namespace fchain::signal

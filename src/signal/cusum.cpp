@@ -1,0 +1,90 @@
+#include "signal/cusum.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace fchain::signal {
+
+namespace {
+
+/// CUSUM range (max - min of the cumulative mean-centered sum) and the index
+/// where |S| peaks, which estimates the change location.
+struct CusumResult {
+  double range = 0.0;
+  std::size_t peak = 0;
+};
+
+CusumResult cusumRange(std::span<const double> xs) {
+  const double m = fchain::mean(xs);
+  double s = 0.0;
+  double lo = 0.0, hi = 0.0;
+  double best_abs = 0.0;
+  CusumResult result;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    s += xs[i] - m;
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+    if (std::fabs(s) > best_abs) {
+      best_abs = std::fabs(s);
+      result.peak = i;
+    }
+  }
+  result.range = hi - lo;
+  return result;
+}
+
+void detectRecursive(std::span<const double> xs, std::size_t offset,
+                     const CusumConfig& config, fchain::Rng& rng,
+                     std::vector<ChangePoint>& out) {
+  if (xs.size() < config.min_segment * 2) return;
+  if (out.size() >= config.max_change_points) return;
+
+  const CusumResult observed = cusumRange(xs);
+  if (observed.range <= 0.0) return;
+
+  // Bootstrap: how often does a random reordering produce as large a range?
+  std::vector<double> shuffled(xs.begin(), xs.end());
+  std::size_t below = 0;
+  for (std::size_t round = 0; round < config.bootstrap_rounds; ++round) {
+    // Fisher-Yates with our deterministic RNG.
+    for (std::size_t i = shuffled.size() - 1; i > 0; --i) {
+      std::swap(shuffled[i], shuffled[rng.below(i + 1)]);
+    }
+    if (cusumRange(shuffled).range < observed.range) ++below;
+  }
+  const double confidence =
+      static_cast<double>(below) / static_cast<double>(config.bootstrap_rounds);
+  if (confidence < config.confidence) return;
+
+  // Change starts at the sample *after* the |S| peak.
+  const std::size_t split = observed.peak + 1;
+  if (split < config.min_segment || xs.size() - split < config.min_segment) {
+    return;
+  }
+
+  const double before = fchain::mean(xs.subspan(0, split));
+  const double after = fchain::mean(xs.subspan(split));
+  out.push_back(ChangePoint{offset + split, confidence, after - before});
+
+  detectRecursive(xs.subspan(0, split), offset, config, rng, out);
+  detectRecursive(xs.subspan(split), offset + split, config, rng, out);
+}
+
+}  // namespace
+
+std::vector<ChangePoint> detectChangePoints(std::span<const double> xs,
+                                            const CusumConfig& config) {
+  std::vector<ChangePoint> points;
+  fchain::Rng rng(config.seed);
+  detectRecursive(xs, 0, config, rng, points);
+  std::sort(points.begin(), points.end(),
+            [](const ChangePoint& a, const ChangePoint& b) {
+              return a.index < b.index;
+            });
+  return points;
+}
+
+}  // namespace fchain::signal

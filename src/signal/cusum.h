@@ -1,0 +1,46 @@
+// Change point detection: CUSUM + bootstrap (paper §II-B, citing [21]).
+//
+// This is the classic Taylor-style procedure: the cumulative sum of
+// mean-centered samples drifts when the level shifts; the magnitude of that
+// drift is compared against bootstrap resamples of the same data to decide
+// whether a change is statistically significant, and binary segmentation
+// recurses into both halves to recover multiple change points. The paper
+// notes (and Fig. 3 shows) that on fluctuating cloud metrics this yields many
+// change points, most of which are normal workload fluctuation — filtering
+// them is FChain's job, not CUSUM's.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fchain::signal {
+
+struct CusumConfig {
+  /// Bootstrap resamples per segment decision.
+  std::size_t bootstrap_rounds = 200;
+  /// Fraction of resamples that must show a smaller CUSUM range for the
+  /// change to count as significant.
+  double confidence = 0.95;
+  /// Segments shorter than this are not split further.
+  std::size_t min_segment = 6;
+  /// Safety bound on recursion (maximum number of change points returned).
+  std::size_t max_change_points = 64;
+  /// Seed for the bootstrap shuffles; fixed so detection is deterministic.
+  std::uint64_t seed = 0xc0521bULL;
+};
+
+struct ChangePoint {
+  /// Index into the analyzed span: the first sample of the new regime.
+  std::size_t index = 0;
+  /// Bootstrap confidence in [0, 1].
+  double confidence = 0.0;
+  /// Level shift across the change (mean after - mean before).
+  double shift = 0.0;
+};
+
+/// Detects change points in `xs`, sorted by index.
+std::vector<ChangePoint> detectChangePoints(std::span<const double> xs,
+                                            const CusumConfig& config = {});
+
+}  // namespace fchain::signal

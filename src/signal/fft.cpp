@@ -1,0 +1,82 @@
+#include "signal/fft.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace fchain::signal {
+
+namespace {
+
+bool isPow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+/// Cooley-Tukey iterative radix-2 with bit-reversal permutation.
+/// `inverse` flips the twiddle sign; normalization is the caller's job.
+void transform(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n <= 1) return;
+  if (!isPow2(n)) throw std::invalid_argument("fft: size not a power of two");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t nextPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fftInPlace(std::vector<std::complex<double>>& data) {
+  transform(data, /*inverse=*/false);
+}
+
+void ifftInPlace(std::vector<std::complex<double>>& data) {
+  transform(data, /*inverse=*/true);
+  const double inv = 1.0 / static_cast<double>(data.size());
+  for (auto& x : data) x *= inv;
+}
+
+std::vector<std::complex<double>> fftReal(std::span<const double> xs) {
+  std::vector<std::complex<double>> data(nextPow2(std::max<std::size_t>(
+      xs.size(), 1)));
+  for (std::size_t i = 0; i < xs.size(); ++i) data[i] = xs[i];
+  fftInPlace(data);
+  return data;
+}
+
+std::vector<double> ifftToReal(std::vector<std::complex<double>> spectrum,
+                               std::size_t n) {
+  ifftInPlace(spectrum);
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n && i < spectrum.size(); ++i) {
+    out.push_back(spectrum[i].real());
+  }
+  return out;
+}
+
+}  // namespace fchain::signal

@@ -1,0 +1,32 @@
+// Radix-2 iterative fast Fourier transform.
+//
+// FChain's abnormal change point selector FFTs a small window (2Q+1 samples,
+// Q = 20 s by default) around each candidate change point to split the signal
+// into low-frequency baseline and high-frequency burst components (paper
+// §II-B). Windows are zero-padded to the next power of two; the burst module
+// trims the padding off again after the inverse transform.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace fchain::signal {
+
+/// Smallest power of two >= n (n >= 1).
+std::size_t nextPow2(std::size_t n);
+
+/// In-place forward FFT. data.size() must be a power of two.
+void fftInPlace(std::vector<std::complex<double>>& data);
+
+/// In-place inverse FFT (includes the 1/N normalization).
+void ifftInPlace(std::vector<std::complex<double>>& data);
+
+/// Forward FFT of a real signal, zero-padded to the next power of two.
+std::vector<std::complex<double>> fftReal(std::span<const double> xs);
+
+/// Inverse FFT returning only the real parts of the first `n` samples.
+std::vector<double> ifftToReal(std::vector<std::complex<double>> spectrum,
+                               std::size_t n);
+
+}  // namespace fchain::signal

@@ -1,0 +1,40 @@
+#include "signal/outlier.h"
+
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace fchain::signal {
+
+std::vector<ChangePoint> outlierChangePoints(
+    std::span<const ChangePoint> points, const OutlierConfig& config) {
+  std::vector<ChangePoint> out;
+  if (points.size() < 3) {
+    out.assign(points.begin(), points.end());
+    return out;
+  }
+
+  std::vector<double> magnitudes;
+  magnitudes.reserve(points.size());
+  for (const auto& p : points) magnitudes.push_back(std::fabs(p.shift));
+
+  const double med = fchain::median(magnitudes);
+  const double mad = fchain::medianAbsDeviation(magnitudes);
+  // 1.4826 scales MAD to the stddev of a normal distribution.
+  const double robust_sigma = 1.4826 * mad;
+
+  for (const auto& p : points) {
+    const double magnitude = std::fabs(p.shift);
+    bool is_outlier;
+    if (robust_sigma > 1e-12) {
+      is_outlier = (magnitude - med) / robust_sigma > config.mad_zscore;
+    } else {
+      // All shifts nearly identical: only flag clear multiples of the median.
+      is_outlier = med > 1e-12 && magnitude > config.degenerate_ratio * med;
+    }
+    if (is_outlier) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace fchain::signal

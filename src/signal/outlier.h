@@ -1,0 +1,31 @@
+// Change-magnitude outlier detection (the PAL [13] filtering step).
+//
+// CUSUM on a fluctuating metric returns many change points; most are "random
+// peak and bottom values" (paper Fig. 3). PAL keeps only change points whose
+// level shift is an *outlier* among all detected shifts, measured with a
+// robust MAD z-score. FChain applies this as a pre-filter before its
+// predictability test; the PAL baseline stops here.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "signal/cusum.h"
+
+namespace fchain::signal {
+
+struct OutlierConfig {
+  /// Robust z-score (|shift - median| / (1.4826 * MAD)) above which a change
+  /// point counts as an outlier.
+  double mad_zscore = 2.0;
+  /// When MAD degenerates to ~0 (most shifts identical), fall back to
+  /// flagging shifts above this multiple of the median absolute shift.
+  double degenerate_ratio = 3.0;
+};
+
+/// Returns the subset of `points` whose shift magnitude is an outlier.
+/// With fewer than 3 points every point is kept (no basis for comparison).
+std::vector<ChangePoint> outlierChangePoints(
+    std::span<const ChangePoint> points, const OutlierConfig& config = {});
+
+}  // namespace fchain::signal

@@ -1,0 +1,34 @@
+#include "signal/smoothing.h"
+
+#include <algorithm>
+
+namespace fchain::signal {
+
+std::vector<double> movingAverage(std::span<const double> xs,
+                                  std::size_t half) {
+  std::vector<double> out(xs.begin(), xs.end());
+  if (half == 0 || xs.size() < 2) return out;
+  const auto n = static_cast<std::ptrdiff_t>(xs.size());
+  const auto h = static_cast<std::ptrdiff_t>(half);
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    const std::ptrdiff_t lo = std::max<std::ptrdiff_t>(0, i - h);
+    const std::ptrdiff_t hi = std::min<std::ptrdiff_t>(n - 1, i + h);
+    double sum = 0.0;
+    for (std::ptrdiff_t j = lo; j <= hi; ++j) sum += xs[static_cast<std::size_t>(j)];
+    out[static_cast<std::size_t>(i)] = sum / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+std::vector<double> ewma(std::span<const double> xs, double alpha) {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  double prev = xs.empty() ? 0.0 : xs[0];
+  for (double x : xs) {
+    prev = alpha * x + (1.0 - alpha) * prev;
+    out.push_back(prev);
+  }
+  return out;
+}
+
+}  // namespace fchain::signal

@@ -1,0 +1,24 @@
+// Moving-average smoothing.
+//
+// PAL [13] (and FChain on top of it) smooths raw 1 Hz samples before change
+// point detection to remove sampling noise. The paper's §III-C documents a
+// side effect we reproduce: smoothing can shift the apparent onset of a
+// propagated anomaly *earlier* than the true culprit's onset, which is why
+// the concurrent-CpuHog System S case is hard. The window is therefore a
+// config knob rather than a constant.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace fchain::signal {
+
+/// Centered moving average with window `2 * half + 1`, edges clamped.
+/// half == 0 returns the input unchanged.
+std::vector<double> movingAverage(std::span<const double> xs, std::size_t half);
+
+/// Exponentially weighted moving average with smoothing factor alpha in
+/// (0, 1]; alpha == 1 returns the input unchanged.
+std::vector<double> ewma(std::span<const double> xs, double alpha);
+
+}  // namespace fchain::signal

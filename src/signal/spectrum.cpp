@@ -1,0 +1,70 @@
+#include "signal/spectrum.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+#include "signal/fft.h"
+
+namespace fchain::signal {
+
+std::vector<double> periodogram(std::span<const double> xs) {
+  if (xs.size() < 2) return {};
+  const double m = fchain::mean(xs);
+  std::vector<double> centered(xs.begin(), xs.end());
+  for (double& x : centered) x -= m;
+  const auto spectrum = fftReal(centered);
+  const std::size_t half = spectrum.size() / 2;
+  std::vector<double> power(half + 1);
+  for (std::size_t k = 0; k <= half; ++k) power[k] = std::norm(spectrum[k]);
+  return power;
+}
+
+std::optional<DominantPeriod> dominantPeriod(std::span<const double> xs,
+                                             std::size_t min_period,
+                                             std::size_t max_period) {
+  if (xs.size() < 2 * min_period) return std::nullopt;
+  const auto power = periodogram(xs);
+  if (power.size() < 3) return std::nullopt;
+  const double padded = static_cast<double>(nextPow2(xs.size()));
+
+  double total = 0.0;
+  for (std::size_t k = 1; k < power.size(); ++k) total += power[k];
+  if (total <= 0.0) return std::nullopt;
+
+  std::size_t best_bin = 0;
+  for (std::size_t k = 1; k < power.size(); ++k) {
+    const double period = padded / static_cast<double>(k);
+    if (period < static_cast<double>(min_period) ||
+        period > static_cast<double>(max_period)) {
+      continue;
+    }
+    if (best_bin == 0 || power[k] > power[best_bin]) best_bin = k;
+  }
+  if (best_bin == 0) return std::nullopt;
+
+  DominantPeriod result;
+  result.period = static_cast<std::size_t>(
+      std::lround(padded / static_cast<double>(best_bin)));
+  // Neighbouring bins share a leaked peak; count the 3-bin neighbourhood.
+  double peak_power = power[best_bin];
+  if (best_bin > 1) peak_power += power[best_bin - 1];
+  if (best_bin + 1 < power.size()) peak_power += power[best_bin + 1];
+  result.power_fraction = peak_power / total;
+  return result;
+}
+
+double autocorrelation(std::span<const double> xs, std::size_t lag) {
+  const std::size_t n = xs.size();
+  if (lag >= n || n < 2) return 0.0;
+  const double m = fchain::mean(xs);
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = xs[i] - m;
+    den += d * d;
+    if (i + lag < n) num += d * (xs[i + lag] - m);
+  }
+  return den <= 0.0 ? 0.0 : num / den;
+}
+
+}  // namespace fchain::signal

@@ -1,0 +1,36 @@
+// Spectral analysis helpers: periodogram and dominant-period detection.
+//
+// PRESS [12] (the online prediction model FChain builds on) has two modes:
+// a *signature-driven* predictor for metrics with strong periodicity, and
+// the state-driven Markov chain otherwise. The mode decision needs a power
+// spectrum: if one period concentrates a large fraction of the (non-DC)
+// energy, the metric has a repeating signature worth exploiting.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace fchain::signal {
+
+/// One-sided periodogram of a (mean-removed, zero-padded) real signal:
+/// power[k] is the squared magnitude of frequency bin k, k in [0, N/2].
+std::vector<double> periodogram(std::span<const double> xs);
+
+struct DominantPeriod {
+  std::size_t period = 0;      ///< samples per cycle
+  double power_fraction = 0.0; ///< bin power / total non-DC power
+};
+
+/// Finds the strongest periodic component with a period in
+/// [min_period, max_period] samples. Returns nullopt when the signal is too
+/// short or the band is empty.
+std::optional<DominantPeriod> dominantPeriod(std::span<const double> xs,
+                                             std::size_t min_period = 4,
+                                             std::size_t max_period = 600);
+
+/// Sample autocorrelation at the given lag (mean-removed, biased estimate).
+double autocorrelation(std::span<const double> xs, std::size_t lag);
+
+}  // namespace fchain::signal

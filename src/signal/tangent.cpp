@@ -1,0 +1,49 @@
+#include "signal/tangent.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace fchain::signal {
+
+double tangentAt(std::span<const double> xs, std::size_t index,
+                 std::size_t half_window) {
+  if (xs.empty()) return 0.0;
+  const std::size_t lo = index > half_window ? index - half_window : 0;
+  const std::size_t hi = std::min(xs.size(), index + half_window + 1);
+  if (hi <= lo + 1) return 0.0;
+  return fchain::slope(xs.subspan(lo, hi - lo));
+}
+
+std::size_t rollbackOnset(std::span<const double> xs,
+                          std::span<const ChangePoint> points,
+                          std::size_t selected,
+                          const RollbackConfig& config) {
+  if (points.empty() || selected >= points.size()) return selected;
+
+  double scale = fchain::medianAbsDeviation(xs) * 1.4826;
+  if (scale < 1e-9) scale = std::max(1e-9, fchain::stddev(xs));
+
+  // Rolling back is only meaningful while we stay inside the same
+  // manifestation: the preceding change point must continue the anchor's
+  // direction (same shift sign) *and* sit on a similar local tangent.
+  const double anchor_sign = points[selected].shift >= 0.0 ? 1.0 : -1.0;
+  std::size_t current = selected;
+  while (current > 0) {
+    if (points[current - 1].shift * anchor_sign < 0.0) break;
+    const double tangent_cur =
+        tangentAt(xs, points[current].index, config.tangent_half_window);
+    const double tangent_prev =
+        tangentAt(xs, points[current - 1].index, config.tangent_half_window);
+    const double closeness =
+        config.relative_epsilon *
+            std::max(std::fabs(tangent_cur), std::fabs(tangent_prev)) +
+        config.scale_floor * scale;
+    if (std::fabs(tangent_cur - tangent_prev) >= closeness) break;
+    --current;
+  }
+  return current;
+}
+
+}  // namespace fchain::signal

@@ -1,0 +1,42 @@
+// Local tangent estimation and tangent-based rollback (paper §II-B).
+//
+// The selected abnormal change point sometimes lies in the *middle* of the
+// fault manifestation (gradual faults keep tripping CUSUM as they evolve).
+// FChain walks back through the preceding change points while the local
+// tangent stays similar (difference < 0.1 by default), stopping at the first
+// point where the slope regime differs — that point is the onset.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "signal/cusum.h"
+
+namespace fchain::signal {
+
+struct RollbackConfig {
+  /// Two tangents a and b count as "close" when
+  ///   |a - b| < relative_epsilon * max(|a|, |b|) + scale_floor * sigma,
+  /// where sigma is the robust scale of the series. The paper states an
+  /// absolute "< 0.1" for its (unit-specific) setup; the relative form keeps
+  /// the same behaviour across metrics with wildly different magnitudes.
+  double relative_epsilon = 0.3;
+  double scale_floor = 0.01;
+  /// Half-width of the window used to estimate the local tangent.
+  std::size_t tangent_half_window = 5;
+};
+
+/// OLS slope of xs over [index - half, index + half], clamped to the series.
+double tangentAt(std::span<const double> xs, std::size_t index,
+                 std::size_t half_window);
+
+/// Rolls the abnormal change point at `points[selected]` back through its
+/// predecessors while adjacent tangents stay within tangent_epsilon of each
+/// other (after normalizing by the signal scale). Returns the index into
+/// `points` of the onset change point.
+std::size_t rollbackOnset(std::span<const double> xs,
+                          std::span<const ChangePoint> points,
+                          std::size_t selected,
+                          const RollbackConfig& config = {});
+
+}  // namespace fchain::signal

@@ -1,0 +1,362 @@
+#include "sim/application.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace fchain::sim {
+
+namespace {
+constexpr double kEps = 1e-9;
+constexpr double kMaxComponentDelay = 300.0;  // seconds; stall cap
+}  // namespace
+
+Application::Application(ApplicationSpec spec, std::uint64_t noise_seed)
+    : spec_(std::move(spec)), rng_(noise_seed) {
+  const std::size_t n = spec_.components.size();
+  if (n == 0) throw std::invalid_argument("Application needs components");
+  for (const EdgeSpec& e : spec_.edges) {
+    if (e.from >= n || e.to >= n) {
+      throw std::invalid_argument("Application edge out of range");
+    }
+  }
+
+  states_.resize(n);
+  in_edges_.resize(n);
+  out_edges_.resize(n);
+  noise_ar_.resize(n);
+  spike_ticks_left_.assign(n, 0);
+  for (std::size_t e = 0; e < spec_.edges.size(); ++e) {
+    out_edges_[spec_.edges[e].from].push_back(e);
+    in_edges_[spec_.edges[e].to].push_back(e);
+  }
+  edge_traffic_.assign(spec_.edges.size(), 0.0);
+  staged_.resize(spec_.edges.size());
+  for (std::size_t e = 0; e < spec_.edges.size(); ++e) {
+    staged_[e].assign(std::max<std::size_t>(1, spec_.edges[e].delay_sec), 0.0);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const ComponentSpec& cspec = spec_.components[i];
+    ComponentState& state = states_[i];
+    // Sources get one pseudo-queue for external arrivals.
+    const std::size_t queues = std::max<std::size_t>(1, in_edges_[i].size());
+    state.in_queues.assign(queues, 0.0);
+    state.self_work_remaining = cspec.self_work_total;
+    self_work_total_ += cspec.self_work_total;
+    metrics_.emplace_back(MetricSeries(0));
+    if (in_edges_[i].empty() && cspec.self_work_total <= 0.0) {
+      sources_.push_back(static_cast<ComponentId>(i));
+    }
+    for (double& ar : noise_ar_[i]) ar = 0.0;
+  }
+
+  // Topological order (Kahn) for the critical-path latency DP.
+  std::vector<std::size_t> indegree(n, 0);
+  for (const EdgeSpec& e : spec_.edges) ++indegree[e.to];
+  std::vector<ComponentId> frontier;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) frontier.push_back(static_cast<ComponentId>(i));
+  }
+  while (!frontier.empty()) {
+    const ComponentId id = frontier.back();
+    frontier.pop_back();
+    topo_order_.push_back(id);
+    for (std::size_t e : out_edges_[id]) {
+      if (--indegree[spec_.edges[e].to] == 0) {
+        frontier.push_back(spec_.edges[e].to);
+      }
+    }
+  }
+  if (topo_order_.size() != n) {
+    throw std::invalid_argument("Application topology contains a cycle");
+  }
+  path_latency_.assign(n, 0.0);
+}
+
+void Application::setWorkload(std::vector<double> trace) {
+  workload_ = std::move(trace);
+}
+
+void Application::setEdgeWeight(ComponentId from, ComponentId to,
+                                double weight) {
+  for (EdgeSpec& e : spec_.edges) {
+    if (e.from == from && e.to == to) e.weight = weight;
+  }
+}
+
+ComponentId Application::findComponent(std::string_view name) const {
+  for (std::size_t i = 0; i < spec_.components.size(); ++i) {
+    if (spec_.components[i].name == name) return static_cast<ComponentId>(i);
+  }
+  return kNoComponent;
+}
+
+double Application::capacityThroughput(ComponentId id) const {
+  const ComponentSpec& cspec = spec_.components[id];
+  const ComponentState& state = states_[id];
+  const double memory =
+      memoryUsage(cspec, state.fault, state.totalQueue());
+  const double cpu_cap = effectiveCpuCapacity(cspec, state.fault, memory);
+  double throughput = cpu_cap / std::max(kEps, cspec.cpu_demand);
+
+  const double disk_per_unit =
+      cspec.disk_read_per_unit + cspec.disk_write_per_unit;
+  if (disk_per_unit > kEps) {
+    const double disk_cap = effectiveDiskCapacity(cspec, state.fault);
+    throughput = std::min(throughput, disk_cap / disk_per_unit);
+  }
+  if (state.fault.infinite_loop) throughput = 0.0;
+  return throughput;
+}
+
+void Application::step() {
+  const std::size_t n = spec_.components.size();
+
+  // --- 1. Fault dynamics that evolve with time. ---
+  for (std::size_t i = 0; i < n; ++i) {
+    FaultState& fault = states_[i].fault;
+    fault.leaked_mb += fault.leak_rate_mb_s;
+    if (fault.extra_net_in_kbs < fault.extra_net_in_target) {
+      fault.extra_net_in_kbs = std::min(
+          fault.extra_net_in_target,
+          fault.extra_net_in_kbs + fault.extra_net_in_ramp);
+    }
+    if (fault.disk_contention < fault.disk_contention_target) {
+      fault.disk_contention =
+          std::min(fault.disk_contention_target,
+                   fault.disk_contention + fault.disk_contention_ramp);
+    }
+  }
+
+  // --- 2. External arrivals (into source pseudo-queues). ---
+  double intensity = 0.0;
+  if (!workload_.empty()) {
+    const auto idx = std::min<std::size_t>(static_cast<std::size_t>(now_),
+                                           workload_.size() - 1);
+    intensity = workload_[idx] * workload_multiplier_;
+  }
+  for (std::size_t i = 0; i < n; ++i) states_[i].arrived = 0.0;
+  if (!sources_.empty() && intensity > 0.0) {
+    const double share = intensity / static_cast<double>(sources_.size());
+    for (ComponentId src : sources_) {
+      ComponentState& state = states_[src];
+      const double free =
+          spec_.components[src].buffer_limit - state.in_queues[0];
+      const double accepted = std::clamp(share, 0.0, std::max(0.0, free));
+      state.in_queues[0] += accepted;
+      state.arrived += share;  // the NIC sees the flood even if we drop
+      state.dropped += share - accepted;
+    }
+  }
+
+  // --- 3. Deliver the work whose transfer delay has elapsed. ---
+  for (std::size_t e = 0; e < spec_.edges.size(); ++e) {
+    auto& pipeline = staged_[e];
+    const double delivered = pipeline.front();
+    pipeline.erase(pipeline.begin());
+    pipeline.push_back(0.0);
+    if (delivered <= 0.0) continue;
+    const EdgeSpec& edge = spec_.edges[e];
+    ComponentState& dst = states_[edge.to];
+    // Position of edge e within dst's in-queue list.
+    const auto& ins = in_edges_[edge.to];
+    const auto pos = static_cast<std::size_t>(
+        std::find(ins.begin(), ins.end(), e) - ins.begin());
+    dst.in_queues[pos] += delivered;
+    dst.arrived += delivered;
+  }
+
+  // --- 4. Process every component against capacity and back-pressure. ---
+  std::fill(edge_traffic_.begin(), edge_traffic_.end(), 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const ComponentSpec& cspec = spec_.components[i];
+    ComponentState& state = states_[i];
+
+    // Work available this tick.
+    double available;
+    if (cspec.self_work_total > 0.0) {
+      available = std::min(cspec.self_work_rate, state.self_work_remaining);
+    } else if (cspec.join_inputs && !in_edges_[i].empty()) {
+      available = std::numeric_limits<double>::infinity();
+      for (double q : state.in_queues) available = std::min(available, q);
+    } else {
+      available = state.totalQueue();
+    }
+
+    // Back-pressure: emission is limited by downstream per-edge free space.
+    // The receiver drains concurrently with the sender's transmission, so
+    // its expected drain this tick counts as free space — without it a
+    // marginal buffer settles into a lossy burst/stall oscillation.
+    double allowance = std::numeric_limits<double>::infinity();
+    for (std::size_t e : out_edges_[i]) {
+      const EdgeSpec& edge = spec_.edges[e];
+      if (edge.weight <= kEps) continue;
+      const auto& ins = in_edges_[edge.to];
+      const auto pos = static_cast<std::size_t>(
+          std::find(ins.begin(), ins.end(), e) - ins.begin());
+      double in_flight = 0.0;
+      for (double slot : staged_[e]) in_flight += slot;
+      const ComponentSpec& to_spec = spec_.components[edge.to];
+      double expected_drain = 0.0;
+      const bool bursting =
+          to_spec.burst_period_sec == 0 ||
+          static_cast<std::size_t>(now_) % to_spec.burst_period_sec <
+              to_spec.burst_len_sec;
+      if (bursting) {
+        expected_drain = capacityThroughput(edge.to) /
+                         static_cast<double>(std::max<std::size_t>(1, ins.size()));
+      }
+      const double free = to_spec.buffer_limit -
+                          states_[edge.to].in_queues[pos] - in_flight +
+                          expected_drain;
+      allowance = std::min(
+          allowance, std::max(0.0, free) /
+                         (cspec.amplification * edge.weight + kEps));
+    }
+
+    // Batch-burst components idle between their periodic merge bursts, and
+    // pull the accumulated input in a burst-aligned fetch (geometric drain:
+    // a large chunk at burst start, tapering off).
+    if (cspec.burst_period_sec > 0) {
+      const auto phase = static_cast<std::size_t>(now_) % cspec.burst_period_sec;
+      state.fetch_backlog += state.arrived;
+      if (phase < cspec.burst_len_sec) {
+        state.fetched = state.fetch_backlog * 0.6;
+        state.fetch_backlog -= state.fetched;
+      } else {
+        state.fetched = 0.0;
+        available = 0.0;
+      }
+    }
+
+    const double processed =
+        std::max(0.0, std::min({available, capacityThroughput(
+                                               static_cast<ComponentId>(i)),
+                                allowance}));
+    state.processed = processed;
+
+    // Dequeue.
+    if (cspec.self_work_total > 0.0) {
+      state.self_work_remaining -= processed;
+    } else if (cspec.join_inputs && !in_edges_[i].empty()) {
+      for (double& q : state.in_queues) q -= processed;
+    } else if (processed > 0.0) {
+      const double total = state.totalQueue();
+      if (total > kEps) {
+        for (double& q : state.in_queues) q -= processed * (q / total);
+      }
+    }
+
+    // Emit (visible downstream next tick).
+    state.emitted = 0.0;
+    for (std::size_t e : out_edges_[i]) {
+      const EdgeSpec& edge = spec_.edges[e];
+      const double units = processed * cspec.amplification * edge.weight;
+      staged_[e].back() += units;
+      edge_traffic_[e] += units;
+      state.emitted += units;
+    }
+    if (out_edges_[i].empty()) {
+      completed_total_ += processed;  // sink: work leaves the system
+    }
+  }
+
+  // --- 5. Latency estimate: critical path over the whole DAG. Each
+  // component contributes its service time plus the queueing delay implied
+  // by its backlog; the end-to-end figure is the slowest source-to-sink
+  // path (a join waits for its slowest input), so a bottleneck anywhere in
+  // the topology shows up in the SLO signal. ---
+  double latency = 0.0;
+  for (std::size_t idx = 0; idx < topo_order_.size(); ++idx) {
+    const ComponentId id = topo_order_[idx];
+    const ComponentState& state = states_[id];
+    const ComponentSpec& cspec = spec_.components[id];
+    const double queue = state.totalQueue();
+    // Per-request service time stretches by however much of the VM's
+    // nominal capacity is unavailable (hog fair share, CPU caps, swap
+    // thrashing) — and recovers when the validator scales the VM up.
+    const double eff_capacity = effectiveCpuCapacity(
+        cspec, state.fault, memoryUsage(cspec, state.fault, queue));
+    const double slowdown =
+        cspec.cpu_capacity / std::max(0.05 * cspec.cpu_capacity, eff_capacity);
+    double delay = cspec.cpu_demand * slowdown;
+    if (queue > kEps) {
+      delay += queue / std::max(state.processed, 0.5);
+    }
+    delay = std::min(delay, kMaxComponentDelay);
+    // A join waits for its slowest input; a merge serves a traffic-weighted
+    // mix of its inputs (the SLO is an *average* response time, so partial
+    // relief on one branch must show).
+    double upstream = 0.0;
+    if (cspec.join_inputs) {
+      for (std::size_t e : in_edges_[id]) {
+        upstream = std::max(upstream, path_latency_[spec_.edges[e].from]);
+      }
+    } else if (!in_edges_[id].empty()) {
+      double weighted = 0.0, weight_sum = 0.0;
+      for (std::size_t e : in_edges_[id]) {
+        const double weight = edge_traffic_[e] + 1e-6;
+        weighted += weight * path_latency_[spec_.edges[e].from];
+        weight_sum += weight;
+      }
+      upstream = weighted / weight_sum;
+    }
+    path_latency_[id] = upstream + delay;
+    if (out_edges_[id].empty()) latency = std::max(latency, path_latency_[id]);
+  }
+  latency_ = latency;
+
+  // --- 6. Record noisy metric samples. ---
+  constexpr double ar_rho = 0.7;
+  for (std::size_t i = 0; i < n; ++i) {
+    const ComponentSpec& cspec = spec_.components[i];
+    auto sample = baseMetrics(cspec, states_[i]);
+
+    if (spike_ticks_left_[i] > 0) {
+      --spike_ticks_left_[i];
+    } else if (cspec.spike_probability > 0.0 &&
+               rng_.chance(cspec.spike_probability)) {
+      spike_ticks_left_[i] = static_cast<int>(1 + rng_.below(3));
+    }
+    const bool spiking = spike_ticks_left_[i] > 0;
+
+    for (std::size_t m = 0; m < kMetricCount; ++m) {
+      double& ar = noise_ar_[i][m];
+      ar = ar_rho * ar + std::sqrt(1.0 - ar_rho * ar_rho) * rng_.gaussian();
+      // Memory is far less jittery than throughput metrics.
+      const double level = (m == metricIndex(MetricKind::MemoryUsage))
+                               ? cspec.noise_level * 0.15
+                               : cspec.noise_level;
+      double value = sample[m] * (1.0 + level * ar);
+      // Spill bursts are disk events; CPU stays merely noisy, so a pegged
+      // (spinning) CPU remains a clean, detectable upward level shift.
+      if (spiking && (m == metricIndex(MetricKind::DiskWrite) ||
+                      m == metricIndex(MetricKind::DiskRead))) {
+        value += cspec.spike_magnitude * std::max(sample[m], 1.0);
+      }
+      sample[m] = std::max(0.0, value);
+    }
+    metrics_[i].append(sample);
+  }
+
+  ++now_;
+}
+
+double Application::progress() const {
+  if (self_work_total_ <= 0.0) return 0.0;
+  // Completed work that has traversed the whole pipeline, normalized by the
+  // total amount the self-sourcing stages will ever emit.
+  double emitted_total = 0.0;
+  for (std::size_t i = 0; i < spec_.components.size(); ++i) {
+    if (spec_.components[i].self_work_total > 0.0) {
+      double amp = spec_.components[i].amplification;
+      emitted_total += spec_.components[i].self_work_total * std::max(amp, kEps);
+    }
+  }
+  if (emitted_total <= 0.0) return 0.0;
+  return std::clamp(completed_total_ / emitted_total, 0.0, 1.0);
+}
+
+}  // namespace fchain::sim

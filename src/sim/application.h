@@ -1,0 +1,138 @@
+// A distributed application: components wired by directed work-flow edges.
+//
+// The engine advances in 1-second ticks. Within a tick every component
+// drains its input queues subject to (a) its effective CPU/disk capacity,
+// (b) downstream buffer space — the *back-pressure* mechanism the paper's
+// fault propagation depends on — and (c) join semantics for System-S-style
+// operators that must consume their inputs in lockstep (a stalled input
+// therefore back-pressures the *other*, healthy input: exactly the
+// PE3 -> PE6 -> PE2 propagation of Fig. 2). Emitted work becomes visible to
+// the downstream component on the next tick, so anomalies propagate hop by
+// hop with multi-second delays once queue buildup is included.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time_series.h"
+#include "common/types.h"
+#include "sim/component.h"
+
+namespace fchain::sim {
+
+struct EdgeSpec {
+  ComponentId from = 0;
+  ComponentId to = 0;
+  /// Fraction of `from`'s output routed onto this edge.
+  double weight = 1.0;
+  /// Transfer delay in whole seconds (>= 1): emitted work becomes visible to
+  /// the receiver this many ticks later. RPC-style edges use 1; Hadoop's
+  /// batched shuffle fetches use several seconds, which is what gives its
+  /// fault propagation the multi-second lag the paper relies on.
+  std::size_t delay_sec = 1;
+};
+
+/// How the application exchanges data on the wire; decides whether black-box
+/// dependency discovery can segment flows (request/reply) or not (streaming).
+enum class WireStyle : std::uint8_t {
+  RequestReply,  ///< bursty connections with idle gaps (RUBiS, Hadoop RPC)
+  Streaming,     ///< gap-free continuous tuple streams (System S)
+};
+
+struct ApplicationSpec {
+  std::string name;
+  std::vector<ComponentSpec> components;
+  std::vector<EdgeSpec> edges;
+  WireStyle wire_style = WireStyle::RequestReply;
+  /// Representative source->sink path used for the latency estimate.
+  std::vector<ComponentId> reference_path;
+  /// True for batch jobs (Hadoop): SLO is progress, not latency.
+  bool batch = false;
+};
+
+class Application {
+ public:
+  Application(ApplicationSpec spec, std::uint64_t noise_seed);
+
+  const ApplicationSpec& spec() const { return spec_; }
+  const std::string& name() const { return spec_.name; }
+  std::size_t componentCount() const { return spec_.components.size(); }
+  TimeSec now() const { return now_; }
+
+  /// Sets the external arrival intensity trace (units/s, 1 Hz). Sources
+  /// (no in-edges, no self work) share each tick's intensity equally.
+  void setWorkload(std::vector<double> trace);
+
+  /// Multiplies the external workload (WorkloadSurge fault). Takes effect on
+  /// the next tick.
+  void setWorkloadMultiplier(double multiplier) {
+    workload_multiplier_ = multiplier;
+  }
+
+  /// Advances one second: moves work, applies faults' dynamics, records
+  /// noisy metric samples.
+  void step();
+
+  /// Recorded (noisy) metrics of one component.
+  const MetricSeries& metricsOf(ComponentId id) const {
+    return metrics_[id];
+  }
+
+  /// Mutable fault state for the injector / validator.
+  FaultState& faultStateOf(ComponentId id) { return states_[id].fault; }
+  const ComponentState& stateOf(ComponentId id) const { return states_[id]; }
+
+  /// Re-routes traffic (OffloadBug / LBBug). Unknown edges are ignored.
+  void setEdgeWeight(ComponentId from, ComponentId to, double weight);
+
+  /// Current end-to-end latency estimate in seconds (reference path).
+  double latencySeconds() const { return latency_; }
+
+  /// Batch progress in [0, 1]; 1 when every self-work reservoir is drained
+  /// and in-flight work completed.
+  double progress() const;
+
+  /// Work units carried by each edge this tick (for the packet trace layer).
+  const std::vector<double>& edgeTraffic() const { return edge_traffic_; }
+
+  /// Looks up a component id by name; kNoComponent when absent.
+  ComponentId findComponent(std::string_view name) const;
+
+ private:
+  double capacityThroughput(ComponentId id) const;
+
+  ApplicationSpec spec_;
+  std::vector<ComponentState> states_;
+  std::vector<MetricSeries> metrics_;
+
+  // Topology indexes.
+  std::vector<std::vector<std::size_t>> in_edges_;   // component -> edge idxs
+  std::vector<std::vector<std::size_t>> out_edges_;  // component -> edge idxs
+  std::vector<ComponentId> sources_;
+  std::vector<ComponentId> topo_order_;
+  std::vector<double> path_latency_;  // DP scratch for the latency estimate
+
+  // Workload.
+  std::vector<double> workload_;
+  double workload_multiplier_ = 1.0;
+
+  // Per-tick scratch.
+  std::vector<double> edge_traffic_;
+  /// Per-edge delivery pipeline: slot 0 is delivered this tick, the last
+  /// slot receives this tick's emissions (length == edge delay).
+  std::vector<std::vector<double>> staged_;
+
+  // Noise: AR(1) state per component per metric, plus spike timers.
+  std::vector<std::array<double, kMetricCount>> noise_ar_;
+  std::vector<int> spike_ticks_left_;
+  Rng rng_;
+
+  TimeSec now_ = 0;
+  double latency_ = 0.0;
+  double completed_total_ = 0.0;
+  double self_work_total_ = 0.0;
+};
+
+}  // namespace fchain::sim

@@ -1,0 +1,41 @@
+// Builders for the three benchmark applications of the paper's evaluation.
+//
+//  - RUBiS (EJB): client -> web -> {app1, app2} -> db (Fig. 5), driven by a
+//    NASA-trace-like diurnal workload; SLO: avg response time <= 100 ms.
+//  - IBM System S tax app: 7 PEs (Fig. 2) exchanging gap-free tuple streams,
+//    driven by a ClarkNet-like workload; SLO: per-tuple time <= 20 ms.
+//    PE6 joins the PE2 and PE3 streams in lockstep, which produces the
+//    paper's back-pressure propagation PE3 -> PE6 -> PE2.
+//  - Hadoop sort: 3 map nodes (self-sourcing 12 GB) -> 6 reduce nodes with
+//    highly bursty metrics; SLO: job progress must not stall for 30 s.
+//
+// The numeric calibration keeps every component below ~60 % utilization at
+// workload peak, so SLO violations only occur under injected faults (or
+// deliberately injected external factors).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/application.h"
+
+namespace fchain::sim {
+
+enum class AppKind : std::uint8_t { Rubis, SystemS, Hadoop };
+
+std::string_view appKindName(AppKind kind);
+
+/// Topology + calibration for the requested benchmark.
+ApplicationSpec makeRubisSpec();
+ApplicationSpec makeSystemSSpec();
+ApplicationSpec makeHadoopSpec();
+ApplicationSpec makeAppSpec(AppKind kind);
+
+/// Default SLO threshold (seconds of latency; ignored for Hadoop).
+double sloLatencyThreshold(AppKind kind);
+
+/// Builds the application and attaches its default workload trace
+/// (`seconds` long) generated from `rng`. Hadoop is a batch job and gets no
+/// external trace.
+Application makeApplication(AppKind kind, std::size_t seconds, Rng& rng);
+
+}  // namespace fchain::sim

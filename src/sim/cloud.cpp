@@ -1,0 +1,65 @@
+#include "sim/cloud.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fchain::sim {
+
+Cloud::Cloud(CloudConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  interference_ar_.assign(config_.host_count, 0.0);
+  skew_ms_.reserve(config_.host_count);
+  for (std::size_t h = 0; h < config_.host_count; ++h) {
+    skew_ms_.push_back(
+        rng_.uniform(-config_.max_clock_skew_ms, config_.max_clock_skew_ms));
+  }
+}
+
+std::size_t Cloud::deploy(Application app) {
+  std::vector<HostId> hosts;
+  hosts.reserve(app.componentCount());
+  for (ComponentId id = 0; id < app.componentCount(); ++id) {
+    hosts.push_back(static_cast<HostId>(next_host_ % config_.host_count));
+    ++next_host_;
+  }
+  placement_.push_back(std::move(hosts));
+  apps_.push_back(std::move(app));
+  return apps_.size() - 1;
+}
+
+HostId Cloud::hostOf(std::size_t app_index, ComponentId component) const {
+  return placement_[app_index][component];
+}
+
+std::vector<ComponentId> Cloud::componentsOn(std::size_t app_index,
+                                             HostId host) const {
+  std::vector<ComponentId> components;
+  const auto& hosts = placement_[app_index];
+  for (ComponentId id = 0; id < hosts.size(); ++id) {
+    if (hosts[id] == host) components.push_back(id);
+  }
+  return components;
+}
+
+void Cloud::step() {
+  // Per-host interference wanders as AR(1) in [0, interference_level]; all
+  // VMs on the host see the same contention this tick (correlated noise is
+  // what distinguishes co-tenancy from independent jitter).
+  constexpr double kRho = 0.9;
+  for (std::size_t h = 0; h < config_.host_count; ++h) {
+    double& ar = interference_ar_[h];
+    ar = kRho * ar + std::sqrt(1.0 - kRho * kRho) * rng_.gaussian();
+    const double steal =
+        config_.interference_level * 0.5 * (1.0 + std::tanh(ar));
+    for (std::size_t a = 0; a < apps_.size(); ++a) {
+      for (ComponentId id = 0; id < apps_[a].componentCount(); ++id) {
+        if (placement_[a][id] == h) {
+          apps_[a].faultStateOf(id).interference_cpu = steal;
+        }
+      }
+    }
+  }
+  for (Application& app : apps_) app.step();
+}
+
+}  // namespace fchain::sim

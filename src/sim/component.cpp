@@ -1,0 +1,92 @@
+#include "sim/component.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fchain::sim {
+
+double effectiveCpuCapacity(const ComponentSpec& spec, const FaultState& fault,
+                            double memory_mb) {
+  double capacity = spec.cpu_capacity * fault.scale_cpu * fault.cpu_cap_factor;
+
+  // A co-located hog takes its fair scheduler share of whatever the VM has.
+  capacity *= 1.0 - fault.hog_share;
+
+  // Absorbing NetHog flood traffic burns CPU before useful work runs.
+  capacity -= fault.extra_net_in_kbs * fault.net_hog_cpu_per_kb;
+
+  // Multi-tenant interference from co-located VMs.
+  capacity -= fault.interference_cpu;
+
+  // Swap thrashing: past the memory limit, useful throughput collapses
+  // steeply (each page fault stalls the server).
+  const double limit = spec.mem_limit * fault.scale_mem;
+  if (memory_mb > limit) {
+    const double overshoot = (memory_mb - limit) / limit;
+    capacity *= std::max(0.03, 1.0 - 4.0 * overshoot);
+  }
+
+  return std::max(0.0, capacity);
+}
+
+double effectiveDiskCapacity(const ComponentSpec& spec,
+                             const FaultState& fault) {
+  return std::max(0.0, spec.disk_capacity * fault.scale_disk *
+                           (1.0 - fault.disk_contention));
+}
+
+double memoryUsage(const ComponentSpec& spec, const FaultState& fault,
+                   double total_queue) {
+  return spec.mem_base + spec.mem_per_queued * total_queue + fault.leaked_mb;
+}
+
+std::array<double, kMetricCount> baseMetrics(const ComponentSpec& spec,
+                                             const ComponentState& state) {
+  const FaultState& fault = state.fault;
+  const double total_queue = state.totalQueue();
+  const double memory = memoryUsage(spec, fault, total_queue);
+
+  // The VM's CPU usage percentage is reported against its *nominal*
+  // allocation: work + background + any hog/spin inside the VM. A hog
+  // co-located in the same VM pushes the reading toward 100 %; a Bottleneck
+  // cap makes the reading drop (the VM cannot get cycles).
+  double busy_cores = state.processed * spec.cpu_demand + spec.background_cpu;
+  // The hog spins in whatever share it owns.
+  busy_cores += fault.hog_share * spec.cpu_capacity * fault.cpu_cap_factor;
+  busy_cores += fault.extra_net_in_kbs * fault.net_hog_cpu_per_kb;
+  if (fault.infinite_loop) {
+    // The buggy task spins with whatever headroom exists.
+    busy_cores = spec.cpu_capacity * fault.cpu_cap_factor;
+  }
+  const double allowed =
+      spec.cpu_capacity * fault.scale_cpu * fault.cpu_cap_factor;
+  busy_cores = std::min(busy_cores, allowed);
+  const double cpu_pct = 100.0 * busy_cores / spec.cpu_capacity;
+
+  // Swap traffic once memory pressure kicks in.
+  const double limit = spec.mem_limit * fault.scale_mem;
+  double swap_kbs = 0.0;
+  if (memory > limit) {
+    swap_kbs = std::min(30000.0, 2000.0 * (memory - limit) / limit * 10.0);
+  }
+
+  std::array<double, kMetricCount> sample{};
+  sample[metricIndex(MetricKind::CpuUsage)] = cpu_pct;
+  sample[metricIndex(MetricKind::MemoryUsage)] = memory;
+  // Batch-burst components report the traffic of their periodic fetches;
+  // everyone else sees arrivals as they come.
+  const double inbound =
+      spec.burst_period_sec > 0 ? state.fetched : state.arrived;
+  sample[metricIndex(MetricKind::NetworkIn)] =
+      inbound * spec.net_in_per_unit + fault.extra_net_in_kbs;
+  sample[metricIndex(MetricKind::NetworkOut)] =
+      state.emitted * spec.net_out_per_unit;
+  sample[metricIndex(MetricKind::DiskRead)] =
+      state.processed * spec.disk_read_per_unit + swap_kbs * 0.5;
+  sample[metricIndex(MetricKind::DiskWrite)] =
+      state.processed * spec.disk_write_per_unit + spec.background_disk_w +
+      swap_kbs;
+  return sample;
+}
+
+}  // namespace fchain::sim

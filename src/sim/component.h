@@ -1,0 +1,137 @@
+// The guest-VM component model.
+//
+// FChain treats every guest VM as one black-box component. The simulator
+// models a component as a queueing station: requests (or tuples, or Hadoop
+// work units) queue per input edge, a CPU/disk-capacity-limited server
+// drains them, and downstream buffer space gates emission (back-pressure).
+// The six observable metrics are derived from the station's activity each
+// tick, then perturbed by AR(1) noise in the Application so that normal
+// operation has the realistic fluctuation FChain must see through.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fchain::sim {
+
+/// Static description of one component.
+struct ComponentSpec {
+  std::string name;
+
+  // Capacity model.
+  double cpu_capacity = 1.0;   ///< CPU-seconds available per second (cores)
+  double cpu_demand = 0.004;   ///< CPU-seconds per work unit
+  double disk_capacity = 40000.0;  ///< KB/s of disk bandwidth
+  double mem_limit = 2048.0;   ///< MB before swap thrashing begins
+
+  // Per-work-unit footprints (KB).
+  double net_in_per_unit = 2.0;
+  double net_out_per_unit = 2.0;
+  double disk_read_per_unit = 0.0;
+  double disk_write_per_unit = 0.0;
+
+  // Memory model (MB).
+  double mem_base = 500.0;
+  double mem_per_queued = 0.05;
+
+  // Queueing.
+  double buffer_limit = 1500.0;  ///< per-input-edge queue cap (work units)
+  bool join_inputs = false;      ///< System-S join: consume inputs in lockstep
+  double amplification = 1.0;    ///< output units emitted per unit processed
+
+  // Baseline activity independent of load.
+  double background_cpu = 0.04;      ///< fraction of one core
+  double background_disk_w = 40.0;   ///< KB/s (logging etc.)
+
+  // Batch work source (Hadoop map tasks): > 0 makes the component generate
+  // its own input from a finite reservoir instead of receiving it on edges.
+  double self_work_total = 0.0;
+  double self_work_rate = 0.0;  ///< max units/s pulled from the reservoir
+
+  // Batch-burst processing (Hadoop reducers): the component buffers input
+  // and drains it in periodic merge bursts of `burst_len_sec` every
+  // `burst_period_sec` (0 = continuous processing). This produces the
+  // strongly bursty reduce-node metrics of the paper's Fig. 3.
+  std::size_t burst_period_sec = 0;
+  std::size_t burst_len_sec = 0;
+
+  // Relative per-metric noise level (Hadoop uses a high value).
+  double noise_level = 0.03;
+  // Probability per tick of a short activity spike (Hadoop spills).
+  double spike_probability = 0.0;
+  double spike_magnitude = 0.0;
+};
+
+/// Live fault state attached to one component (mutated by the injector).
+struct FaultState {
+  double leak_rate_mb_s = 0.0;     ///< MemLeak growth rate
+  double leaked_mb = 0.0;          ///< accumulated leak
+  /// Fraction of the fair scheduler share taken by a co-located CPU hog in
+  /// the same VM: capacity shrinks by the share and every request is served
+  /// that much slower (runqueue wait), so latency degrades even before
+  /// throughput saturates.
+  double hog_share = 0.0;
+  double cpu_cap_factor = 1.0;     ///< Bottleneck cap multiplier
+  bool infinite_loop = false;      ///< task spins; no useful work
+  double extra_net_in_kbs = 0.0;       ///< current NetHog flood traffic
+  double extra_net_in_target = 0.0;    ///< flood ramps toward this
+  double extra_net_in_ramp = 0.0;      ///< KB/s gained per second
+  double net_hog_cpu_per_kb = 0.0;     ///< CPU burnt absorbing the flood
+  double disk_contention = 0.0;    ///< current fraction of disk bw stolen
+  double disk_contention_target = 0.0;  ///< DiskHog ramps toward this
+  double disk_contention_ramp = 0.0;    ///< fraction gained per second
+  double scale_cpu = 1.0;          ///< online-validation CPU scaling
+  double scale_mem = 1.0;          ///< online-validation memory scaling
+  double scale_disk = 1.0;         ///< online-validation disk scaling
+  /// Cores transiently stolen by co-located tenants on the same physical
+  /// host (set every tick by the Cloud's interference model, not a fault).
+  double interference_cpu = 0.0;
+};
+
+/// Dynamic state + per-tick accounting for one component.
+struct ComponentState {
+  /// One queue per input edge (index parallel to Application's in-edge list).
+  std::vector<double> in_queues;
+  /// Finite reservoir for self-sourcing components (Hadoop maps).
+  double self_work_remaining = 0.0;
+
+  FaultState fault;
+
+  // Per-tick outputs (filled by Application::step).
+  double processed = 0.0;
+  double arrived = 0.0;
+  double emitted = 0.0;
+  double dropped = 0.0;
+  /// Batch-burst components pull their input in periodic fetches; this is
+  /// the amount fetched this tick (drives their bursty network-in metric).
+  double fetched = 0.0;
+  double fetch_backlog = 0.0;
+
+  double totalQueue() const {
+    double sum = 0.0;
+    for (double q : in_queues) sum += q;
+    return sum;
+  }
+};
+
+/// Computes the effective CPU capacity (cores) under faults and validation
+/// scaling, including swap-thrash degradation once memory exceeds the limit.
+double effectiveCpuCapacity(const ComponentSpec& spec, const FaultState& fault,
+                            double memory_mb);
+
+/// Effective disk bandwidth (KB/s) under DiskHog contention and scaling.
+double effectiveDiskCapacity(const ComponentSpec& spec,
+                             const FaultState& fault);
+
+/// Memory usage (MB) implied by the current queue and leak state.
+double memoryUsage(const ComponentSpec& spec, const FaultState& fault,
+                   double total_queue);
+
+/// The noiseless per-tick metric sample implied by the tick accounting.
+std::array<double, kMetricCount> baseMetrics(const ComponentSpec& spec,
+                                             const ComponentState& state);
+
+}  // namespace fchain::sim

@@ -1,0 +1,152 @@
+#include "sim/injector.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fchain::sim {
+
+namespace {
+
+using faults::FaultSpec;
+using faults::FaultType;
+
+/// Finds the unique component with out-edges to both targets (the RUBiS web
+/// tier for the two load-balancing bugs).
+ComponentId commonUpstream(const Application& app, ComponentId a,
+                           ComponentId b) {
+  const auto& edges = app.spec().edges;
+  for (std::size_t i = 0; i < app.componentCount(); ++i) {
+    bool to_a = false, to_b = false;
+    for (const EdgeSpec& e : edges) {
+      if (e.from != i) continue;
+      to_a = to_a || e.to == a;
+      to_b = to_b || e.to == b;
+    }
+    if (to_a && to_b) return static_cast<ComponentId>(i);
+  }
+  return kNoComponent;
+}
+
+double edgeWeight(const Application& app, ComponentId from, ComponentId to) {
+  for (const EdgeSpec& e : app.spec().edges) {
+    if (e.from == from && e.to == to) return e.weight;
+  }
+  return 0.0;
+}
+
+void inject(Application& app, const FaultSpec& spec) {
+  switch (spec.type) {
+    case FaultType::MemLeak:
+      for (ComponentId id : spec.targets) {
+        app.faultStateOf(id).leak_rate_mb_s = 25.0 * spec.intensity;
+      }
+      break;
+    case FaultType::CpuHog:
+      for (ComponentId id : spec.targets) {
+        // The hog's threads take a fair-scheduler share inside the VM.
+        app.faultStateOf(id).hog_share =
+            std::min(0.9, 0.5 * spec.intensity);
+      }
+      break;
+    case FaultType::InfiniteLoop:
+      for (ComponentId id : spec.targets) {
+        app.faultStateOf(id).infinite_loop = true;
+      }
+      break;
+    case FaultType::NetHog:
+      for (ComponentId id : spec.targets) {
+        FaultState& fault = app.faultStateOf(id);
+        // Strong flood: absorbing it consumes nearly a full core, so the SLO
+        // trips promptly at any point in the diurnal workload cycle. httperf
+        // ramps its connection count up over ~10 s, so downstream starvation
+        // lags the flood onset by several seconds (the paper's observed
+        // multi-second propagation delays).
+        fault.extra_net_in_target = 40000.0 * spec.intensity;
+        fault.extra_net_in_ramp = 2000.0 * spec.intensity;
+        fault.net_hog_cpu_per_kb = 2.4e-5;
+      }
+      break;
+    case FaultType::DiskHog:
+      for (ComponentId id : spec.targets) {
+        FaultState& fault = app.faultStateOf(id);
+        // The hog saturates the disk queue as soon as it starts (a visible
+        // initial dent), then keeps degrading slowly as its working set
+        // grows — the paper's slow-manifestation fault that needs the
+        // longer 500 s look-back window before the SLO finally trips.
+        fault.disk_contention = std::min(0.5 * spec.intensity, 0.9);
+        fault.disk_contention_target = std::min(0.97, 0.97 * spec.intensity);
+        fault.disk_contention_ramp = 0.002;
+      }
+      break;
+    case FaultType::Bottleneck:
+      for (ComponentId id : spec.targets) {
+        app.faultStateOf(id).cpu_cap_factor =
+            std::max(0.06, 0.12 / spec.intensity);
+      }
+      break;
+    case FaultType::OffloadBug:
+    case FaultType::LBBug: {
+      if (spec.targets.size() != 2) {
+        throw std::invalid_argument("load-balance bug needs two targets");
+      }
+      const ComponentId a = spec.targets[0];
+      const ComponentId b = spec.targets[1];
+      const ComponentId up = commonUpstream(app, a, b);
+      if (up == kNoComponent) {
+        throw std::invalid_argument("no common upstream for LB bug targets");
+      }
+      const double total = edgeWeight(app, up, a) + edgeWeight(app, up, b);
+      // OffloadBug: the remote lookup binds locally, so *all* of the shared
+      // load lands on target a. LBBug: heavily skewed dispatch.
+      const double to_a =
+          spec.type == FaultType::OffloadBug ? total : 0.95 * total;
+      app.setEdgeWeight(up, a, to_a);
+      app.setEdgeWeight(up, b, total - to_a);
+      break;
+    }
+    case FaultType::WorkloadSurge:
+      // A flash-crowd-scale surge: enough to saturate the app tier at any
+      // point of the diurnal cycle.
+      app.setWorkloadMultiplier(3.0 * spec.intensity);
+      break;
+    case FaultType::SharedSlowdown:
+      // A shared backing store (NFS) degrades: every component's disk slows
+      // at once — instantly, the way a failing-over filer behaves — so the
+      // abnormal onsets cluster tightly across the whole application and
+      // each component sees one crisp step.
+      for (ComponentId id = 0; id < app.componentCount(); ++id) {
+        FaultState& fault = app.faultStateOf(id);
+        fault.disk_contention = std::min(0.97 * spec.intensity, 0.99);
+        fault.disk_contention_target = fault.disk_contention;
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+void FaultInjector::apply(Application& app, TimeSec now) {
+  fired_.resize(specs_.size(), false);
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    if (!fired_[i] && specs_[i].start_time == now) {
+      inject(app, specs_[i]);
+      fired_[i] = true;
+    }
+  }
+}
+
+std::vector<ComponentId> groundTruth(
+    const std::vector<faults::FaultSpec>& specs) {
+  std::vector<ComponentId> truth;
+  for (const auto& spec : specs) {
+    for (ComponentId id : spec.targets) {
+      if (std::find(truth.begin(), truth.end(), id) == truth.end()) {
+        truth.push_back(id);
+      }
+    }
+  }
+  std::sort(truth.begin(), truth.end());
+  return truth;
+}
+
+}  // namespace fchain::sim

@@ -1,0 +1,40 @@
+// Applies fault specs to a running application (paper §III-A).
+//
+// At the spec's start time the injector flips the corresponding knobs in the
+// target components' FaultState (or re-routes traffic for the two RUBiS
+// software bugs, or perturbs the external workload for the external
+// factors). Time-evolving behaviour (leak growth, DiskHog ramp-up) is then
+// advanced by Application::step itself.
+#pragma once
+
+#include <vector>
+
+#include "faults/fault.h"
+#include "sim/application.h"
+
+namespace fchain::sim {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::vector<faults::FaultSpec> specs = {})
+      : specs_(std::move(specs)) {}
+
+  void add(faults::FaultSpec spec) { specs_.push_back(std::move(spec)); }
+
+  const std::vector<faults::FaultSpec>& specs() const { return specs_; }
+
+  /// Call once per tick *before* Application::step; injects any spec whose
+  /// start time equals `now`.
+  void apply(Application& app, TimeSec now);
+
+ private:
+  std::vector<faults::FaultSpec> specs_;
+  std::vector<bool> fired_;
+};
+
+/// Ground-truth union of faulty components across all specs (empty for
+/// external factors).
+std::vector<ComponentId> groundTruth(
+    const std::vector<faults::FaultSpec>& specs);
+
+}  // namespace fchain::sim

@@ -1,0 +1,200 @@
+#include "sim/record_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "faults/fault.h"
+
+namespace fchain::sim {
+
+namespace {
+
+constexpr char kMagic[] = "fchain-record-v1";
+
+std::string_view wireStyleName(WireStyle style) {
+  return style == WireStyle::Streaming ? "streaming" : "request-reply";
+}
+
+WireStyle wireStyleFromName(std::string_view name) {
+  return name == "streaming" ? WireStyle::Streaming : WireStyle::RequestReply;
+}
+
+void expect(std::istream& in, const std::string& keyword) {
+  std::string token;
+  in >> token;
+  if (token != keyword) {
+    throw std::runtime_error("record parse error: expected '" + keyword +
+                             "', got '" + token + "'");
+  }
+}
+
+}  // namespace
+
+void saveRecord(std::ostream& out, const RunRecord& record) {
+  out.precision(12);
+  out << kMagic << "\n";
+  out << "app " << record.app_spec.name << " "
+      << wireStyleName(record.app_spec.wire_style) << " "
+      << (record.app_spec.batch ? 1 : 0) << "\n";
+
+  out << "components " << record.app_spec.components.size() << "\n";
+  for (const auto& component : record.app_spec.components) {
+    out << component.name << "\n";
+  }
+
+  out << "edges " << record.app_spec.edges.size() << "\n";
+  for (const auto& edge : record.app_spec.edges) {
+    out << edge.from << " " << edge.to << " " << edge.weight << " "
+        << edge.delay_sec << "\n";
+  }
+
+  out << "violation "
+      << (record.violation_time.has_value()
+              ? std::to_string(*record.violation_time)
+              : std::string("none"))
+      << "\n";
+
+  out << "faults " << record.faults.size() << "\n";
+  for (const auto& fault : record.faults) {
+    out << faults::faultTypeName(fault.type) << " " << fault.start_time << " "
+        << fault.intensity << " " << fault.targets.size();
+    for (ComponentId target : fault.targets) out << " " << target;
+    out << "\n";
+  }
+
+  out << "ground_truth " << record.ground_truth.size();
+  for (ComponentId id : record.ground_truth) out << " " << id;
+  out << "\n";
+
+  // Metrics: per component, start time + one line per metric kind.
+  out << "metrics " << record.metrics.size() << "\n";
+  for (const auto& series : record.metrics) {
+    const auto& first = series.of(MetricKind::CpuUsage);
+    out << first.startTime() << " " << first.size() << "\n";
+    for (MetricKind kind : kAllMetrics) {
+      for (double value : series.of(kind).values()) out << value << " ";
+      out << "\n";
+    }
+  }
+
+  out << "edge_traffic " << record.edge_traffic.size() << "\n";
+  for (const auto& traffic : record.edge_traffic) {
+    out << traffic.size() << "\n";
+    for (double value : traffic) out << value << " ";
+    out << "\n";
+  }
+}
+
+void saveRecord(const std::string& path, const RunRecord& record) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot create record file: " + path);
+  saveRecord(out, record);
+  if (!out) throw std::runtime_error("write failure on record file: " + path);
+}
+
+RunRecord loadRecord(std::istream& in) {
+  RunRecord record;
+  std::string token;
+  in >> token;
+  if (token != kMagic) {
+    throw std::runtime_error("not an fchain record (bad magic)");
+  }
+
+  expect(in, "app");
+  std::string wire;
+  int batch = 0;
+  in >> record.app_spec.name >> wire >> batch;
+  record.app_spec.wire_style = wireStyleFromName(wire);
+  record.app_spec.batch = batch != 0;
+
+  expect(in, "components");
+  std::size_t component_count = 0;
+  in >> component_count;
+  record.app_spec.components.resize(component_count);
+  for (auto& component : record.app_spec.components) {
+    in >> component.name;
+  }
+
+  expect(in, "edges");
+  std::size_t edge_count = 0;
+  in >> edge_count;
+  record.app_spec.edges.resize(edge_count);
+  for (auto& edge : record.app_spec.edges) {
+    in >> edge.from >> edge.to >> edge.weight >> edge.delay_sec;
+  }
+
+  expect(in, "violation");
+  in >> token;
+  if (token != "none") record.violation_time = std::stoll(token);
+
+  expect(in, "faults");
+  std::size_t fault_count = 0;
+  in >> fault_count;
+  record.faults.resize(fault_count);
+  for (auto& fault : record.faults) {
+    std::string type_name;
+    std::size_t target_count = 0;
+    in >> type_name >> fault.start_time >> fault.intensity >> target_count;
+    // Linear scan over the small enum.
+    for (int t = 0; t <= static_cast<int>(faults::FaultType::SharedSlowdown);
+         ++t) {
+      if (faults::faultTypeName(static_cast<faults::FaultType>(t)) ==
+          type_name) {
+        fault.type = static_cast<faults::FaultType>(t);
+      }
+    }
+    fault.targets.resize(target_count);
+    for (ComponentId& target : fault.targets) in >> target;
+  }
+
+  expect(in, "ground_truth");
+  std::size_t truth_count = 0;
+  in >> truth_count;
+  record.ground_truth.resize(truth_count);
+  for (ComponentId& id : record.ground_truth) in >> id;
+
+  expect(in, "metrics");
+  std::size_t series_count = 0;
+  in >> series_count;
+  record.metrics.reserve(series_count);
+  for (std::size_t s = 0; s < series_count; ++s) {
+    TimeSec start = 0;
+    std::size_t samples = 0;
+    in >> start >> samples;
+    MetricSeries series(start);
+    std::array<std::vector<double>, kMetricCount> columns;
+    for (auto& column : columns) {
+      column.resize(samples);
+      for (double& value : column) in >> value;
+    }
+    for (std::size_t i = 0; i < samples; ++i) {
+      std::array<double, kMetricCount> sample{};
+      for (std::size_t m = 0; m < kMetricCount; ++m) sample[m] = columns[m][i];
+      series.append(sample);
+    }
+    record.metrics.push_back(std::move(series));
+  }
+
+  expect(in, "edge_traffic");
+  std::size_t traffic_count = 0;
+  in >> traffic_count;
+  record.edge_traffic.resize(traffic_count);
+  for (auto& traffic : record.edge_traffic) {
+    std::size_t samples = 0;
+    in >> samples;
+    traffic.resize(samples);
+    for (double& value : traffic) in >> value;
+  }
+
+  if (!in) throw std::runtime_error("record parse error: truncated file");
+  return record;
+}
+
+RunRecord loadRecord(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open record file: " + path);
+  return loadRecord(in);
+}
+
+}  // namespace fchain::sim

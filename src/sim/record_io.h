@@ -1,0 +1,30 @@
+// Run-record persistence.
+//
+// A RunRecord is exactly what a black-box monitoring deployment would have
+// logged: component names and wiring, the 1 Hz metric samples, the SLO
+// violation time, per-edge traffic counters — plus, for scored experiments,
+// the injected faults and ground truth. This module saves/loads that
+// observable record in a self-describing line-oriented text format, so
+// incidents can be archived, shipped across machines, and re-diagnosed
+// (simulator-internal calibration is deliberately *not* persisted: FChain
+// never sees it either).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/simulator.h"
+
+namespace fchain::sim {
+
+/// Writes the record; throws std::runtime_error when the file cannot be
+/// created.
+void saveRecord(const std::string& path, const RunRecord& record);
+void saveRecord(std::ostream& out, const RunRecord& record);
+
+/// Reads a record previously written by saveRecord; throws
+/// std::runtime_error on missing files or malformed content.
+RunRecord loadRecord(const std::string& path);
+RunRecord loadRecord(std::istream& in);
+
+}  // namespace fchain::sim

@@ -1,0 +1,81 @@
+#include "sim/simulator.h"
+
+namespace fchain::sim {
+
+namespace {
+Rng makeRng(const ScenarioConfig& config) { return Rng(config.seed); }
+}  // namespace
+
+Simulation::Simulation(const ScenarioConfig& config)
+    : config_(config), rng_(makeRng(config)),
+      app_(makeApplication(config.kind, config.duration_sec, rng_)),
+      injector_(config.faults),
+      latency_slo_(sloLatencyThreshold(config.kind), config.slo_sustain_sec),
+      progress_slo_() {
+  edge_traffic_.resize(app_.spec().edges.size());
+}
+
+void Simulation::step() {
+  injector_.apply(app_, app_.now());
+  app_.step();
+  const TimeSec t = app_.now() - 1;  // time of the sample just produced
+  if (batch()) {
+    const double progress = app_.progress();
+    progress_rate_ = progress - last_progress_;
+    last_progress_ = progress;
+    progress_slo_.observe(t, progress);
+  } else {
+    latency_slo_.observe(t, app_.latencySeconds());
+  }
+  for (std::size_t e = 0; e < edge_traffic_.size(); ++e) {
+    edge_traffic_[e].push_back(app_.edgeTraffic()[e]);
+  }
+}
+
+void Simulation::runUntil(TimeSec t) {
+  while (app_.now() < t) step();
+}
+
+std::optional<TimeSec> Simulation::violationTime() const {
+  return batch() ? progress_slo_.violationTime() : latency_slo_.violationTime();
+}
+
+double Simulation::sloSignal() const {
+  return batch() ? -progress_rate_ : app_.latencySeconds();
+}
+
+RunRecord Simulation::record() const {
+  RunRecord rec;
+  rec.app_spec = app_.spec();
+  rec.kind = config_.kind;
+  for (ComponentId id = 0; id < app_.componentCount(); ++id) {
+    rec.metrics.push_back(app_.metricsOf(id));
+  }
+  rec.violation_time = violationTime();
+  rec.faults = injector_.specs();
+  rec.ground_truth = groundTruth(injector_.specs());
+  rec.edge_traffic = edge_traffic_;
+  return rec;
+}
+
+ScenarioResult runScenario(const ScenarioConfig& config) {
+  Simulation sim(config);
+  ScenarioResult result;
+  const auto duration = static_cast<TimeSec>(config.duration_sec);
+  while (sim.now() < duration) {
+    sim.step();
+    if (sim.violationTime().has_value() &&
+        !result.snapshot_at_violation.has_value()) {
+      result.snapshot_at_violation = sim;  // copy at the violation tick
+      break;
+    }
+  }
+  // A little post-violation data so windows ending at tv are fully covered.
+  if (result.snapshot_at_violation.has_value()) {
+    sim.runUntil(sim.now() + static_cast<TimeSec>(config.post_violation_sec));
+  }
+  result.record = sim.record();
+  return result;
+}
+
+}  // namespace fchain::sim

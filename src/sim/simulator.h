@@ -1,0 +1,94 @@
+// Scenario driver: one benchmark application + one fault spec + one SLO
+// monitor, advanced tick by tick. Simulation is a plain value type — the
+// online validator copies the snapshot taken at SLO-violation time and runs
+// what-if resource-scaling experiments forward on the copies, mirroring the
+// paper's dynamic-resource-scaling validation.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/apps.h"
+#include "sim/injector.h"
+#include "sim/slo.h"
+
+namespace fchain::sim {
+
+struct ScenarioConfig {
+  AppKind kind = AppKind::Rubis;
+  std::vector<faults::FaultSpec> faults;
+  std::uint64_t seed = 1;
+  std::size_t duration_sec = 3600;
+  /// Seconds the latency SLO must hold before alarming.
+  std::size_t slo_sustain_sec = 30;
+  /// Extra seconds simulated past the SLO violation so the analysis window
+  /// has data up to (and slightly past) tv.
+  std::size_t post_violation_sec = 5;
+};
+
+/// Everything a fault localizer may look at after a run, plus the ground
+/// truth the evaluation scores against.
+struct RunRecord {
+  ApplicationSpec app_spec;
+  AppKind kind = AppKind::Rubis;
+  std::vector<MetricSeries> metrics;  // per component, 1 Hz, noisy
+  std::optional<TimeSec> violation_time;
+  std::vector<faults::FaultSpec> faults;
+  std::vector<ComponentId> ground_truth;
+  /// Per-edge work units per tick (drives the packet-trace layer).
+  std::vector<std::vector<double>> edge_traffic;
+};
+
+class Simulation {
+ public:
+  Simulation(const ScenarioConfig& config);
+
+  /// Advances one second (inject, step, monitor SLO, record edge traffic).
+  void step();
+
+  /// Runs until `t` (exclusive of further ticks once reached).
+  void runUntil(TimeSec t);
+
+  TimeSec now() const { return app_.now(); }
+  Application& app() { return app_; }
+  const Application& app() const { return app_; }
+  AppKind kind() const { return config_.kind; }
+  bool batch() const { return app_.spec().batch; }
+
+  std::optional<TimeSec> violationTime() const;
+
+  /// Instantaneous SLO health indicator: latency for latency SLOs, negated
+  /// progress rate for the batch SLO. Lower is better.
+  double sloSignal() const;
+
+  const std::vector<std::vector<double>>& edgeTraffic() const {
+    return edge_traffic_;
+  }
+
+  RunRecord record() const;
+
+ private:
+  ScenarioConfig config_;
+  Rng rng_;
+  Application app_;
+  FaultInjector injector_;
+  LatencySloMonitor latency_slo_;
+  ProgressSloMonitor progress_slo_;
+  std::vector<std::vector<double>> edge_traffic_;
+  double last_progress_ = 0.0;
+  double progress_rate_ = 0.0;
+};
+
+/// Result of a full scenario run: the record for offline analysis plus a
+/// snapshot of the simulation at violation time for online validation.
+struct ScenarioResult {
+  RunRecord record;
+  /// Present iff an SLO violation occurred; state as of the violation tick.
+  std::optional<Simulation> snapshot_at_violation;
+};
+
+ScenarioResult runScenario(const ScenarioConfig& config);
+
+}  // namespace fchain::sim

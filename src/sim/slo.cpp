@@ -1,0 +1,31 @@
+#include "sim/slo.h"
+
+namespace fchain::sim {
+
+std::optional<TimeSec> LatencySloMonitor::observe(TimeSec t,
+                                                  double latency_sec) {
+  if (violation_.has_value()) return violation_;
+  if (latency_sec > threshold_) {
+    if (++above_ >= sustain_) violation_ = t;
+  } else {
+    above_ = 0;
+  }
+  return violation_;
+}
+
+std::optional<TimeSec> ProgressSloMonitor::observe(TimeSec t,
+                                                   double progress) {
+  if (violation_.has_value()) return violation_;
+  if (!started_) {
+    started_ = progress > 0.0;
+    if (!started_) return std::nullopt;
+  }
+  history_.push_back(progress);
+  if (history_.size() > window_) {
+    const double old = history_[history_.size() - window_ - 1];
+    if (progress - old < min_delta_) violation_ = t;
+  }
+  return violation_;
+}
+
+}  // namespace fchain::sim

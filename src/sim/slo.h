@@ -1,0 +1,62 @@
+// SLO monitors (paper §III-A).
+//
+// RUBiS: violation when average request response time exceeds 100 ms;
+// System S: when average per-tuple processing time exceeds 20 ms; Hadoop:
+// when the job makes no progress for more than 30 seconds. The latency
+// monitors require the violation to be *sustained* for a short interval —
+// production detectors average over a monitoring window before alarming —
+// which also gives fault propagation time to reach neighbour components
+// before the look-back analysis starts, as in the paper's timelines (Fig. 5).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fchain::sim {
+
+/// Latches the first time `latency > threshold` holds for `sustain`
+/// consecutive seconds.
+class LatencySloMonitor {
+ public:
+  LatencySloMonitor(double threshold_sec, std::size_t sustain_sec)
+      : threshold_(threshold_sec), sustain_(sustain_sec) {}
+
+  /// Feeds one sample; returns the latched violation time, if any.
+  std::optional<TimeSec> observe(TimeSec t, double latency_sec);
+
+  std::optional<TimeSec> violationTime() const { return violation_; }
+
+ private:
+  double threshold_;
+  std::size_t sustain_;
+  std::size_t above_ = 0;
+  std::optional<TimeSec> violation_;
+};
+
+/// Latches the first time progress advances by less than `min_delta` over a
+/// trailing `window` seconds (default 30, per the paper). The trailing-window
+/// comparison tolerates burst-structured progress (reducers deliver progress
+/// in periodic merge clumps). Arms only once the job has started making
+/// progress.
+class ProgressSloMonitor {
+ public:
+  explicit ProgressSloMonitor(std::size_t window_sec = 30,
+                              double min_delta = 5e-4)
+      : window_(window_sec), min_delta_(min_delta) {}
+
+  std::optional<TimeSec> observe(TimeSec t, double progress);
+
+  std::optional<TimeSec> violationTime() const { return violation_; }
+
+ private:
+  std::size_t window_;
+  double min_delta_;
+  std::vector<double> history_;  // progress samples since the job started
+  bool started_ = false;
+  std::optional<TimeSec> violation_;
+};
+
+}  // namespace fchain::sim

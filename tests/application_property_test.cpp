@@ -1,0 +1,155 @@
+// Property sweeps over the application engine with randomized topologies:
+// conservation and boundedness invariants that must hold regardless of the
+// DAG's shape, rates or buffer sizes.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/application.h"
+
+namespace fchain::sim {
+namespace {
+
+/// Builds a random layered DAG: `layers` tiers, 1-3 components each, every
+/// component wired to 1-2 components of the next tier, random capacities
+/// and buffers. Noiseless, amplification 1, so work is conserved exactly.
+ApplicationSpec randomDag(Rng& rng, std::size_t layers) {
+  ApplicationSpec spec;
+  spec.name = "random";
+  std::vector<std::vector<ComponentId>> tiers;
+  for (std::size_t layer = 0; layer < layers; ++layer) {
+    const std::size_t width = 1 + rng.below(3);
+    std::vector<ComponentId> tier;
+    for (std::size_t i = 0; i < width; ++i) {
+      ComponentSpec component;
+      component.name =
+          "c" + std::to_string(layer) + "_" + std::to_string(i);
+      component.cpu_demand = rng.uniform(0.002, 0.01);
+      component.cpu_capacity = rng.uniform(0.5, 2.0);
+      component.buffer_limit = rng.uniform(50.0, 500.0);
+      component.noise_level = 0.0;
+      component.background_cpu = 0.0;
+      tier.push_back(static_cast<ComponentId>(spec.components.size()));
+      spec.components.push_back(component);
+    }
+    tiers.push_back(std::move(tier));
+  }
+  for (std::size_t layer = 0; layer + 1 < layers; ++layer) {
+    for (ComponentId from : tiers[layer]) {
+      const std::size_t fanout = 1 + rng.below(2);
+      std::vector<ComponentId> chosen;
+      for (std::size_t f = 0; f < fanout; ++f) {
+        chosen.push_back(
+            tiers[layer + 1][rng.below(tiers[layer + 1].size())]);
+      }
+      std::sort(chosen.begin(), chosen.end());
+      chosen.erase(std::unique(chosen.begin(), chosen.end()), chosen.end());
+      const double weight = 1.0 / static_cast<double>(chosen.size());
+      for (ComponentId to : chosen) {
+        spec.edges.push_back({from, to, weight});
+      }
+    }
+  }
+  spec.reference_path = {tiers.front().front()};
+  return spec;
+}
+
+class ApplicationProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ApplicationProperty, QueuesStayWithinBufferPlusDrain) {
+  Rng rng(GetParam());
+  const auto spec = randomDag(rng, 2 + rng.below(3));
+  Application app(spec, GetParam());
+  app.setWorkload(std::vector<double>(300, rng.uniform(20.0, 200.0)));
+  for (int t = 0; t < 300; ++t) {
+    app.step();
+    for (ComponentId id = 0; id < app.componentCount(); ++id) {
+      const auto& state = app.stateOf(id);
+      for (double queue : state.in_queues) {
+        EXPECT_GE(queue, -1e-6);
+        // The allowance admits at most one extra tick of downstream drain
+        // beyond the buffer; nominal capacity bounds that drain.
+        const double drain_bound =
+            spec.components[id].cpu_capacity / spec.components[id].cpu_demand;
+        EXPECT_LE(queue,
+                  spec.components[id].buffer_limit + drain_bound + 1e-6)
+            << "component " << id << " at t=" << t;
+      }
+    }
+  }
+}
+
+TEST_P(ApplicationProperty, WorkIsConservedEndToEnd) {
+  Rng rng(GetParam() ^ 0x55);
+  const auto spec = randomDag(rng, 3);
+  Application app(spec, GetParam());
+  const double rate = rng.uniform(10.0, 80.0);
+  app.setWorkload(std::vector<double>(600, rate));
+  // Sources are components with no in-edges (a random DAG can leave
+  // later-tier components unwired, which also makes them sources); sinks
+  // have no out-edges.
+  std::vector<bool> has_in(app.componentCount(), false);
+  std::vector<bool> has_out(app.componentCount(), false);
+  for (const auto& edge : spec.edges) {
+    has_in[edge.to] = true;
+    has_out[edge.from] = true;
+  }
+  double accepted = 0.0, completed = 0.0;
+  for (int t = 0; t < 600; ++t) {
+    app.step();
+    for (ComponentId id = 0; id < app.componentCount(); ++id) {
+      const auto& state = app.stateOf(id);
+      if (!has_in[id]) accepted += state.arrived - state.dropped;
+      if (!has_out[id]) completed += state.processed;
+    }
+  }
+  // Everything accepted either completed or is still inside the system.
+  double in_flight = 0.0;
+  for (ComponentId id = 0; id < app.componentCount(); ++id) {
+    in_flight += app.stateOf(id).totalQueue();
+  }
+  EXPECT_NEAR(accepted, completed + in_flight, accepted * 0.02 + 10.0);
+}
+
+TEST_P(ApplicationProperty, MetricsAreFiniteAndNonNegative) {
+  Rng rng(GetParam() ^ 0x77);
+  const auto spec = randomDag(rng, 2 + rng.below(3));
+  Application app(spec, GetParam());
+  app.setWorkload(std::vector<double>(200, rng.uniform(20.0, 300.0)));
+  for (int t = 0; t < 200; ++t) app.step();
+  for (ComponentId id = 0; id < app.componentCount(); ++id) {
+    for (MetricKind kind : kAllMetrics) {
+      for (double value : app.metricsOf(id).of(kind).values()) {
+        EXPECT_TRUE(std::isfinite(value));
+        EXPECT_GE(value, 0.0);
+      }
+    }
+  }
+}
+
+TEST_P(ApplicationProperty, DeterministicForIdenticalSeeds) {
+  Rng rng_a(GetParam() ^ 0x99), rng_b(GetParam() ^ 0x99);
+  const auto spec_a = randomDag(rng_a, 3);
+  const auto spec_b = randomDag(rng_b, 3);
+  Application a(spec_a, 1234), b(spec_b, 1234);
+  a.setWorkload(std::vector<double>(150, 50.0));
+  b.setWorkload(std::vector<double>(150, 50.0));
+  for (int t = 0; t < 150; ++t) {
+    a.step();
+    b.step();
+  }
+  for (ComponentId id = 0; id < a.componentCount(); ++id) {
+    for (MetricKind kind : kAllMetrics) {
+      const auto va = a.metricsOf(id).of(kind).values();
+      const auto vb = b.metricsOf(id).of(kind).values();
+      for (std::size_t i = 0; i < va.size(); i += 37) {
+        EXPECT_DOUBLE_EQ(va[i], vb[i]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApplicationProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace fchain::sim

@@ -1,0 +1,71 @@
+// Tests for curve summary statistics.
+#include <gtest/gtest.h>
+
+#include "eval/auc.h"
+
+namespace fchain::eval {
+namespace {
+
+RocPoint point(double precision, double recall, double threshold = 1.0) {
+  RocPoint p;
+  p.threshold = threshold;
+  p.precision = precision;
+  p.recall = recall;
+  // Back-fill counts consistent with 100 ground-truth positives.
+  p.counts.tp = static_cast<std::size_t>(recall * 100);
+  p.counts.fn = 100 - p.counts.tp;
+  if (precision > 0) {
+    p.counts.fp = static_cast<std::size_t>(
+        static_cast<double>(p.counts.tp) * (1.0 - precision) / precision);
+  }
+  return p;
+}
+
+TEST(Auc, PerfectSchemeHasUnitArea) {
+  SchemeCurve curve;
+  curve.points = {point(1.0, 1.0)};
+  EXPECT_NEAR(prAuc(curve), 1.0, 1e-9);
+}
+
+TEST(Auc, EmptyCurveIsZero) {
+  EXPECT_DOUBLE_EQ(prAuc(SchemeCurve{}), 0.0);
+  EXPECT_DOUBLE_EQ(bestF1(SchemeCurve{}), 0.0);
+}
+
+TEST(Auc, TrapezoidOverTwoPoints) {
+  SchemeCurve curve;
+  curve.points = {point(1.0, 0.5), point(0.5, 1.0)};
+  // Anchored at (0, 1.0): area = 0.5*1.0 (flat to recall .5)
+  //                            + 0.5*(1.0+0.5)/2 = 0.875.
+  EXPECT_NEAR(prAuc(curve), 0.875, 1e-9);
+}
+
+TEST(Auc, DuplicateRecallKeepsBestPrecision) {
+  SchemeCurve curve;
+  curve.points = {point(0.2, 0.8), point(0.9, 0.8)};
+  SchemeCurve clean;
+  clean.points = {point(0.9, 0.8)};
+  EXPECT_NEAR(prAuc(curve), prAuc(clean), 1e-9);
+}
+
+TEST(Auc, MoreAccurateCurveScoresHigher) {
+  SchemeCurve strong;
+  strong.points = {point(0.95, 0.9), point(0.8, 0.95)};
+  SchemeCurve weak;
+  weak.points = {point(0.5, 0.4), point(0.3, 0.6)};
+  EXPECT_GT(prAuc(strong), prAuc(weak));
+  EXPECT_GT(bestF1(strong), bestF1(weak));
+}
+
+TEST(Auc, DominanceCount) {
+  SchemeCurve strong;
+  strong.points = {point(0.9, 0.9)};
+  SchemeCurve weak;
+  weak.points = {point(0.5, 0.5), point(0.95, 0.2), point(0.2, 0.95)};
+  // Only (0.5, 0.5) is strictly dominated by (0.9, 0.9).
+  EXPECT_EQ(dominatedPoints(strong, weak), 1u);
+  EXPECT_EQ(dominatedPoints(weak, strong), 0u);
+}
+
+}  // namespace
+}  // namespace fchain::eval

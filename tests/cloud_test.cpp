@@ -1,0 +1,101 @@
+// Tests for the multi-tenant cloud layer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/apps.h"
+#include "sim/cloud.h"
+#include "sim/slo.h"
+
+namespace fchain::sim {
+namespace {
+
+TEST(Cloud, RoundRobinPlacementInterleavesTenants) {
+  Cloud cloud(CloudConfig{.host_count = 3}, 1);
+  Rng rng(2);
+  const auto a = cloud.deploy(makeApplication(AppKind::Rubis, 100, rng));
+  const auto b = cloud.deploy(makeApplication(AppKind::SystemS, 100, rng));
+  // RUBiS has 4 components on 3 hosts: 0,1,2,0.
+  EXPECT_EQ(cloud.hostOf(a, 0), 0u);
+  EXPECT_EQ(cloud.hostOf(a, 3), 0u);
+  // System S continues where RUBiS stopped (host 1).
+  EXPECT_EQ(cloud.hostOf(b, 0), 1u);
+  // Hosts carry components of both tenants.
+  EXPECT_EQ(cloud.componentsOn(a, 0), (std::vector<ComponentId>{0, 3}));
+  EXPECT_FALSE(cloud.componentsOn(b, 0).empty());
+}
+
+TEST(Cloud, ClockSkewStaysWithinNtpBound) {
+  CloudConfig config;
+  config.max_clock_skew_ms = 5.0;
+  Cloud cloud(config, 3);
+  for (HostId h = 0; h < cloud.hostCount(); ++h) {
+    EXPECT_LE(std::fabs(cloud.clockSkewMs(h)), 5.0);
+  }
+}
+
+TEST(Cloud, StepAdvancesEveryTenant) {
+  Cloud cloud(CloudConfig{}, 4);
+  Rng rng(5);
+  cloud.deploy(makeApplication(AppKind::Rubis, 200, rng));
+  cloud.deploy(makeApplication(AppKind::SystemS, 200, rng));
+  for (int i = 0; i < 50; ++i) cloud.step();
+  EXPECT_EQ(cloud.app(0).now(), 50);
+  EXPECT_EQ(cloud.app(1).now(), 50);
+  EXPECT_EQ(cloud.now(), 50);
+}
+
+TEST(Cloud, InterferenceIsBoundedAndCorrelatedPerHost) {
+  CloudConfig config;
+  config.host_count = 2;
+  config.interference_level = 0.1;
+  Cloud cloud(config, 6);
+  Rng rng(7);
+  const auto a = cloud.deploy(makeApplication(AppKind::Rubis, 300, rng));
+  const auto b = cloud.deploy(makeApplication(AppKind::Rubis, 300, rng));
+  for (int i = 0; i < 100; ++i) {
+    cloud.step();
+    for (std::size_t app_idx : {a, b}) {
+      for (ComponentId id = 0; id < cloud.app(app_idx).componentCount();
+           ++id) {
+        const double steal =
+            cloud.app(app_idx).faultStateOf(id).interference_cpu;
+        EXPECT_GE(steal, 0.0);
+        EXPECT_LE(steal, 0.1);
+      }
+    }
+    // Co-located VMs (same host, different tenants) see the same steal.
+    const double steal_a0 = cloud.app(a).faultStateOf(0).interference_cpu;
+    const double steal_b0 = cloud.app(b).faultStateOf(0).interference_cpu;
+    EXPECT_EQ(cloud.hostOf(a, 0), cloud.hostOf(b, 0));
+    EXPECT_DOUBLE_EQ(steal_a0, steal_b0);
+  }
+}
+
+TEST(Cloud, MultiTenantRunStaysHealthyWithoutFaults) {
+  // All three benchmarks side by side (the paper's setup): interference
+  // alone must not violate anyone's SLO.
+  Cloud cloud(CloudConfig{}, 8);
+  Rng rng(9);
+  const auto rubis = cloud.deploy(makeApplication(AppKind::Rubis, 1200, rng));
+  const auto streams =
+      cloud.deploy(makeApplication(AppKind::SystemS, 1200, rng));
+  const auto hadoop =
+      cloud.deploy(makeApplication(AppKind::Hadoop, 1200, rng));
+  LatencySloMonitor rubis_slo(sloLatencyThreshold(AppKind::Rubis), 30);
+  LatencySloMonitor streams_slo(sloLatencyThreshold(AppKind::SystemS), 30);
+  ProgressSloMonitor hadoop_slo;
+  for (int i = 0; i < 1200; ++i) {
+    cloud.step();
+    const TimeSec t = cloud.now() - 1;
+    rubis_slo.observe(t, cloud.app(rubis).latencySeconds());
+    streams_slo.observe(t, cloud.app(streams).latencySeconds());
+    hadoop_slo.observe(t, cloud.app(hadoop).progress());
+  }
+  EXPECT_FALSE(rubis_slo.violationTime().has_value());
+  EXPECT_FALSE(streams_slo.violationTime().has_value());
+  EXPECT_FALSE(hadoop_slo.violationTime().has_value());
+}
+
+}  // namespace
+}  // namespace fchain::sim

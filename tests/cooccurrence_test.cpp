@@ -1,0 +1,113 @@
+// Tests for Sherlock-style co-occurrence dependency inference.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "netdep/cooccurrence.h"
+
+namespace fchain::netdep {
+namespace {
+
+/// Synthesizes a request chain 0 -> 1 -> 2: each front-end flow triggers a
+/// back-end flow `delay` seconds later. Component 3 emits independent flows.
+std::vector<FlowEvent> chainTrace(std::size_t requests, double delay,
+                                  std::uint64_t seed = 1) {
+  Rng rng(seed);
+  std::vector<FlowEvent> trace;
+  double t = 0.0;
+  for (std::size_t i = 0; i < requests; ++i) {
+    t += rng.uniform(1.0, 2.0);  // well-separated requests
+    trace.push_back({0, 1, t, 0.05});
+    trace.push_back({1, 2, t + delay, 0.05});
+    trace.push_back({3, 1, t + rng.uniform(0.0, 1.0), 0.05});  // unrelated
+  }
+  return trace;
+}
+
+TEST(CoOccurrence, DetectsTheCausalChain) {
+  const auto trace = chainTrace(200, 0.1);
+  const auto stats = coOccurrenceStatistics(4, trace);
+  bool found = false;
+  for (const auto& edge : stats) {
+    if (edge.parent_from == 0 && edge.middle == 1 && edge.child_to == 2) {
+      found = true;
+      EXPECT_GT(edge.probability, 0.9);
+      EXPECT_GE(edge.samples, 50u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CoOccurrence, SlowChildFallsOutOfTheWindow) {
+  const auto trace = chainTrace(200, /*delay=*/0.9);  // > 0.5 s window
+  const auto stats = coOccurrenceStatistics(4, trace);
+  for (const auto& edge : stats) {
+    if (edge.parent_from == 0 && edge.middle == 1 && edge.child_to == 2) {
+      EXPECT_LT(edge.probability, 0.3);
+    }
+  }
+}
+
+TEST(CoOccurrence, GraphContainsDirectAndInferredEdges) {
+  const auto trace = chainTrace(200, 0.1);
+  const auto graph = inferCoOccurrence(4, trace);
+  EXPECT_TRUE(graph.hasEdge(0, 1));  // directly observed
+  EXPECT_TRUE(graph.hasEdge(1, 2));  // causally inferred
+  EXPECT_TRUE(graph.reaches(0, 2));
+}
+
+TEST(CoOccurrence, ReplyPathIsNotADependency) {
+  // 0 -> 1 flows followed by 1 -> 0 replies must not create a 1 -> 0
+  // "dependency".
+  Rng rng(2);
+  std::vector<FlowEvent> trace;
+  double t = 0.0;
+  for (int i = 0; i < 150; ++i) {
+    t += rng.uniform(1.0, 2.0);
+    trace.push_back({0, 1, t, 0.05});
+    trace.push_back({1, 0, t + 0.08, 0.05});
+  }
+  const auto stats = coOccurrenceStatistics(2, trace);
+  for (const auto& edge : stats) {
+    EXPECT_FALSE(edge.middle == 1 && edge.child_to == 0);
+  }
+}
+
+TEST(CoOccurrence, TooFewSamplesYieldNoInference) {
+  const auto trace = chainTrace(20, 0.1);  // below min_samples
+  const auto graph = inferCoOccurrence(4, trace);
+  EXPECT_FALSE(graph.hasEdge(1, 2));
+}
+
+TEST(CoOccurrence, StreamingTraceYieldsNothing) {
+  // Gap-free coverage: one endless flow per edge, no start events to
+  // correlate — the paper's System S negative result again.
+  std::vector<FlowEvent> trace;
+  for (int t = 0; t < 500; ++t) {
+    trace.push_back({0, 1, static_cast<double>(t), 1.0});
+    trace.push_back({1, 2, static_cast<double>(t), 1.0});
+  }
+  const auto stats = coOccurrenceStatistics(3, trace);
+  for (const auto& edge : stats) {
+    EXPECT_LT(edge.samples, 50u);
+  }
+  EXPECT_TRUE(inferCoOccurrence(3, trace).empty());
+}
+
+TEST(CoOccurrence, IndependentServicesStayIndependent) {
+  // Two separate chains driven by uncorrelated arrival processes.
+  Rng rng(3);
+  std::vector<FlowEvent> trace;
+  double t1 = 0.0, t2 = 0.5;
+  for (int i = 0; i < 200; ++i) {
+    t1 += rng.uniform(1.0, 3.0);
+    t2 += rng.uniform(1.0, 3.0);
+    trace.push_back({0, 1, t1, 0.05});
+    trace.push_back({2, 3, t2, 0.05});
+  }
+  const auto stats = coOccurrenceStatistics(4, trace);
+  // No pair shares a middle component, so no co-occurrence edge can form.
+  EXPECT_TRUE(stats.empty());
+}
+
+}  // namespace
+}  // namespace fchain::netdep

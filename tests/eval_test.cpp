@@ -1,0 +1,180 @@
+// Tests for the evaluation harness: scoring math, ROC containers, trial
+// generation determinism, and the paper fault-case definitions.
+#include <gtest/gtest.h>
+
+#include "eval/report.h"
+#include "eval/runner.h"
+
+#include <sstream>
+
+namespace fchain::eval {
+namespace {
+
+TEST(Counts, AccumulateBasics) {
+  Counts counts;
+  counts.accumulate({1, 2, 3}, {2, 3, 4});
+  EXPECT_EQ(counts.tp, 2u);
+  EXPECT_EQ(counts.fp, 1u);
+  EXPECT_EQ(counts.fn, 1u);
+  EXPECT_NEAR(counts.precision(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(counts.recall(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Counts, EmptyAgainstEmptyIsPerfect) {
+  Counts counts;
+  counts.accumulate({}, {});
+  EXPECT_DOUBLE_EQ(counts.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(counts.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(counts.f1(), 1.0);
+}
+
+TEST(Counts, MissEverything) {
+  Counts counts;
+  counts.accumulate({}, {1, 2});
+  EXPECT_DOUBLE_EQ(counts.precision(), 1.0);  // vacuous: nothing claimed
+  EXPECT_DOUBLE_EQ(counts.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(counts.f1(), 0.0);
+}
+
+TEST(Counts, AccumulatesAcrossTrials) {
+  Counts counts;
+  counts.accumulate({1}, {1});
+  counts.accumulate({2}, {3});
+  EXPECT_EQ(counts.tp, 1u);
+  EXPECT_EQ(counts.fp, 1u);
+  EXPECT_EQ(counts.fn, 1u);
+}
+
+TEST(SchemeCurve, BestPicksHighestF1) {
+  SchemeCurve curve;
+  curve.scheme = "x";
+  RocPoint weak;
+  weak.threshold = 1;
+  weak.counts.tp = 1;
+  weak.counts.fp = 9;
+  RocPoint strong;
+  strong.threshold = 2;
+  strong.counts.tp = 8;
+  strong.counts.fp = 1;
+  strong.counts.fn = 1;
+  curve.points = {weak, strong};
+  ASSERT_NE(curve.best(), nullptr);
+  EXPECT_DOUBLE_EQ(curve.best()->threshold, 2.0);
+  SchemeCurve empty;
+  EXPECT_EQ(empty.best(), nullptr);
+}
+
+TEST(Cases, AllPaperCasesAreWellFormed) {
+  const auto cases = allPaperCases();
+  EXPECT_EQ(cases.size(), 13u);
+  Rng rng(1);
+  for (const auto& fault_case : cases) {
+    EXPECT_FALSE(fault_case.label.empty());
+    const auto spec = sim::makeAppSpec(fault_case.kind);
+    const auto faults = fault_case.make_faults(rng, spec);
+    ASSERT_FALSE(faults.empty());
+    for (const auto& fault : faults) {
+      EXPECT_GE(fault.start_time, 1000);
+      EXPECT_LT(fault.start_time,
+                static_cast<TimeSec>(fault_case.duration_sec));
+      for (ComponentId target : fault.targets) {
+        EXPECT_LT(target, spec.components.size());
+      }
+    }
+  }
+}
+
+TEST(Cases, DiskHogUsesLongLookback) {
+  EXPECT_EQ(hadoopConcDiskHog().fchain_config.lookback_sec, 500);
+  EXPECT_EQ(rubisMemLeak().fchain_config.lookback_sec, 100);
+}
+
+TEST(Cases, ExternalFactorCasesHaveNoTargets) {
+  Rng rng(2);
+  for (const auto& fault_case :
+       {rubisWorkloadSurge(), hadoopSharedSlowdown()}) {
+    const auto spec = sim::makeAppSpec(fault_case.kind);
+    for (const auto& fault : fault_case.make_faults(rng, spec)) {
+      EXPECT_TRUE(fault.targets.empty());
+    }
+  }
+}
+
+TEST(Runner, TrialsAreDeterministicPerSeed) {
+  TrialOptions options;
+  options.trials = 2;
+  options.base_seed = 99;
+  const auto a = generateTrials(rubisCpuHog(), options);
+  const auto b = generateTrials(rubisCpuHog(), options);
+  ASSERT_EQ(a.trials.size(), b.trials.size());
+  for (std::size_t i = 0; i < a.trials.size(); ++i) {
+    EXPECT_EQ(a.trials[i].record.violation_time,
+              b.trials[i].record.violation_time);
+    EXPECT_EQ(a.trials[i].record.faults.front().start_time,
+              b.trials[i].record.faults.front().start_time);
+  }
+}
+
+TEST(Runner, DifferentSeedsDiffer) {
+  TrialOptions a_options;
+  a_options.trials = 1;
+  a_options.base_seed = 1;
+  TrialOptions b_options = a_options;
+  b_options.base_seed = 2;
+  const auto a = generateTrials(rubisCpuHog(), a_options);
+  const auto b = generateTrials(rubisCpuHog(), b_options);
+  ASSERT_FALSE(a.trials.empty());
+  ASSERT_FALSE(b.trials.empty());
+  EXPECT_NE(a.trials[0].record.faults.front().start_time,
+            b.trials[0].record.faults.front().start_time);
+}
+
+TEST(Runner, InputForWiresAllPointers) {
+  TrialOptions options;
+  options.trials = 1;
+  options.base_seed = 5;
+  const auto set = generateTrials(rubisCpuHog(), options);
+  ASSERT_FALSE(set.trials.empty());
+  const auto input = inputFor(set.trials.front());
+  EXPECT_EQ(input.record, &set.trials.front().record);
+  EXPECT_EQ(input.discovered, &set.trials.front().discovered);
+  EXPECT_EQ(input.topology, &set.trials.front().topology);
+}
+
+TEST(Runner, SnapshotsOnlyWhenRequested) {
+  TrialOptions options;
+  options.trials = 1;
+  options.base_seed = 5;
+  const auto without = generateTrials(rubisCpuHog(), options);
+  ASSERT_FALSE(without.trials.empty());
+  EXPECT_FALSE(without.trials.front().snapshot.has_value());
+  options.keep_snapshots = true;
+  const auto with = generateTrials(rubisCpuHog(), options);
+  ASSERT_FALSE(with.trials.empty());
+  EXPECT_TRUE(with.trials.front().snapshot.has_value());
+}
+
+TEST(Report, PrintCurvesProducesAlignedTable) {
+  SchemeCurve curve;
+  curve.scheme = "TestScheme";
+  RocPoint point;
+  point.threshold = 1.5;
+  point.counts.tp = 3;
+  point.counts.fn = 1;
+  point.precision = point.counts.precision();
+  point.recall = point.counts.recall();
+  curve.points = {point};
+  std::ostringstream out;
+  printCurves(out, "demo", {curve}, 4);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("demo"), std::string::npos);
+  EXPECT_NE(text.find("TestScheme"), std::string::npos);
+  EXPECT_NE(text.find("0.750"), std::string::npos);
+
+  std::ostringstream summary;
+  printBestSummary(summary, "demo", {curve});
+  EXPECT_NE(summary.str().find("P=1.000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fchain::eval

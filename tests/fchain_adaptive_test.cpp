@@ -1,0 +1,88 @@
+// Tests for the adaptive look-back window (the paper's §III-F ongoing work)
+// and adaptive smoothing (§III-C).
+#include <gtest/gtest.h>
+
+#include "eval/runner.h"
+#include "fchain/adaptive.h"
+
+namespace fchain::core {
+namespace {
+
+TEST(AdaptiveWindow, FastFaultStopsAtTheFirstRung) {
+  // NetHog manifests within seconds: the 100 s rung already brackets it.
+  eval::TrialOptions options;
+  options.trials = 3;
+  options.base_seed = 42;
+  const auto set = eval::generateTrials(eval::rubisNetHog(), options);
+  ASSERT_FALSE(set.trials.empty());
+  for (const auto& trial : set.trials) {
+    const auto adaptive =
+        localizeRecordAdaptive(trial.record, &trial.discovered);
+    EXPECT_EQ(adaptive.chosen_window, 100);
+    EXPECT_EQ(adaptive.rungs_tried, 1u);
+    EXPECT_EQ(adaptive.result.pinpointed, trial.record.ground_truth);
+  }
+}
+
+TEST(AdaptiveWindow, SlowFaultClimbsTheLadder) {
+  // The Hadoop DiskHog manifests over hundreds of seconds; W=100 misses the
+  // onset (Table I) and the adaptive scheme must widen.
+  eval::FaultCase fault_case = eval::hadoopConcDiskHog();
+  fault_case.fchain_config.lookback_sec = 100;  // deliberately wrong default
+  eval::TrialOptions options;
+  options.trials = 3;
+  options.base_seed = 42;
+  const auto set = eval::generateTrials(fault_case, options);
+  ASSERT_FALSE(set.trials.empty());
+
+  eval::Counts fixed_counts, adaptive_counts;
+  std::size_t widened = 0;
+  for (const auto& trial : set.trials) {
+    const auto fixed = localizeRecord(trial.record, &trial.discovered,
+                                      fault_case.fchain_config);
+    fixed_counts.accumulate(fixed.pinpointed, trial.record.ground_truth);
+
+    const auto adaptive = localizeRecordAdaptive(
+        trial.record, &trial.discovered, fault_case.fchain_config);
+    adaptive_counts.accumulate(adaptive.result.pinpointed,
+                               trial.record.ground_truth);
+    if (adaptive.chosen_window > 100) ++widened;
+  }
+  // The ladder must widen whenever W=100 cannot see the manifestation, and
+  // adaptive analysis must never be worse than the fixed wrong default.
+  EXPECT_GE(widened, 1u);
+  EXPECT_GE(adaptive_counts.f1(), fixed_counts.f1());
+}
+
+TEST(AdaptiveWindow, NoViolationYieldsEmptyResult) {
+  sim::RunRecord record;
+  const auto adaptive = localizeRecordAdaptive(record, nullptr);
+  EXPECT_TRUE(adaptive.result.pinpointed.empty());
+  EXPECT_EQ(adaptive.rungs_tried, 0u);
+}
+
+TEST(AdaptiveSmoothing, MatchesFixedAccuracyOnRubis) {
+  // Adaptive smoothing must not hurt the standard cases.
+  eval::TrialOptions options;
+  options.trials = 4;
+  options.base_seed = 42;
+  const auto set = eval::generateTrials(eval::rubisCpuHog(), options);
+  ASSERT_FALSE(set.trials.empty());
+
+  FChainConfig adaptive_config;
+  adaptive_config.adaptive_smoothing = true;
+  eval::Counts fixed_counts, adaptive_counts;
+  for (const auto& trial : set.trials) {
+    fixed_counts.accumulate(
+        localizeRecord(trial.record, &trial.discovered, {}).pinpointed,
+        trial.record.ground_truth);
+    adaptive_counts.accumulate(
+        localizeRecord(trial.record, &trial.discovered, adaptive_config)
+            .pinpointed,
+        trial.record.ground_truth);
+  }
+  EXPECT_GE(adaptive_counts.f1() + 0.15, fixed_counts.f1());
+}
+
+}  // namespace
+}  // namespace fchain::core

@@ -1,0 +1,202 @@
+// Tests for the integrated pinpointer: chronological chaining, the
+// concurrency threshold, external-factor classification, and dependency
+// refinement — including permutation-invariance properties.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "fchain/pinpoint.h"
+
+namespace fchain::core {
+namespace {
+
+ComponentFinding finding(ComponentId id, TimeSec onset,
+                         Trend trend = Trend::Up) {
+  ComponentFinding f;
+  f.component = id;
+  f.onset = onset;
+  f.trend = trend;
+  MetricFinding m;
+  m.metric = MetricKind::CpuUsage;
+  m.onset = onset;
+  m.trend = trend;
+  f.metrics.push_back(m);
+  return f;
+}
+
+/// web(0) -> {app1(1), app2(2)} -> db(3), as in RUBiS.
+netdep::DependencyGraph rubisGraph() {
+  netdep::DependencyGraph graph(4);
+  graph.addEdge(0, 1);
+  graph.addEdge(0, 2);
+  graph.addEdge(1, 3);
+  graph.addEdge(2, 3);
+  return graph;
+}
+
+TEST(Pinpoint, EmptyFindingsPinpointNothing) {
+  IntegratedPinpointer pinpointer;
+  const auto result = pinpointer.pinpoint({}, 4, nullptr);
+  EXPECT_TRUE(result.pinpointed.empty());
+  EXPECT_FALSE(result.external_factor);
+}
+
+TEST(Pinpoint, EarliestOnsetWins) {
+  IntegratedPinpointer pinpointer;
+  const auto graph = rubisGraph();
+  const auto result = pinpointer.pinpoint(
+      {finding(3, 100), finding(1, 110), finding(0, 120)}, 4, &graph);
+  EXPECT_EQ(result.pinpointed, (std::vector<ComponentId>{3}));
+  ASSERT_EQ(result.chain.size(), 3u);
+  EXPECT_EQ(result.chain.front().component, 3u);
+}
+
+TEST(Pinpoint, ConcurrentOnsetsWithinThresholdAreAllPinpointed) {
+  IntegratedPinpointer pinpointer;  // threshold 2 s
+  const auto graph = rubisGraph();
+  const auto result = pinpointer.pinpoint(
+      {finding(1, 100), finding(2, 101), finding(3, 108)}, 4, &graph);
+  EXPECT_EQ(result.pinpointed, (std::vector<ComponentId>{1, 2}));
+}
+
+TEST(Pinpoint, ConcurrencyThresholdIsConfigurable) {
+  FChainConfig config;
+  config.concurrency_threshold_sec = 10;
+  IntegratedPinpointer pinpointer(config);
+  const auto graph = rubisGraph();
+  const auto result = pinpointer.pinpoint(
+      {finding(1, 100), finding(3, 108)}, 4, &graph);
+  EXPECT_EQ(result.pinpointed, (std::vector<ComponentId>{1, 3}));
+}
+
+TEST(Pinpoint, IndependentSiblingIsItsOwnFault) {
+  // app1 leads; app2 is abnormal later but no dependency path connects the
+  // two application servers -> app2 carries an independent fault (the
+  // Fig. 5 spurious-propagation case).
+  IntegratedPinpointer pinpointer;
+  const auto graph = rubisGraph();
+  const auto result = pinpointer.pinpoint(
+      {finding(1, 100), finding(2, 110)}, 4, &graph);
+  EXPECT_EQ(result.pinpointed, (std::vector<ComponentId>{1, 2}));
+}
+
+TEST(Pinpoint, ConnectedLaterOnsetIsExplainedAway) {
+  // db leads; app1 and web follow. Both are dependency-connected to db
+  // (propagation is feasible), so only db is pinpointed.
+  IntegratedPinpointer pinpointer;
+  const auto graph = rubisGraph();
+  const auto result = pinpointer.pinpoint(
+      {finding(3, 100), finding(1, 106), finding(0, 113)}, 4, &graph);
+  EXPECT_EQ(result.pinpointed, (std::vector<ComponentId>{3}));
+}
+
+TEST(Pinpoint, WithoutDependencyInfoChronologyAlone) {
+  // Same sibling case but no dependency graph: FChain falls back to pure
+  // chronology (the System S situation) and app2 is NOT pinpointed.
+  IntegratedPinpointer pinpointer;
+  const auto result = pinpointer.pinpoint(
+      {finding(1, 100), finding(2, 110)}, 4, nullptr);
+  EXPECT_EQ(result.pinpointed, (std::vector<ComponentId>{1}));
+
+  netdep::DependencyGraph empty(4);
+  const auto result2 = pinpointer.pinpoint(
+      {finding(1, 100), finding(2, 110)}, 4, &empty);
+  EXPECT_EQ(result2.pinpointed, (std::vector<ComponentId>{1}));
+}
+
+TEST(Pinpoint, DependencyAblationFlagDisablesRefinement) {
+  FChainConfig config;
+  config.use_dependency = false;
+  IntegratedPinpointer pinpointer(config);
+  const auto graph = rubisGraph();
+  const auto result = pinpointer.pinpoint(
+      {finding(1, 100), finding(2, 110)}, 4, &graph);
+  EXPECT_EQ(result.pinpointed, (std::vector<ComponentId>{1}));
+}
+
+TEST(Pinpoint, ExternalFactorWhenAllComponentsTrendTogether) {
+  IntegratedPinpointer pinpointer;
+  const auto graph = rubisGraph();
+  const auto result = pinpointer.pinpoint(
+      {finding(0, 100), finding(1, 101), finding(2, 102), finding(3, 103)},
+      4, &graph);
+  EXPECT_TRUE(result.external_factor);
+  EXPECT_EQ(result.external_trend, Trend::Up);
+  EXPECT_TRUE(result.pinpointed.empty());
+}
+
+TEST(Pinpoint, CounterTrendingMetricVetoesExternalVerdict) {
+  IntegratedPinpointer pinpointer;
+  const auto graph = rubisGraph();
+  auto culprit = finding(3, 100, Trend::Up);
+  MetricFinding down;
+  down.metric = MetricKind::NetworkOut;
+  down.onset = 101;
+  down.trend = Trend::Down;
+  culprit.metrics.push_back(down);
+  const auto result = pinpointer.pinpoint(
+      {finding(0, 100), finding(1, 101), finding(2, 102), culprit}, 4,
+      &graph);
+  EXPECT_FALSE(result.external_factor);
+}
+
+TEST(Pinpoint, WideOnsetSpreadVetoesExternalVerdict) {
+  IntegratedPinpointer pinpointer;  // default spread limit 20 s
+  const auto graph = rubisGraph();
+  const auto result = pinpointer.pinpoint(
+      {finding(0, 100), finding(1, 101), finding(2, 102), finding(3, 190)},
+      4, &graph);
+  EXPECT_FALSE(result.external_factor);
+}
+
+TEST(Pinpoint, PartialCoverageIsNeverExternal) {
+  IntegratedPinpointer pinpointer;
+  const auto graph = rubisGraph();
+  const auto result = pinpointer.pinpoint(
+      {finding(0, 100), finding(1, 101), finding(2, 102)}, 4, &graph);
+  EXPECT_FALSE(result.external_factor);
+}
+
+class PinpointPermutation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PinpointPermutation, ResultIsOrderInvariant) {
+  // Property: the pinpointing verdict must not depend on the order in which
+  // the slaves' findings arrive at the master.
+  std::vector<ComponentFinding> findings{
+      finding(3, 100), finding(1, 104), finding(2, 101), finding(0, 113)};
+  IntegratedPinpointer pinpointer;
+  const auto graph = rubisGraph();
+  const auto reference =
+      pinpointer.pinpoint(findings, 5, &graph).pinpointed;
+
+  Rng rng(GetParam());
+  for (std::size_t i = findings.size() - 1; i > 0; --i) {
+    std::swap(findings[i], findings[rng.below(i + 1)]);
+  }
+  EXPECT_EQ(pinpointer.pinpoint(findings, 5, &graph).pinpointed, reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shuffles, PinpointPermutation,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Pinpoint, ChainIsSortedByOnset) {
+  IntegratedPinpointer pinpointer;
+  const auto result = pinpointer.pinpoint(
+      {finding(2, 300), finding(0, 100), finding(1, 200)}, 5, nullptr);
+  ASSERT_EQ(result.chain.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(result.chain.begin(), result.chain.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.onset < b.onset;
+                             }));
+}
+
+TEST(Pinpoint, TieBreakOnEqualOnsetIsById) {
+  IntegratedPinpointer pinpointer;
+  const auto result = pinpointer.pinpoint(
+      {finding(2, 100), finding(1, 100)}, 5, nullptr);
+  EXPECT_EQ(result.pinpointed, (std::vector<ComponentId>{1, 2}));
+}
+
+}  // namespace
+}  // namespace fchain::core

@@ -1,0 +1,105 @@
+// Tests for the online pinpointing validator: scaling the right resource on
+// a true culprit relieves the SLO; scaling an innocent component does not.
+#include <gtest/gtest.h>
+
+#include "eval/runner.h"
+#include "fchain/fchain.h"
+
+namespace fchain::core {
+namespace {
+
+ComponentFinding cpuFinding(ComponentId id) {
+  ComponentFinding f;
+  f.component = id;
+  MetricFinding m;
+  m.metric = MetricKind::CpuUsage;
+  f.metrics.push_back(m);
+  return f;
+}
+
+class ValidationTest : public ::testing::Test {
+ protected:
+  static const eval::TrialSet& bottleneckTrials() {
+    static const eval::TrialSet set = [] {
+      eval::TrialOptions options;
+      options.trials = 3;
+      options.base_seed = 21;
+      options.keep_snapshots = true;
+      return eval::generateTrials(eval::systemsBottleneck(), options);
+    }();
+    return set;
+  }
+};
+
+TEST_F(ValidationTest, ConfirmsTrueCulprit) {
+  ASSERT_FALSE(bottleneckTrials().trials.empty());
+  OnlineValidator validator;
+  std::size_t confirmed = 0, total = 0;
+  for (const auto& trial : bottleneckTrials().trials) {
+    const ComponentId culprit = trial.record.ground_truth.front();
+    ++total;
+    if (validator.validateComponent(*trial.snapshot, cpuFinding(culprit))) {
+      ++confirmed;
+    }
+  }
+  // CPU scaling must relieve a CPU-cap bottleneck in (almost) every trial.
+  EXPECT_GE(confirmed, total - (total > 2 ? 1 : 0));
+}
+
+TEST_F(ValidationTest, RejectsInnocentComponent) {
+  ASSERT_FALSE(bottleneckTrials().trials.empty());
+  OnlineValidator validator;
+  std::size_t wrongly_confirmed = 0;
+  for (const auto& trial : bottleneckTrials().trials) {
+    const ComponentId culprit = trial.record.ground_truth.front();
+    // Pick a PE that is neither the culprit nor on its downstream path:
+    // scaling it cannot help the SLO.
+    for (ComponentId innocent = 1; innocent <= 5; ++innocent) {
+      if (innocent == culprit) continue;
+      if (trial.record.app_spec.components[innocent].name == "PE4" ||
+          trial.record.app_spec.components[innocent].name == "PE5") {
+        if (validator.validateComponent(*trial.snapshot,
+                                        cpuFinding(innocent))) {
+          ++wrongly_confirmed;
+        }
+        break;
+      }
+    }
+  }
+  EXPECT_LE(wrongly_confirmed, 1u);
+}
+
+TEST_F(ValidationTest, ValidateFiltersThePinpointedSet) {
+  ASSERT_FALSE(bottleneckTrials().trials.empty());
+  const auto& trial = bottleneckTrials().trials.front();
+  const auto result = localizeRecord(trial.record, &trial.discovered, {});
+  if (result.pinpointed.empty()) GTEST_SKIP() << "nothing pinpointed";
+  OnlineValidator validator;
+  const auto confirmed = validator.validate(*trial.snapshot, result);
+  // The confirmed set is a subset of the pinpointed set.
+  for (ComponentId id : confirmed) {
+    EXPECT_TRUE(std::find(result.pinpointed.begin(), result.pinpointed.end(),
+                          id) != result.pinpointed.end());
+  }
+}
+
+TEST(Validation, MemoryScalingRelievesMemLeak) {
+  eval::TrialOptions options;
+  options.trials = 2;
+  options.base_seed = 31;
+  options.keep_snapshots = true;
+  const auto set = eval::generateTrials(eval::rubisMemLeak(), options);
+  ASSERT_FALSE(set.trials.empty());
+  OnlineValidator validator;
+  for (const auto& trial : set.trials) {
+    ComponentFinding f;
+    f.component = trial.record.ground_truth.front();  // the db
+    MetricFinding m;
+    m.metric = MetricKind::MemoryUsage;
+    f.metrics.push_back(m);
+    EXPECT_TRUE(validator.validateComponent(*trial.snapshot, f));
+  }
+}
+
+}  // namespace
+}  // namespace fchain::core

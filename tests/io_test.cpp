@@ -1,0 +1,131 @@
+// Tests for record persistence and CSV export.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "eval/exporter.h"
+#include "eval/runner.h"
+#include "fchain/fchain.h"
+#include "sim/record_io.h"
+
+namespace fchain {
+namespace {
+
+const eval::TrialData& sampleTrial() {
+  static const eval::TrialSet set = [] {
+    eval::TrialOptions options;
+    options.trials = 1;
+    options.base_seed = 8;
+    return eval::generateTrials(eval::rubisCpuHog(), options);
+  }();
+  return set.trials.front();
+}
+
+TEST(RecordIo, RoundTripPreservesEverythingObservable) {
+  const auto& record = sampleTrial().record;
+  std::stringstream buffer;
+  sim::saveRecord(buffer, record);
+  const auto loaded = sim::loadRecord(buffer);
+
+  EXPECT_EQ(loaded.app_spec.name, record.app_spec.name);
+  EXPECT_EQ(loaded.app_spec.wire_style, record.app_spec.wire_style);
+  EXPECT_EQ(loaded.app_spec.batch, record.app_spec.batch);
+  ASSERT_EQ(loaded.app_spec.components.size(),
+            record.app_spec.components.size());
+  for (std::size_t i = 0; i < loaded.app_spec.components.size(); ++i) {
+    EXPECT_EQ(loaded.app_spec.components[i].name,
+              record.app_spec.components[i].name);
+  }
+  ASSERT_EQ(loaded.app_spec.edges.size(), record.app_spec.edges.size());
+  EXPECT_EQ(loaded.violation_time, record.violation_time);
+  EXPECT_EQ(loaded.ground_truth, record.ground_truth);
+  ASSERT_EQ(loaded.faults.size(), record.faults.size());
+  EXPECT_EQ(loaded.faults[0].type, record.faults[0].type);
+  EXPECT_EQ(loaded.faults[0].start_time, record.faults[0].start_time);
+
+  ASSERT_EQ(loaded.metrics.size(), record.metrics.size());
+  for (std::size_t c = 0; c < loaded.metrics.size(); ++c) {
+    for (MetricKind kind : kAllMetrics) {
+      const auto& a = loaded.metrics[c].of(kind);
+      const auto& b = record.metrics[c].of(kind);
+      ASSERT_EQ(a.size(), b.size());
+      EXPECT_EQ(a.startTime(), b.startTime());
+      for (TimeSec t = a.startTime(); t < a.endTime(); t += 97) {
+        EXPECT_NEAR(a.at(t), b.at(t), 1e-6);
+      }
+    }
+  }
+  ASSERT_EQ(loaded.edge_traffic.size(), record.edge_traffic.size());
+}
+
+TEST(RecordIo, DiagnosisOfLoadedRecordMatchesOriginal) {
+  const auto& trial = sampleTrial();
+  std::stringstream buffer;
+  sim::saveRecord(buffer, trial.record);
+  const auto loaded = sim::loadRecord(buffer);
+
+  const auto discovered_original =
+      netdep::discoverDependencies(trial.record);
+  const auto discovered_loaded = netdep::discoverDependencies(loaded);
+  const auto original =
+      core::localizeRecord(trial.record, &discovered_original, {});
+  const auto replayed = core::localizeRecord(loaded, &discovered_loaded, {});
+  EXPECT_EQ(original.pinpointed, replayed.pinpointed);
+}
+
+TEST(RecordIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/record_io_test.rec";
+  sim::saveRecord(path, sampleTrial().record);
+  const auto loaded = sim::loadRecord(path);
+  EXPECT_EQ(loaded.ground_truth, sampleTrial().record.ground_truth);
+  std::remove(path.c_str());
+}
+
+TEST(RecordIo, MissingFileThrows) {
+  EXPECT_THROW(sim::loadRecord("/nonexistent/incident.rec"),
+               std::runtime_error);
+}
+
+TEST(RecordIo, GarbageInputThrows) {
+  std::stringstream buffer("this is not a record");
+  EXPECT_THROW(sim::loadRecord(buffer), std::runtime_error);
+}
+
+TEST(Exporter, CurvesCsvShape) {
+  eval::SchemeCurve curve;
+  curve.scheme = "X";
+  eval::RocPoint point;
+  point.threshold = 0.5;
+  point.counts.tp = 2;
+  point.counts.fp = 1;
+  point.precision = point.counts.precision();
+  point.recall = point.counts.recall();
+  curve.points = {point};
+
+  std::stringstream out;
+  eval::writeCurvesCsv(out, {curve});
+  std::string line;
+  std::getline(out, line);
+  EXPECT_EQ(line, "scheme,threshold,precision,recall,tp,fp,fn");
+  std::getline(out, line);
+  EXPECT_EQ(line.substr(0, 6), "X,0.5,");
+}
+
+TEST(Exporter, MetricsCsvHasHeaderAndOneRowPerSecond) {
+  const auto& record = sampleTrial().record;
+  std::stringstream out;
+  eval::writeMetricsCsv(out, record);
+  std::string header;
+  std::getline(out, header);
+  EXPECT_NE(header.find("web.cpu_usage"), std::string::npos);
+  EXPECT_NE(header.find("db.disk_write"), std::string::npos);
+  std::size_t rows = 0;
+  std::string line;
+  while (std::getline(out, line)) ++rows;
+  EXPECT_EQ(rows, record.metrics[0].size());
+}
+
+}  // namespace
+}  // namespace fchain

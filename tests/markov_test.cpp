@@ -1,0 +1,174 @@
+// Unit & property tests for markov/: discretizer, Markov transition model,
+// and the online predictor (PRESS-style normal fluctuation model).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "markov/discretizer.h"
+#include "markov/markov_model.h"
+#include "markov/predictor.h"
+
+namespace fchain::markov {
+namespace {
+
+// ---------------------------------------------------------- discretizer ---
+
+TEST(Discretizer, CalibratesAfterEnoughSamples) {
+  Discretizer d(10, 5, 0.0);
+  EXPECT_FALSE(d.calibrated());
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(d.observe(i));
+  EXPECT_TRUE(d.observe(4.0));
+  EXPECT_TRUE(d.calibrated());
+  EXPECT_LE(d.rangeLo(), 0.0);
+  EXPECT_GE(d.rangeHi(), 4.0);
+}
+
+TEST(Discretizer, StateAndCenterAreConsistent) {
+  Discretizer d(8, 4, 0.0);
+  for (double x : {0.0, 2.0, 6.0, 8.0}) d.observe(x);
+  for (std::size_t s = 0; s < d.bins(); ++s) {
+    EXPECT_EQ(d.stateOf(d.centerOf(s)), s);
+  }
+}
+
+TEST(Discretizer, OutOfRangeValuesClampToEdges) {
+  Discretizer d(10, 3, 0.0);
+  for (double x : {0.0, 5.0, 10.0}) d.observe(x);
+  EXPECT_EQ(d.stateOf(-1000.0), 0u);
+  EXPECT_EQ(d.stateOf(1000.0), d.bins() - 1);
+}
+
+TEST(Discretizer, UncalibratedAccessThrows) {
+  Discretizer d(10, 5, 0.0);
+  EXPECT_THROW(d.stateOf(1.0), std::logic_error);
+  EXPECT_THROW(d.centerOf(1), std::logic_error);
+}
+
+TEST(Discretizer, ConstantInputStillGetsValidRange) {
+  Discretizer d(10, 5, 0.25);
+  for (int i = 0; i < 5; ++i) d.observe(7.0);
+  EXPECT_TRUE(d.calibrated());
+  EXPECT_LT(d.rangeLo(), 7.0);
+  EXPECT_GT(d.rangeHi(), 7.0);
+  EXPECT_EQ(d.stateOf(d.centerOf(3)), 3u);
+}
+
+// ----------------------------------------------------------------- model ---
+
+TEST(MarkovModel, LearnsDeterministicCycle) {
+  MarkovModel model(3, 1.0, 0.01);
+  // 0 -> 1 -> 2 -> 0 -> ...
+  for (int round = 0; round < 50; ++round) {
+    model.recordTransition(0, 1);
+    model.recordTransition(1, 2);
+    model.recordTransition(2, 0);
+  }
+  EXPECT_EQ(model.likeliestNextState(0), 1u);
+  EXPECT_EQ(model.likeliestNextState(1), 2u);
+  EXPECT_EQ(model.likeliestNextState(2), 0u);
+  EXPECT_GT(model.transitionProbability(0, 1), 0.95);
+  EXPECT_NEAR(model.expectedNextState(0), 1.0, 1e-9);
+}
+
+TEST(MarkovModel, UnseenStatePredictsItself) {
+  MarkovModel model(5);
+  EXPECT_FALSE(model.seenState(3));
+  EXPECT_DOUBLE_EQ(model.expectedNextState(3), 3.0);
+  EXPECT_EQ(model.likeliestNextState(3), 3u);
+}
+
+TEST(MarkovModel, DecayForgetsOldBehaviour) {
+  MarkovModel model(2, 0.9, 0.0);
+  for (int i = 0; i < 100; ++i) model.recordTransition(0, 0);
+  for (int i = 0; i < 60; ++i) model.recordTransition(0, 1);
+  // With decay 0.9, the recent 0->1 transitions dominate.
+  EXPECT_EQ(model.likeliestNextState(0), 1u);
+}
+
+TEST(MarkovModel, ProbabilitiesSumToOne) {
+  MarkovModel model(4, 1.0, 0.1);
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    model.recordTransition(rng.below(4), rng.below(4));
+  }
+  for (std::size_t from = 0; from < 4; ++from) {
+    double total = 0.0;
+    for (std::size_t to = 0; to < 4; ++to) {
+      total += model.transitionProbability(from, to);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(MarkovModel, InvalidArgumentsThrow) {
+  EXPECT_THROW(MarkovModel(0), std::invalid_argument);
+  EXPECT_THROW(MarkovModel(4, 0.0), std::invalid_argument);
+  EXPECT_THROW(MarkovModel(4, 1.5), std::invalid_argument);
+  MarkovModel model(3);
+  EXPECT_THROW(model.recordTransition(0, 7), std::out_of_range);
+}
+
+// ------------------------------------------------------------- predictor ---
+
+TEST(OnlinePredictor, ErrorsAreZeroDuringCalibration) {
+  PredictorConfig config;
+  config.calibration_samples = 20;
+  OnlinePredictor predictor(0, config);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(predictor.observe(10.0 + i % 3), 0.0);
+  }
+  EXPECT_TRUE(predictor.ready());
+  EXPECT_EQ(predictor.errors().size(), 20u);
+}
+
+TEST(OnlinePredictor, ConstantSeriesBecomesPerfectlyPredictable) {
+  OnlinePredictor predictor(0);
+  double last_error = 0.0;
+  for (int i = 0; i < 300; ++i) last_error = predictor.observe(50.0);
+  EXPECT_LT(last_error, 1.0);  // within one bin width
+}
+
+TEST(OnlinePredictor, LearnedOscillationHasLowError) {
+  // A deterministic square wave: after enough cycles, the transition
+  // pattern is fully learned and errors collapse.
+  OnlinePredictor predictor(0);
+  std::vector<double> tail_errors;
+  for (int i = 0; i < 600; ++i) {
+    const double value = (i / 10) % 2 == 0 ? 20.0 : 80.0;
+    const double error = predictor.observe(value);
+    if (i >= 500) tail_errors.push_back(error);
+  }
+  // Most ticks are mid-plateau and nearly predictable (the expectation
+  // prediction keeps a small bias toward the other plateau); only the 2
+  // flips per 20 ticks carry the full 60-unit swing as error.
+  EXPECT_LT(fchain::median(tail_errors), 10.0);
+}
+
+TEST(OnlinePredictor, NovelJumpProducesLargeErrorSpike) {
+  PredictorConfig config;
+  OnlinePredictor predictor(0, config);
+  Rng rng(12);
+  for (int i = 0; i < 400; ++i) predictor.observe(rng.gaussian(100.0, 2.0));
+  // A fault-like excursion far outside the learned range: the first novel
+  // sample mispredicts by roughly the whole excursion.
+  const double spike = predictor.observe(400.0);
+  const auto errors = predictor.errors().values();
+  std::vector<double> normal(errors.begin() + 100, errors.end() - 1);
+  EXPECT_GT(spike, 10.0 * fchain::percentile(normal, 90.0));
+  // Once inside the excursion, persistence prediction takes over and the
+  // error collapses again (the novel state has no learned transitions).
+  EXPECT_LT(predictor.observe(400.0), spike * 0.1);
+}
+
+TEST(OnlinePredictor, ErrorSeriesAlignsWithSamples) {
+  OnlinePredictor predictor(1000);
+  for (int i = 0; i < 50; ++i) predictor.observe(1.0);
+  EXPECT_EQ(predictor.errors().startTime(), 1000);
+  EXPECT_EQ(predictor.errors().endTime(), 1050);
+}
+
+}  // namespace
+}  // namespace fchain::markov

@@ -1,0 +1,155 @@
+// Tests for netdep/: packet trace synthesis, gap-based flow extraction,
+// dependency discovery (including the documented System S failure), and the
+// dependency graph utilities.
+#include <gtest/gtest.h>
+
+#include "eval/runner.h"
+#include "netdep/dependency.h"
+
+namespace fchain::netdep {
+namespace {
+
+// --------------------------------------------------------------- graph ---
+
+TEST(DependencyGraph, EdgesAndReachability) {
+  DependencyGraph graph(4);
+  graph.addEdge(0, 1);
+  graph.addEdge(1, 2);
+  EXPECT_TRUE(graph.hasEdge(0, 1));
+  EXPECT_FALSE(graph.hasEdge(1, 0));
+  EXPECT_TRUE(graph.reaches(0, 2));
+  EXPECT_FALSE(graph.reaches(2, 0));
+  EXPECT_TRUE(graph.connectedEitherWay(2, 0));
+  EXPECT_FALSE(graph.connectedEitherWay(1, 3));
+  EXPECT_EQ(graph.edgeCount(), 2u);
+}
+
+TEST(DependencyGraph, DuplicateAndSelfEdgesIgnored) {
+  DependencyGraph graph(3);
+  graph.addEdge(0, 1);
+  graph.addEdge(0, 1);
+  graph.addEdge(1, 1);
+  graph.addEdge(7, 0);  // out of range
+  EXPECT_EQ(graph.edgeCount(), 1u);
+}
+
+TEST(DependencyGraph, ReachesSelf) {
+  DependencyGraph graph(2);
+  EXPECT_TRUE(graph.reaches(0, 0));
+}
+
+TEST(DependencyGraph, EmptyGraphIsEmpty) {
+  DependencyGraph graph(5);
+  EXPECT_TRUE(graph.empty());
+  graph.addEdge(1, 2);
+  EXPECT_FALSE(graph.empty());
+}
+
+// ----------------------------------------------------- flow extraction ---
+
+TEST(Discovery, GapSeparatedFlowsAreCounted) {
+  // 60 well-separated sessions on one edge: discovered with min_flows=50.
+  std::vector<FlowEvent> trace;
+  for (int i = 0; i < 60; ++i) {
+    trace.push_back({0, 1, static_cast<double>(i), 0.05});
+  }
+  DiscoveryConfig config;
+  config.min_flows = 50;
+  const auto graph = discoverDependencies(2, trace, config);
+  EXPECT_TRUE(graph.hasEdge(0, 1));
+}
+
+TEST(Discovery, ContinuousStreamIsOneFlow) {
+  // Abutting activity (gap-free tuple stream): a single endless flow, far
+  // below the min_flows requirement.
+  std::vector<FlowEvent> trace;
+  for (int i = 0; i < 500; ++i) {
+    trace.push_back({0, 1, static_cast<double>(i), 1.0});
+  }
+  const auto graph = discoverDependencies(2, trace, {});
+  EXPECT_FALSE(graph.hasEdge(0, 1));
+  EXPECT_TRUE(graph.empty());
+}
+
+TEST(Discovery, TooFewFlowsNotDiscovered) {
+  std::vector<FlowEvent> trace;
+  for (int i = 0; i < 20; ++i) {
+    trace.push_back({0, 1, static_cast<double>(i), 0.05});
+  }
+  const auto graph = discoverDependencies(2, trace, {});
+  EXPECT_TRUE(graph.empty());
+}
+
+TEST(Discovery, MixedEdgesAreIndependent) {
+  std::vector<FlowEvent> trace;
+  for (int i = 0; i < 100; ++i) {
+    trace.push_back({0, 1, static_cast<double>(i), 0.05});  // sessions
+    trace.push_back({1, 2, static_cast<double>(i), 1.0});   // stream
+  }
+  const auto graph = discoverDependencies(3, trace, {});
+  EXPECT_TRUE(graph.hasEdge(0, 1));
+  EXPECT_FALSE(graph.hasEdge(1, 2));
+}
+
+// --------------------------------------------- end-to-end on real runs ---
+
+class DiscoveryOnRuns : public ::testing::Test {
+ protected:
+  static sim::RunRecord makeRecord(const eval::FaultCase& fault_case) {
+    eval::TrialOptions options;
+    options.trials = 1;
+    options.base_seed = 5;
+    auto set = eval::generateTrials(fault_case, options);
+    EXPECT_FALSE(set.trials.empty());
+    return std::move(set.trials.front().record);
+  }
+};
+
+TEST_F(DiscoveryOnRuns, RubisRecoversExactTopology) {
+  const auto record = makeRecord(eval::rubisCpuHog());
+  const auto graph = discoverDependencies(record);
+  const auto truth = fromTopology(record.app_spec);
+  EXPECT_EQ(graph.edgeCount(), truth.edgeCount());
+  for (const auto& edge : record.app_spec.edges) {
+    EXPECT_TRUE(graph.hasEdge(edge.from, edge.to))
+        << edge.from << "->" << edge.to;
+  }
+}
+
+TEST_F(DiscoveryOnRuns, SystemSStreamsDefeatDiscovery) {
+  const auto record = makeRecord(eval::systemsCpuHog());
+  const auto graph = discoverDependencies(record);
+  // The paper's §II-C finding: no gaps between packets, no flows, no
+  // dependencies discovered at all.
+  EXPECT_TRUE(graph.empty());
+}
+
+TEST_F(DiscoveryOnRuns, SynthesizedTraceShapeMatchesWireStyle) {
+  const auto rubis = makeRecord(eval::rubisCpuHog());
+  const auto rubis_trace = synthesizePacketTrace(rubis);
+  double max_duration = 0.0;
+  for (const auto& event : rubis_trace) {
+    max_duration = std::max(max_duration, event.duration_sec);
+  }
+  EXPECT_LT(max_duration, 0.2);  // request/reply sessions are short
+
+  const auto streams = makeRecord(eval::systemsCpuHog());
+  const auto stream_trace = synthesizePacketTrace(streams);
+  // Streaming events cover whole seconds.
+  EXPECT_DOUBLE_EQ(stream_trace.front().duration_sec, 1.0);
+}
+
+TEST(Discovery, FromTopologySkipsZeroWeightEdges) {
+  sim::ApplicationSpec spec;
+  sim::ComponentSpec c;
+  c.name = "a";
+  spec.components = {c, c, c};
+  spec.edges = {{0, 1, 1.0}, {1, 2, 0.0}};
+  spec.reference_path = {0};
+  const auto graph = fromTopology(spec);
+  EXPECT_TRUE(graph.hasEdge(0, 1));
+  EXPECT_FALSE(graph.hasEdge(1, 2));
+}
+
+}  // namespace
+}  // namespace fchain::netdep

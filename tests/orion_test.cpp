@@ -1,0 +1,101 @@
+// Tests for Orion-style delay-spike dependency discovery.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/runner.h"
+#include "netdep/orion.h"
+
+namespace fchain::netdep {
+namespace {
+
+/// A chain 0 -> 1 -> 2 where service 1's processing time concentrates in a
+/// narrow band around `delay` seconds.
+std::vector<FlowEvent> serviceChain(std::size_t requests, double delay,
+                                    double jitter, std::uint64_t seed = 1) {
+  Rng rng(seed);
+  std::vector<FlowEvent> trace;
+  double t = 0.0;
+  for (std::size_t i = 0; i < requests; ++i) {
+    t += rng.uniform(1.0, 2.5);
+    trace.push_back({0, 1, t, 0.02});
+    trace.push_back({1, 2, t + delay + rng.uniform(-jitter, jitter), 0.02});
+  }
+  return trace;
+}
+
+TEST(Orion, TypicalSpikeMarksTheDependency) {
+  const auto trace = serviceChain(300, 0.30, 0.02);
+  const auto spikes = delaySpikes(3, trace);
+  ASSERT_FALSE(spikes.empty());
+  bool found = false;
+  for (const auto& spike : spikes) {
+    if (spike.middle == 1 && spike.child_to == 2) {
+      found = true;
+      EXPECT_NEAR(spike.delay_sec, 0.30, 0.08);
+      EXPECT_GT(spike.mass_ratio, 8.0);
+      EXPECT_GE(spike.samples, 100u);
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_TRUE(inferOrion(3, trace).hasEdge(1, 2));
+}
+
+TEST(Orion, SmearedDelaysDoNotSpike) {
+  // Delays uniform over the whole histogram range: no typical spike. With
+  // flow-count discovery switched off (absurd min_flows), the smeared pair
+  // yields no edge while the spiked pair still does — isolating the
+  // delay-spike criterion itself.
+  DiscoveryConfig no_direct;
+  no_direct.min_flows = 1000000;
+
+  const auto smeared = serviceChain(300, 1.0, 0.95, 2);
+  for (const auto& spike : delaySpikes(3, smeared)) {
+    if (spike.middle == 1 && spike.child_to == 2) {
+      EXPECT_LT(spike.mass_ratio, 8.0);
+    }
+  }
+  EXPECT_FALSE(inferOrion(3, smeared, no_direct).hasEdge(1, 2));
+
+  const auto spiked = serviceChain(300, 0.30, 0.02, 2);
+  EXPECT_TRUE(inferOrion(3, spiked, no_direct).hasEdge(1, 2));
+}
+
+TEST(Orion, TooFewSamplesAreInconclusive) {
+  const auto trace = serviceChain(40, 0.30, 0.02, 3);
+  EXPECT_TRUE(delaySpikes(3, trace).empty());
+}
+
+TEST(Orion, DirectEdgesStillComeFromFlowCounts) {
+  const auto trace = serviceChain(300, 0.30, 0.02, 4);
+  const auto graph = inferOrion(3, trace);
+  EXPECT_TRUE(graph.hasEdge(0, 1));
+}
+
+TEST(Orion, StreamingTraceDefeatsIt) {
+  std::vector<FlowEvent> trace;
+  for (int t = 0; t < 600; ++t) {
+    trace.push_back({0, 1, static_cast<double>(t), 1.0});
+    trace.push_back({1, 2, static_cast<double>(t) + 0.3, 1.0});
+  }
+  EXPECT_TRUE(delaySpikes(3, trace).empty());
+  EXPECT_TRUE(inferOrion(3, trace).empty());
+}
+
+TEST(Orion, AgreesWithCoOccurrenceOnRealRubisTraffic) {
+  // Both discoverers, run on the same synthesized RUBiS packet trace, must
+  // find (at least) the true forward edges.
+  eval::TrialOptions options;
+  options.trials = 1;
+  options.base_seed = 10;
+  const auto set = eval::generateTrials(eval::rubisCpuHog(), options);
+  ASSERT_FALSE(set.trials.empty());
+  const auto trace = synthesizePacketTrace(set.trials.front().record);
+  const auto graph = inferOrion(4, trace);
+  for (const auto& edge : set.trials.front().record.app_spec.edges) {
+    EXPECT_TRUE(graph.hasEdge(edge.from, edge.to))
+        << edge.from << "->" << edge.to;
+  }
+}
+
+}  // namespace
+}  // namespace fchain::netdep

@@ -1,0 +1,126 @@
+// Cross-scheme interface invariants: properties every localizer must keep
+// regardless of the incident it faces.
+#include <gtest/gtest.h>
+
+#include "baselines/fchain_scheme.h"
+#include "baselines/graph_schemes.h"
+#include "baselines/histogram_scheme.h"
+#include "baselines/netmedic.h"
+#include "eval/runner.h"
+
+namespace fchain::baselines {
+namespace {
+
+const eval::TrialSet& trials() {
+  static const eval::TrialSet set = [] {
+    eval::TrialOptions options;
+    options.trials = 2;
+    options.base_seed = 19;
+    return eval::generateTrials(eval::rubisMemLeak(), options);
+  }();
+  return set;
+}
+
+TEST(SchemeInvariants, OutputsAreSortedAndDuplicateFree) {
+  ASSERT_FALSE(trials().trials.empty());
+  FChainScheme fchain_scheme;
+  HistogramScheme histogram;
+  NetMedicScheme netmedic;
+  TopologyScheme topology;
+  DependencyScheme dependency;
+  PalScheme pal;
+  const std::vector<const FaultLocalizer*> schemes{
+      &fchain_scheme, &histogram, &netmedic, &topology, &dependency, &pal};
+  for (const auto& trial : trials().trials) {
+    const auto input = eval::inputFor(trial);
+    for (const auto* scheme : schemes) {
+      for (double threshold : scheme->thresholdSweep()) {
+        const auto pinpointed = scheme->localize(input, threshold);
+        EXPECT_TRUE(std::is_sorted(pinpointed.begin(), pinpointed.end()))
+            << scheme->name();
+        EXPECT_EQ(std::adjacent_find(pinpointed.begin(), pinpointed.end()),
+                  pinpointed.end())
+            << scheme->name() << " produced duplicates";
+        for (ComponentId id : pinpointed) {
+          EXPECT_LT(id, trial.record.metrics.size()) << scheme->name();
+        }
+      }
+    }
+  }
+}
+
+TEST(SchemeInvariants, DefaultThresholdIsInTheSweep) {
+  FChainScheme fchain_scheme;
+  HistogramScheme histogram;
+  NetMedicScheme netmedic;
+  TopologyScheme topology;
+  DependencyScheme dependency;
+  PalScheme pal;
+  FixedFilteringScheme fixed;
+  for (const FaultLocalizer* scheme :
+       std::vector<const FaultLocalizer*>{&fchain_scheme, &histogram,
+                                          &netmedic, &topology, &dependency,
+                                          &pal, &fixed}) {
+    const auto sweep = scheme->thresholdSweep();
+    EXPECT_FALSE(sweep.empty()) << scheme->name();
+    EXPECT_NE(std::find(sweep.begin(), sweep.end(),
+                        scheme->defaultThreshold()),
+              sweep.end())
+        << scheme->name() << ": default threshold not in its own sweep";
+  }
+}
+
+TEST(SchemeInvariants, LocalizersAreDeterministic) {
+  ASSERT_FALSE(trials().trials.empty());
+  const auto input = eval::inputFor(trials().trials.front());
+  FChainScheme fchain_scheme;
+  NetMedicScheme netmedic;
+  EXPECT_EQ(fchain_scheme.localize(input, 1.0),
+            fchain_scheme.localize(input, 1.0));
+  EXPECT_EQ(netmedic.localize(input, 0.1), netmedic.localize(input, 0.1));
+}
+
+TEST(SchemeInvariants, TopologySchemeIgnoresDiscoveredGraph) {
+  ASSERT_FALSE(trials().trials.empty());
+  const auto& trial = trials().trials.front();
+  TopologyScheme topology;
+  auto input = eval::inputFor(trial);
+  const auto with_discovery = topology.localize(input, 2.0);
+  netdep::DependencyGraph empty(trial.record.metrics.size());
+  input.discovered = &empty;
+  EXPECT_EQ(topology.localize(input, 2.0), with_discovery);
+}
+
+TEST(SchemeInvariants, PalIgnoresBothGraphs) {
+  ASSERT_FALSE(trials().trials.empty());
+  const auto& trial = trials().trials.front();
+  PalScheme pal;
+  auto input = eval::inputFor(trial);
+  const auto baseline = pal.localize(input, 2.0);
+  netdep::DependencyGraph empty(trial.record.metrics.size());
+  input.discovered = &empty;
+  input.topology = &empty;
+  EXPECT_EQ(pal.localize(input, 2.0), baseline);
+}
+
+TEST(SchemeInvariants, NoViolationMeansNoPinpoints) {
+  // A record without a violation time: every record-driven scheme must
+  // return nothing rather than crash.
+  sim::RunRecord record;
+  record.app_spec = sim::makeRubisSpec();
+  record.metrics.assign(4, MetricSeries(0));
+  netdep::DependencyGraph empty(4);
+  const auto topology_graph = netdep::fromTopology(record.app_spec);
+  LocalizeInput input;
+  input.record = &record;
+  input.discovered = &empty;
+  input.topology = &topology_graph;
+
+  FChainScheme fchain_scheme;
+  HistogramScheme histogram;
+  EXPECT_TRUE(fchain_scheme.localize(input, 1.0).empty());
+  EXPECT_TRUE(histogram.localize(input, 0.4).empty());
+}
+
+}  // namespace
+}  // namespace fchain::baselines

@@ -1,0 +1,157 @@
+// Tests for spectral analysis and PRESS's signature-driven prediction mode.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "markov/signature.h"
+#include "signal/spectrum.h"
+
+namespace fchain {
+namespace {
+
+std::vector<double> sine(std::size_t n, double period, double amplitude,
+                         double base = 100.0, double noise = 0.0,
+                         std::uint64_t seed = 1) {
+  Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs.push_back(base +
+                 amplitude * std::sin(2.0 * std::numbers::pi *
+                                      static_cast<double>(i) / period) +
+                 (noise > 0 ? rng.gaussian(0.0, noise) : 0.0));
+  }
+  return xs;
+}
+
+// ------------------------------------------------------------- spectrum ---
+
+TEST(Spectrum, PeriodogramPeaksAtTheToneBin) {
+  const auto xs = sine(256, 16.0, 5.0);
+  const auto power = signal::periodogram(xs);
+  std::size_t peak = 1;
+  for (std::size_t k = 2; k < power.size(); ++k) {
+    if (power[k] > power[peak]) peak = k;
+  }
+  EXPECT_EQ(peak, 16u);  // 256 / 16 = bin 16
+}
+
+TEST(Spectrum, DominantPeriodFindsTheCycle) {
+  const auto xs = sine(512, 32.0, 10.0, 100.0, 0.5, 2);
+  const auto dominant = signal::dominantPeriod(xs);
+  ASSERT_TRUE(dominant.has_value());
+  EXPECT_NEAR(static_cast<double>(dominant->period), 32.0, 2.0);
+  EXPECT_GT(dominant->power_fraction, 0.5);
+}
+
+TEST(Spectrum, WhiteNoiseHasNoDominantPeriod) {
+  Rng rng(3);
+  std::vector<double> xs(512);
+  for (double& x : xs) x = rng.gaussian(50.0, 5.0);
+  const auto dominant = signal::dominantPeriod(xs);
+  // A peak always exists, but it holds only a sliver of the energy.
+  if (dominant.has_value()) {
+    EXPECT_LT(dominant->power_fraction, 0.2);
+  }
+}
+
+TEST(Spectrum, PeriodBandIsRespected) {
+  const auto xs = sine(512, 8.0, 10.0);
+  const auto dominant = signal::dominantPeriod(xs, /*min_period=*/16);
+  if (dominant.has_value()) {
+    EXPECT_GE(dominant->period, 16u);
+  }
+}
+
+TEST(Spectrum, ShortSignalsAreSafe) {
+  EXPECT_FALSE(signal::dominantPeriod(std::vector<double>{1, 2, 3}).has_value());
+  EXPECT_TRUE(signal::periodogram(std::vector<double>{1.0}).empty());
+}
+
+TEST(Spectrum, AutocorrelationBasics) {
+  const auto xs = sine(256, 16.0, 5.0);
+  EXPECT_NEAR(signal::autocorrelation(xs, 0), 1.0, 1e-9);
+  EXPECT_GT(signal::autocorrelation(xs, 16), 0.8);   // one full cycle
+  EXPECT_LT(signal::autocorrelation(xs, 8), -0.8);   // half cycle
+  EXPECT_DOUBLE_EQ(signal::autocorrelation(xs, 300), 0.0);  // lag >= n
+}
+
+// ------------------------------------------------------------ signature ---
+
+TEST(SignaturePredictor, LocksOntoAPeriodicSignal) {
+  markov::SignatureConfig config;
+  config.refresh = 100;
+  markov::SignaturePredictor predictor(config);
+  const auto xs = sine(600, 20.0, 15.0, 100.0, 0.3, 4);
+  for (double x : xs) predictor.observe(x);
+  ASSERT_TRUE(predictor.period().has_value());
+  EXPECT_NEAR(static_cast<double>(*predictor.period()), 20.0, 2.0);
+  const auto prediction = predictor.predictNext();
+  ASSERT_TRUE(prediction.has_value());
+  // The next sample continues the sine.
+  const double expected =
+      100.0 + 15.0 * std::sin(2.0 * std::numbers::pi * 600.0 / 20.0);
+  EXPECT_NEAR(*prediction, expected, 3.0);
+}
+
+TEST(SignaturePredictor, StaysOffForAperiodicSignals) {
+  markov::SignatureConfig config;
+  config.refresh = 100;
+  markov::SignaturePredictor predictor(config);
+  Rng rng(5);
+  for (int i = 0; i < 600; ++i) predictor.observe(rng.gaussian(50.0, 5.0));
+  EXPECT_FALSE(predictor.period().has_value());
+  EXPECT_FALSE(predictor.predictNext().has_value());
+}
+
+TEST(HybridPredictor, BeatsMarkovOnSquareWaves) {
+  // A 20 s square wave: the Markov expectation predictor mispredicts every
+  // flip; the signature mode nails the whole cycle.
+  auto square = [](std::size_t i) {
+    return (i / 10) % 2 == 0 ? 20.0 : 80.0;
+  };
+  markov::HybridPredictor hybrid(0);
+  markov::OnlinePredictor plain(0);
+  double hybrid_tail = 0.0, plain_tail = 0.0;
+  for (std::size_t i = 0; i < 1200; ++i) {
+    const double h = hybrid.observe(square(i));
+    const double p = plain.observe(square(i));
+    if (i >= 900) {
+      hybrid_tail += h;
+      plain_tail += p;
+    }
+  }
+  EXPECT_TRUE(hybrid.signatureMode());
+  EXPECT_LT(hybrid_tail, plain_tail * 0.5);
+}
+
+TEST(HybridPredictor, FallsBackToMarkovWhenAperiodic) {
+  markov::HybridPredictor hybrid(0);
+  Rng rng(6);
+  for (int i = 0; i < 800; ++i) hybrid.observe(rng.gaussian(40.0, 2.0));
+  EXPECT_FALSE(hybrid.signatureMode());
+  EXPECT_TRUE(hybrid.predictNext().has_value());  // Markov still serves
+}
+
+TEST(HybridPredictor, NovelExcursionStillSpikesTheError) {
+  markov::HybridPredictor hybrid(0);
+  const auto xs = sine(800, 20.0, 10.0, 100.0, 0.3, 7);
+  for (double x : xs) hybrid.observe(x);
+  const double spike = hybrid.observe(400.0);  // fault-like excursion
+  const auto errors = hybrid.errors().values();
+  std::vector<double> normal(errors.begin() + 200, errors.end() - 1);
+  EXPECT_GT(spike, 10.0 * percentile(normal, 90.0));
+}
+
+TEST(HybridPredictor, ErrorSeriesAligned) {
+  markov::HybridPredictor hybrid(500);
+  for (int i = 0; i < 40; ++i) hybrid.observe(1.0);
+  EXPECT_EQ(hybrid.errors().startTime(), 500);
+  EXPECT_EQ(hybrid.errors().endTime(), 540);
+}
+
+}  // namespace
+}  // namespace fchain

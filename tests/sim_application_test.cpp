@@ -1,0 +1,249 @@
+// Tests for the application engine: queueing, back-pressure, joins,
+// delivery delay, latency, progress, and fault hooks.
+#include <gtest/gtest.h>
+
+#include "sim/application.h"
+
+namespace fchain::sim {
+namespace {
+
+/// A minimal noiseless two-stage pipeline: src -> sink.
+ApplicationSpec pipelineSpec(double src_capacity = 1.0,
+                             double sink_capacity = 1.0,
+                             double sink_buffer = 1000.0,
+                             std::size_t delay = 1) {
+  ApplicationSpec spec;
+  spec.name = "pipeline";
+  ComponentSpec src;
+  src.name = "src";
+  src.cpu_capacity = src_capacity;
+  src.cpu_demand = 0.01;  // 100 units/s at capacity 1
+  src.noise_level = 0.0;
+  src.background_cpu = 0.0;
+  ComponentSpec sink = src;
+  sink.name = "sink";
+  sink.cpu_capacity = sink_capacity;
+  sink.buffer_limit = sink_buffer;
+  spec.components = {src, sink};
+  spec.edges = {{0, 1, 1.0, delay}};
+  spec.reference_path = {0, 1};
+  return spec;
+}
+
+TEST(Application, WorkFlowsThroughThePipeline) {
+  Application app(pipelineSpec(), 1);
+  app.setWorkload(std::vector<double>(100, 50.0));
+  for (int i = 0; i < 20; ++i) app.step();
+  // Steady state: the sink processes what the source emits.
+  EXPECT_NEAR(app.stateOf(1).processed, 50.0, 1.0);
+  EXPECT_NEAR(app.stateOf(0).processed, 50.0, 1.0);
+}
+
+TEST(Application, DeliveryDelayHoldsWorkInFlight) {
+  Application app(pipelineSpec(1.0, 1.0, 1000.0, /*delay=*/5), 1);
+  app.setWorkload(std::vector<double>(100, 40.0));
+  // After 3 ticks the sink cannot have received anything yet (the first
+  // emission needs 5 ticks of transfer).
+  for (int i = 0; i < 3; ++i) app.step();
+  EXPECT_DOUBLE_EQ(app.stateOf(1).processed, 0.0);
+  for (int i = 0; i < 10; ++i) app.step();
+  EXPECT_NEAR(app.stateOf(1).processed, 40.0, 1.0);
+}
+
+TEST(Application, BackPressureThrottlesUpstream) {
+  // The sink can only do 20 units/s and its buffer is small: the source
+  // must slow to the sink's pace even though demand is 80/s.
+  Application app(pipelineSpec(1.0, 0.2, 30.0), 1);
+  app.setWorkload(std::vector<double>(200, 80.0));
+  for (int i = 0; i < 40; ++i) app.step();
+  // With a tight buffer the source alternates between bursts and stalls;
+  // its *average* pace must match the sink's 20 units/s.
+  double processed = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    app.step();
+    processed += app.stateOf(0).processed;
+  }
+  EXPECT_NEAR(processed / 20.0, 20.0, 3.0);
+  // The source's own queue backs up toward its buffer limit.
+  EXPECT_GT(app.stateOf(0).totalQueue(), 100.0);
+}
+
+TEST(Application, JoinConsumesInputsInLockstep) {
+  // src1 and src2 feed a join; src2's stream is starved, so the join can
+  // only match what src2 delivers and src1's branch backs up.
+  ApplicationSpec spec;
+  ComponentSpec src;
+  src.name = "src1";
+  src.cpu_demand = 0.01;
+  src.noise_level = 0.0;
+  src.buffer_limit = 500.0;
+  ComponentSpec src2 = src;
+  src2.name = "src2";
+  src2.cpu_capacity = 0.1;  // only 10 units/s
+  ComponentSpec join = src;
+  join.name = "join";
+  join.join_inputs = true;
+  spec.components = {src, src2, join};
+  spec.edges = {{0, 2, 1.0}, {1, 2, 1.0}};
+  spec.reference_path = {0, 2};
+  Application app(spec, 1);
+  app.setWorkload(std::vector<double>(200, 80.0));  // 40 per source
+  for (int i = 0; i < 30; ++i) app.step();
+  // Join throughput is capped by the starved branch.
+  EXPECT_NEAR(app.stateOf(2).processed, 10.0, 2.0);
+  // The healthy branch's queue at the join grows (back-pressure source).
+  EXPECT_GT(app.stateOf(2).in_queues[0], 100.0);
+}
+
+TEST(Application, LatencyRisesWhenSaturated) {
+  Application app(pipelineSpec(1.0, 0.2, 500.0), 1);
+  app.setWorkload(std::vector<double>(200, 80.0));
+  for (int i = 0; i < 5; ++i) app.step();
+  const double early = app.latencySeconds();
+  for (int i = 0; i < 40; ++i) app.step();
+  EXPECT_GT(app.latencySeconds(), early * 5.0);
+}
+
+TEST(Application, CriticalPathSeesOffPathBottleneck) {
+  // Diamond: src -> {a, b} -> (no sink merge; a and b are sinks). A
+  // bottleneck on b must raise the app latency even though a is fine.
+  ApplicationSpec spec;
+  ComponentSpec src;
+  src.name = "src";
+  src.cpu_demand = 0.005;
+  src.noise_level = 0.0;
+  ComponentSpec a = src;
+  a.name = "a";
+  ComponentSpec b = src;
+  b.name = "b";
+  spec.components = {src, a, b};
+  spec.edges = {{0, 1, 0.5}, {0, 2, 0.5}};
+  spec.reference_path = {0, 1};
+  Application app(spec, 1);
+  app.setWorkload(std::vector<double>(200, 100.0));
+  for (int i = 0; i < 10; ++i) app.step();
+  const double before = app.latencySeconds();
+  app.faultStateOf(2).cpu_cap_factor = 0.05;  // bottleneck the off-path b
+  for (int i = 0; i < 40; ++i) app.step();
+  EXPECT_GT(app.latencySeconds(), before * 10.0);
+}
+
+TEST(Application, SelfWorkReservoirDrivesBatchProgress) {
+  ApplicationSpec spec;
+  ComponentSpec map;
+  map.name = "map";
+  map.cpu_demand = 0.01;
+  map.self_work_total = 500.0;
+  map.self_work_rate = 50.0;
+  map.noise_level = 0.0;
+  ComponentSpec red = map;
+  red.name = "red";
+  red.self_work_total = 0.0;
+  red.self_work_rate = 0.0;
+  spec.components = {map, red};
+  spec.edges = {{0, 1, 1.0}};
+  spec.reference_path = {0, 1};
+  spec.batch = true;
+  Application app(spec, 1);
+  double last = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    app.step();
+    EXPECT_GE(app.progress(), last);  // monotone
+    last = app.progress();
+  }
+  EXPECT_GT(last, 0.9);  // 500 units at ~50/s: done within ~12 s
+}
+
+TEST(Application, WorkloadMultiplierScalesArrivals) {
+  Application app(pipelineSpec(), 1);
+  app.setWorkload(std::vector<double>(100, 30.0));
+  for (int i = 0; i < 10; ++i) app.step();
+  const double base = app.stateOf(0).arrived;
+  app.setWorkloadMultiplier(2.0);
+  app.step();
+  EXPECT_NEAR(app.stateOf(0).arrived, base * 2.0, 1e-6);
+}
+
+TEST(Application, SourceDropsWhenBufferFull) {
+  ApplicationSpec spec = pipelineSpec(0.1, 0.1, 1000.0);  // 10 units/s
+  spec.components[0].buffer_limit = 50.0;
+  Application app(spec, 1);
+  app.setWorkload(std::vector<double>(100, 100.0));
+  for (int i = 0; i < 20; ++i) app.step();
+  EXPECT_GT(app.stateOf(0).dropped, 0.0);
+  // The NIC still sees the offered load.
+  EXPECT_NEAR(app.stateOf(0).arrived, 100.0, 1e-6);
+}
+
+TEST(Application, EdgeWeightRerouting) {
+  ApplicationSpec spec;
+  ComponentSpec src;
+  src.name = "src";
+  src.cpu_demand = 0.005;
+  src.noise_level = 0.0;
+  ComponentSpec a = src, b = src;
+  a.name = "a";
+  b.name = "b";
+  spec.components = {src, a, b};
+  spec.edges = {{0, 1, 0.5}, {0, 2, 0.5}};
+  spec.reference_path = {0, 1};
+  Application app(spec, 1);
+  app.setWorkload(std::vector<double>(100, 60.0));
+  for (int i = 0; i < 10; ++i) app.step();
+  EXPECT_NEAR(app.stateOf(1).processed, 30.0, 2.0);
+  app.setEdgeWeight(0, 1, 1.0);
+  app.setEdgeWeight(0, 2, 0.0);
+  for (int i = 0; i < 10; ++i) app.step();
+  EXPECT_NEAR(app.stateOf(1).processed, 60.0, 3.0);
+  EXPECT_NEAR(app.stateOf(2).processed, 0.0, 1e-6);
+}
+
+TEST(Application, BatchBurstComponentIdlesBetweenBursts) {
+  ApplicationSpec spec = pipelineSpec();
+  spec.components[1].burst_period_sec = 10;
+  spec.components[1].burst_len_sec = 3;
+  spec.components[1].cpu_capacity = 4.0;  // enough to drain in bursts
+  Application app(spec, 1);
+  app.setWorkload(std::vector<double>(200, 50.0));
+  std::size_t idle_ticks = 0, busy_ticks = 0;
+  for (int i = 0; i < 100; ++i) {
+    app.step();
+    if (i < 20) continue;  // warm-up
+    if (app.stateOf(1).processed > 1.0) {
+      ++busy_ticks;
+    } else {
+      ++idle_ticks;
+    }
+  }
+  EXPECT_GT(idle_ticks, 40u);
+  EXPECT_GT(busy_ticks, 15u);
+}
+
+TEST(Application, CycleInTopologyThrows) {
+  ApplicationSpec spec = pipelineSpec();
+  spec.edges.push_back({1, 0, 1.0});
+  EXPECT_THROW(Application(spec, 1), std::invalid_argument);
+}
+
+TEST(Application, OutOfRangeEdgeThrows) {
+  ApplicationSpec spec = pipelineSpec();
+  spec.edges.push_back({0, 9, 1.0});
+  EXPECT_THROW(Application(spec, 1), std::invalid_argument);
+}
+
+TEST(Application, MetricsRecordedEverySecond) {
+  Application app(pipelineSpec(), 1);
+  app.setWorkload(std::vector<double>(100, 10.0));
+  for (int i = 0; i < 25; ++i) app.step();
+  EXPECT_EQ(app.metricsOf(0).size(), 25u);
+  EXPECT_EQ(app.metricsOf(1).endTime(), 25);
+}
+
+TEST(Application, FindComponentByName) {
+  Application app(pipelineSpec(), 1);
+  EXPECT_EQ(app.findComponent("sink"), 1u);
+  EXPECT_EQ(app.findComponent("nope"), kNoComponent);
+}
+
+}  // namespace
+}  // namespace fchain::sim

@@ -1,0 +1,158 @@
+// Unit tests for sim/component: capacity, memory and metric models under
+// fault and validation-scaling state.
+#include <gtest/gtest.h>
+
+#include "sim/component.h"
+
+namespace fchain::sim {
+namespace {
+
+ComponentSpec basicSpec() {
+  ComponentSpec spec;
+  spec.cpu_capacity = 1.0;
+  spec.cpu_demand = 0.005;
+  spec.mem_base = 500.0;
+  spec.mem_limit = 1000.0;
+  spec.disk_capacity = 10000.0;
+  return spec;
+}
+
+TEST(Component, NominalCpuCapacity) {
+  const ComponentSpec spec = basicSpec();
+  FaultState fault;
+  EXPECT_DOUBLE_EQ(effectiveCpuCapacity(spec, fault, 600.0), 1.0);
+}
+
+TEST(Component, HogShareScalesCapacity) {
+  const ComponentSpec spec = basicSpec();
+  FaultState fault;
+  fault.hog_share = 0.5;
+  EXPECT_DOUBLE_EQ(effectiveCpuCapacity(spec, fault, 600.0), 0.5);
+}
+
+TEST(Component, BottleneckCapMultiplies) {
+  const ComponentSpec spec = basicSpec();
+  FaultState fault;
+  fault.cpu_cap_factor = 0.2;
+  EXPECT_DOUBLE_EQ(effectiveCpuCapacity(spec, fault, 600.0), 0.2);
+}
+
+TEST(Component, ValidationScalingRestoresHeadroom) {
+  const ComponentSpec spec = basicSpec();
+  FaultState fault;
+  fault.cpu_cap_factor = 0.2;
+  fault.scale_cpu = 2.5;
+  EXPECT_DOUBLE_EQ(effectiveCpuCapacity(spec, fault, 600.0), 0.5);
+}
+
+TEST(Component, NetHogCpuAbsorptionDrainsCapacity) {
+  const ComponentSpec spec = basicSpec();
+  FaultState fault;
+  fault.extra_net_in_kbs = 20000.0;
+  fault.net_hog_cpu_per_kb = 2.5e-5;
+  EXPECT_NEAR(effectiveCpuCapacity(spec, fault, 600.0), 0.5, 1e-12);
+}
+
+TEST(Component, SwapThrashingCollapsesCapacity) {
+  const ComponentSpec spec = basicSpec();
+  FaultState fault;
+  const double healthy = effectiveCpuCapacity(spec, fault, 900.0);
+  const double pressured = effectiveCpuCapacity(spec, fault, 1200.0);
+  const double thrashing = effectiveCpuCapacity(spec, fault, 3000.0);
+  EXPECT_DOUBLE_EQ(healthy, 1.0);
+  EXPECT_LT(pressured, 0.5);
+  EXPECT_NEAR(thrashing, 0.03, 1e-9);  // the floor
+}
+
+TEST(Component, MemoryScalingRaisesThrashPoint) {
+  const ComponentSpec spec = basicSpec();
+  FaultState fault;
+  fault.scale_mem = 2.0;
+  EXPECT_DOUBLE_EQ(effectiveCpuCapacity(spec, fault, 1500.0), 1.0);
+}
+
+TEST(Component, CapacityNeverNegative) {
+  const ComponentSpec spec = basicSpec();
+  FaultState fault;
+  fault.extra_net_in_kbs = 1e9;
+  fault.net_hog_cpu_per_kb = 1.0;
+  EXPECT_DOUBLE_EQ(effectiveCpuCapacity(spec, fault, 600.0), 0.0);
+}
+
+TEST(Component, DiskContentionAndScaling) {
+  const ComponentSpec spec = basicSpec();
+  FaultState fault;
+  fault.disk_contention = 0.75;
+  EXPECT_DOUBLE_EQ(effectiveDiskCapacity(spec, fault), 2500.0);
+  fault.scale_disk = 2.0;
+  EXPECT_DOUBLE_EQ(effectiveDiskCapacity(spec, fault), 5000.0);
+}
+
+TEST(Component, MemoryUsageAccountsQueueAndLeak) {
+  ComponentSpec spec = basicSpec();
+  spec.mem_per_queued = 0.5;
+  FaultState fault;
+  fault.leaked_mb = 120.0;
+  EXPECT_DOUBLE_EQ(memoryUsage(spec, fault, 40.0), 500.0 + 20.0 + 120.0);
+}
+
+TEST(Component, BaseMetricsMapActivityToSamples) {
+  ComponentSpec spec = basicSpec();
+  spec.net_in_per_unit = 2.0;
+  spec.net_out_per_unit = 3.0;
+  spec.disk_read_per_unit = 10.0;
+  spec.disk_write_per_unit = 5.0;
+  spec.background_cpu = 0.0;
+  spec.background_disk_w = 0.0;
+
+  ComponentState state;
+  state.in_queues = {10.0};
+  state.processed = 100.0;
+  state.arrived = 120.0;
+  state.emitted = 90.0;
+
+  const auto sample = baseMetrics(spec, state);
+  EXPECT_NEAR(sample[metricIndex(MetricKind::CpuUsage)], 50.0, 1e-9);
+  EXPECT_DOUBLE_EQ(sample[metricIndex(MetricKind::NetworkIn)], 240.0);
+  EXPECT_DOUBLE_EQ(sample[metricIndex(MetricKind::NetworkOut)], 270.0);
+  EXPECT_DOUBLE_EQ(sample[metricIndex(MetricKind::DiskRead)], 1000.0);
+  EXPECT_DOUBLE_EQ(sample[metricIndex(MetricKind::DiskWrite)], 500.0);
+}
+
+TEST(Component, InfiniteLoopPegsCpuAtAllowedCapacity) {
+  ComponentSpec spec = basicSpec();
+  ComponentState state;
+  state.in_queues = {0.0};
+  state.fault.infinite_loop = true;
+  const auto sample = baseMetrics(spec, state);
+  EXPECT_NEAR(sample[metricIndex(MetricKind::CpuUsage)], 100.0, 1e-9);
+}
+
+TEST(Component, SwapTrafficAppearsPastMemoryLimit) {
+  ComponentSpec spec = basicSpec();
+  spec.background_disk_w = 0.0;
+  ComponentState state;
+  state.in_queues = {0.0};
+  state.fault.leaked_mb = 900.0;  // 500 base + 900 leak > 1000 limit
+  const auto sample = baseMetrics(spec, state);
+  EXPECT_GT(sample[metricIndex(MetricKind::DiskWrite)], 100.0);
+  EXPECT_GT(sample[metricIndex(MetricKind::DiskRead)], 50.0);
+}
+
+TEST(Component, NetHogTrafficShowsOnNetworkIn) {
+  ComponentSpec spec = basicSpec();
+  ComponentState state;
+  state.in_queues = {0.0};
+  state.fault.extra_net_in_kbs = 30000.0;
+  const auto sample = baseMetrics(spec, state);
+  EXPECT_GE(sample[metricIndex(MetricKind::NetworkIn)], 30000.0);
+}
+
+TEST(Component, TotalQueueSumsAllInputs) {
+  ComponentState state;
+  state.in_queues = {5.0, 7.5, 2.5};
+  EXPECT_DOUBLE_EQ(state.totalQueue(), 15.0);
+}
+
+}  // namespace
+}  // namespace fchain::sim

@@ -1,0 +1,181 @@
+// Tests for the fault injector: every fault type must flip exactly the
+// knobs it models, at exactly its start time.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/apps.h"
+#include "sim/injector.h"
+
+namespace fchain::sim {
+namespace {
+
+Application rubis() {
+  Rng rng(1);
+  return makeApplication(AppKind::Rubis, 600, rng);
+}
+
+faults::FaultSpec spec(faults::FaultType type,
+                       std::vector<ComponentId> targets, TimeSec start,
+                       double intensity = 1.0) {
+  faults::FaultSpec fault;
+  fault.type = type;
+  fault.targets = std::move(targets);
+  fault.start_time = start;
+  fault.intensity = intensity;
+  return fault;
+}
+
+TEST(Injector, FiresExactlyAtStartTime) {
+  Application app = rubis();
+  FaultInjector injector({spec(faults::FaultType::MemLeak, {3}, 5)});
+  injector.apply(app, 4);
+  EXPECT_DOUBLE_EQ(app.faultStateOf(3).leak_rate_mb_s, 0.0);
+  injector.apply(app, 5);
+  EXPECT_GT(app.faultStateOf(3).leak_rate_mb_s, 0.0);
+}
+
+TEST(Injector, FiresOnlyOnce) {
+  Application app = rubis();
+  FaultInjector injector({spec(faults::FaultType::MemLeak, {3}, 5)});
+  injector.apply(app, 5);
+  const double rate = app.faultStateOf(3).leak_rate_mb_s;
+  app.faultStateOf(3).leak_rate_mb_s = 0.0;  // operator "fixed" it
+  injector.apply(app, 5);                    // same tick replayed
+  EXPECT_DOUBLE_EQ(app.faultStateOf(3).leak_rate_mb_s, 0.0);
+  EXPECT_GT(rate, 0.0);
+}
+
+TEST(Injector, CpuHogSetsFairShare) {
+  Application app = rubis();
+  FaultInjector injector({spec(faults::FaultType::CpuHog, {3}, 0, 1.35)});
+  injector.apply(app, 0);
+  EXPECT_NEAR(app.faultStateOf(3).hog_share, 0.675, 1e-9);
+}
+
+TEST(Injector, CpuHogShareIsCapped) {
+  Application app = rubis();
+  FaultInjector injector({spec(faults::FaultType::CpuHog, {3}, 0, 10.0)});
+  injector.apply(app, 0);
+  EXPECT_LE(app.faultStateOf(3).hog_share, 0.9);
+}
+
+TEST(Injector, InfiniteLoopFlagsTheTask) {
+  Application app = rubis();
+  FaultInjector injector({spec(faults::FaultType::InfiniteLoop, {1}, 0)});
+  injector.apply(app, 0);
+  EXPECT_TRUE(app.faultStateOf(1).infinite_loop);
+  EXPECT_FALSE(app.faultStateOf(2).infinite_loop);
+}
+
+TEST(Injector, NetHogRampsTowardTarget) {
+  Application app = rubis();
+  FaultInjector injector({spec(faults::FaultType::NetHog, {0}, 0)});
+  injector.apply(app, 0);
+  const auto& fault = app.faultStateOf(0);
+  EXPECT_GT(fault.extra_net_in_target, 0.0);
+  EXPECT_GT(fault.extra_net_in_ramp, 0.0);
+  EXPECT_DOUBLE_EQ(fault.extra_net_in_kbs, 0.0);  // ramps in step()
+  app.step();
+  EXPECT_GT(app.faultStateOf(0).extra_net_in_kbs, 0.0);
+  EXPECT_LE(app.faultStateOf(0).extra_net_in_kbs,
+            app.faultStateOf(0).extra_net_in_target);
+}
+
+TEST(Injector, DiskHogStartsWithADentAndRamps) {
+  Application app = rubis();
+  FaultInjector injector({spec(faults::FaultType::DiskHog, {3}, 0)});
+  injector.apply(app, 0);
+  const double initial = app.faultStateOf(3).disk_contention;
+  EXPECT_GT(initial, 0.3);
+  app.step();
+  app.step();
+  EXPECT_GT(app.faultStateOf(3).disk_contention, initial);
+  EXPECT_LE(app.faultStateOf(3).disk_contention,
+            app.faultStateOf(3).disk_contention_target);
+}
+
+TEST(Injector, BottleneckCapsScaleWithIntensity) {
+  Application weak = rubis();
+  FaultInjector({spec(faults::FaultType::Bottleneck, {2}, 0, 1.0)})
+      .apply(weak, 0);
+  Application strong = rubis();
+  FaultInjector({spec(faults::FaultType::Bottleneck, {2}, 0, 2.0)})
+      .apply(strong, 0);
+  EXPECT_LT(strong.faultStateOf(2).cpu_cap_factor,
+            weak.faultStateOf(2).cpu_cap_factor);
+  EXPECT_GE(strong.faultStateOf(2).cpu_cap_factor, 0.06);
+}
+
+TEST(Injector, OffloadBugRoutesEverythingToTargetA) {
+  Application app = rubis();
+  FaultInjector injector(
+      {spec(faults::FaultType::OffloadBug, {1, 2}, 0)});
+  injector.apply(app, 0);
+  double to_app1 = 0.0, to_app2 = 0.0;
+  for (const auto& edge : app.spec().edges) {
+    if (edge.from == 0 && edge.to == 1) to_app1 = edge.weight;
+    if (edge.from == 0 && edge.to == 2) to_app2 = edge.weight;
+  }
+  EXPECT_DOUBLE_EQ(to_app1, 1.0);
+  EXPECT_DOUBLE_EQ(to_app2, 0.0);
+}
+
+TEST(Injector, LBBugSkewsTheSplit) {
+  Application app = rubis();
+  FaultInjector injector({spec(faults::FaultType::LBBug, {1, 2}, 0)});
+  injector.apply(app, 0);
+  double to_app1 = 0.0, to_app2 = 0.0;
+  for (const auto& edge : app.spec().edges) {
+    if (edge.from == 0 && edge.to == 1) to_app1 = edge.weight;
+    if (edge.from == 0 && edge.to == 2) to_app2 = edge.weight;
+  }
+  EXPECT_NEAR(to_app1 + to_app2, 1.0, 1e-9);  // total preserved
+  EXPECT_GT(to_app1, 0.9);
+  EXPECT_GT(to_app2, 0.0);
+}
+
+TEST(Injector, LoadBalanceBugNeedsTwoTargets) {
+  Application app = rubis();
+  FaultInjector injector({spec(faults::FaultType::LBBug, {1}, 0)});
+  EXPECT_THROW(injector.apply(app, 0), std::invalid_argument);
+}
+
+TEST(Injector, LoadBalanceBugNeedsACommonUpstream) {
+  Application app = rubis();
+  // web(0) and db(3) share no common upstream.
+  FaultInjector injector({spec(faults::FaultType::OffloadBug, {0, 3}, 0)});
+  EXPECT_THROW(injector.apply(app, 0), std::invalid_argument);
+}
+
+TEST(Injector, SharedSlowdownHitsEveryComponent) {
+  Application app = rubis();
+  FaultInjector injector({spec(faults::FaultType::SharedSlowdown, {}, 0)});
+  injector.apply(app, 0);
+  for (ComponentId id = 0; id < app.componentCount(); ++id) {
+    EXPECT_GT(app.faultStateOf(id).disk_contention, 0.5) << "component " << id;
+  }
+}
+
+TEST(Injector, GroundTruthUnionsAndDeduplicates) {
+  const std::vector<faults::FaultSpec> specs{
+      spec(faults::FaultType::MemLeak, {2}, 0),
+      spec(faults::FaultType::CpuHog, {1, 2}, 0),
+      spec(faults::FaultType::WorkloadSurge, {}, 0),
+  };
+  EXPECT_EQ(groundTruth(specs), (std::vector<ComponentId>{1, 2}));
+  EXPECT_TRUE(groundTruth({}).empty());
+}
+
+TEST(Injector, MultipleFaultsAtDifferentTimes) {
+  Application app = rubis();
+  FaultInjector injector({spec(faults::FaultType::MemLeak, {1}, 2),
+                          spec(faults::FaultType::CpuHog, {2}, 4)});
+  injector.apply(app, 2);
+  EXPECT_GT(app.faultStateOf(1).leak_rate_mb_s, 0.0);
+  EXPECT_DOUBLE_EQ(app.faultStateOf(2).hog_share, 0.0);
+  injector.apply(app, 4);
+  EXPECT_GT(app.faultStateOf(2).hog_share, 0.0);
+}
+
+}  // namespace
+}  // namespace fchain::sim

@@ -1,0 +1,92 @@
+// Unit tests for the SLO monitors.
+#include <gtest/gtest.h>
+
+#include "sim/slo.h"
+
+namespace fchain::sim {
+namespace {
+
+TEST(LatencySlo, RequiresSustainedViolation) {
+  LatencySloMonitor monitor(0.1, 3);
+  EXPECT_FALSE(monitor.observe(0, 0.2).has_value());
+  EXPECT_FALSE(monitor.observe(1, 0.2).has_value());
+  const auto tv = monitor.observe(2, 0.2);
+  ASSERT_TRUE(tv.has_value());
+  EXPECT_EQ(*tv, 2);
+}
+
+TEST(LatencySlo, DipResetsTheStreak) {
+  LatencySloMonitor monitor(0.1, 3);
+  monitor.observe(0, 0.2);
+  monitor.observe(1, 0.2);
+  monitor.observe(2, 0.05);  // back under the threshold
+  monitor.observe(3, 0.2);
+  monitor.observe(4, 0.2);
+  EXPECT_FALSE(monitor.violationTime().has_value());
+  const auto tv = monitor.observe(5, 0.2);
+  ASSERT_TRUE(tv.has_value());
+  EXPECT_EQ(*tv, 5);
+}
+
+TEST(LatencySlo, LatchesFirstViolation) {
+  LatencySloMonitor monitor(0.1, 1);
+  monitor.observe(10, 0.5);
+  monitor.observe(11, 0.01);
+  monitor.observe(12, 0.5);
+  ASSERT_TRUE(monitor.violationTime().has_value());
+  EXPECT_EQ(*monitor.violationTime(), 10);
+}
+
+TEST(LatencySlo, HealthyRunNeverViolates) {
+  LatencySloMonitor monitor(0.1, 5);
+  for (TimeSec t = 0; t < 1000; ++t) {
+    EXPECT_FALSE(monitor.observe(t, 0.05).has_value());
+  }
+}
+
+TEST(ProgressSlo, ArmsOnlyAfterJobStarts) {
+  ProgressSloMonitor monitor(/*window=*/5, /*min_delta=*/0.01);
+  for (TimeSec t = 0; t < 50; ++t) {
+    EXPECT_FALSE(monitor.observe(t, 0.0).has_value());
+  }
+}
+
+TEST(ProgressSlo, DetectsStallOverTrailingWindow) {
+  ProgressSloMonitor monitor(5, 0.01);
+  double progress = 0.0;
+  TimeSec t = 0;
+  for (; t < 10; ++t) {
+    progress += 0.05;
+    EXPECT_FALSE(monitor.observe(t, progress).has_value());
+  }
+  // Stall: progress frozen; after window+1 samples the monitor fires.
+  std::optional<TimeSec> tv;
+  for (; t < 20 && !tv.has_value(); ++t) tv = monitor.observe(t, progress);
+  ASSERT_TRUE(tv.has_value());
+  EXPECT_LE(*tv, 16);
+}
+
+TEST(ProgressSlo, BurstyProgressDoesNotFalseAlarm) {
+  // Progress advances in clumps every 4 s but the 10 s window always sees
+  // at least one clump.
+  ProgressSloMonitor monitor(10, 0.01);
+  double progress = 0.01;
+  for (TimeSec t = 0; t < 200; ++t) {
+    if (t % 4 == 0) progress += 0.04;
+    EXPECT_FALSE(monitor.observe(t, progress).has_value()) << "t=" << t;
+  }
+}
+
+TEST(ProgressSlo, SlowCreepBelowThresholdCountsAsStall) {
+  ProgressSloMonitor monitor(10, 0.01);
+  double progress = 0.5;
+  std::optional<TimeSec> tv;
+  for (TimeSec t = 0; t < 40 && !tv.has_value(); ++t) {
+    progress += 0.0001;  // far below min_delta over any window
+    tv = monitor.observe(t, progress);
+  }
+  EXPECT_TRUE(tv.has_value());
+}
+
+}  // namespace
+}  // namespace fchain::sim

@@ -1,0 +1,28 @@
+// End-to-end smoke test: simulate a RUBiS CpuHog incident and check that
+// FChain pinpoints the database server.
+#include <gtest/gtest.h>
+
+#include "eval/runner.h"
+#include "baselines/fchain_scheme.h"
+
+namespace fchain {
+namespace {
+
+TEST(Smoke, RubisCpuHogPinpointsDb) {
+  eval::FaultCase fault_case = eval::rubisCpuHog();
+  eval::TrialOptions options;
+  options.trials = 2;
+  options.base_seed = 7;
+  const auto set = eval::generateTrials(fault_case, options);
+  ASSERT_FALSE(set.trials.empty()) << "no trial produced an SLO violation";
+
+  baselines::FChainScheme scheme(fault_case.fchain_config);
+  for (const auto& trial : set.trials) {
+    const auto pinpointed =
+        scheme.localize(eval::inputFor(trial), scheme.defaultThreshold());
+    EXPECT_EQ(pinpointed, trial.record.ground_truth);
+  }
+}
+
+}  // namespace
+}  // namespace fchain

@@ -1,0 +1,113 @@
+// Property-style sweeps over the statistics helpers: invariances that must
+// hold for arbitrary inputs (TEST_P over seeds).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace fchain {
+namespace {
+
+class StatsProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  std::vector<double> randomData(std::size_t n) {
+    Rng rng(GetParam());
+    std::vector<double> xs(n);
+    for (double& x : xs) x = rng.uniform(-100.0, 100.0);
+    return xs;
+  }
+};
+
+TEST_P(StatsProperty, PercentileIsMonotoneInP) {
+  const auto xs = randomData(73);
+  double previous = percentile(xs, 0.0);
+  for (double p = 5.0; p <= 100.0; p += 5.0) {
+    const double current = percentile(xs, p);
+    EXPECT_GE(current, previous);
+    previous = current;
+  }
+}
+
+TEST_P(StatsProperty, PercentileIsPermutationInvariant) {
+  auto xs = randomData(50);
+  const double p90 = percentile(xs, 90.0);
+  Rng rng(GetParam() ^ 0xabc);
+  for (std::size_t i = xs.size() - 1; i > 0; --i) {
+    std::swap(xs[i], xs[rng.below(i + 1)]);
+  }
+  EXPECT_DOUBLE_EQ(percentile(xs, 90.0), p90);
+}
+
+TEST_P(StatsProperty, MeanAndMedianAreTranslationEquivariant) {
+  const auto xs = randomData(41);
+  std::vector<double> shifted(xs);
+  for (double& x : shifted) x += 1234.5;
+  EXPECT_NEAR(mean(shifted), mean(xs) + 1234.5, 1e-9);
+  EXPECT_NEAR(median(shifted), median(xs) + 1234.5, 1e-9);
+  // MAD is translation invariant.
+  EXPECT_NEAR(medianAbsDeviation(shifted), medianAbsDeviation(xs), 1e-9);
+}
+
+TEST_P(StatsProperty, ScaleEquivariance) {
+  const auto xs = randomData(41);
+  std::vector<double> scaled(xs);
+  for (double& x : scaled) x *= 3.0;
+  EXPECT_NEAR(stddev(scaled), 3.0 * stddev(xs), 1e-9);
+  EXPECT_NEAR(medianAbsDeviation(scaled), 3.0 * medianAbsDeviation(xs), 1e-9);
+  EXPECT_NEAR(slope(scaled), 3.0 * slope(xs), 1e-9);
+}
+
+TEST_P(StatsProperty, VarianceMatchesDefinition) {
+  const auto xs = randomData(29);
+  const double m = mean(xs);
+  double sum = 0.0;
+  for (double x : xs) sum += (x - m) * (x - m);
+  EXPECT_NEAR(variance(xs), sum / static_cast<double>(xs.size() - 1), 1e-9);
+}
+
+TEST_P(StatsProperty, KlDivergenceIsNonNegativeAndZeroOnSelf) {
+  Rng rng(GetParam());
+  Histogram p(0, 1, 12);
+  Histogram q(0, 1, 12);
+  for (int i = 0; i < 500; ++i) {
+    p.add(rng.uniform());
+    q.add(std::pow(rng.uniform(), 2.0));  // different shape
+  }
+  EXPECT_GE(klDivergence(p, q), 0.0);
+  EXPECT_NEAR(klDivergence(p, p), 0.0, 1e-12);
+}
+
+TEST_P(StatsProperty, HistogramProbabilitiesFormADistribution) {
+  Rng rng(GetParam());
+  Histogram h(-5, 5, 17);
+  for (int i = 0; i < 200; ++i) h.add(rng.gaussian());
+  double total = 0.0;
+  for (std::size_t i = 0; i < h.binCount(); ++i) {
+    const double pi = h.probability(i);
+    EXPECT_GT(pi, 0.0);  // Laplace smoothing keeps every bin positive
+    total += pi;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_P(StatsProperty, PearsonIsBoundedAndSymmetric) {
+  Rng rng(GetParam());
+  std::vector<double> xs(60), ys(60);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.gaussian();
+    ys[i] = 0.4 * xs[i] + rng.gaussian();
+  }
+  const double r = pearson(xs, ys);
+  EXPECT_GE(r, -1.0 - 1e-12);
+  EXPECT_LE(r, 1.0 + 1e-12);
+  EXPECT_NEAR(pearson(ys, xs), r, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace fchain
