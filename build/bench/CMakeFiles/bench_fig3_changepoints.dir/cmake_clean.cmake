@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_changepoints.dir/bench_fig3_changepoints.cpp.o"
+  "CMakeFiles/bench_fig3_changepoints.dir/bench_fig3_changepoints.cpp.o.d"
+  "bench_fig3_changepoints"
+  "bench_fig3_changepoints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_changepoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_rubis_multi.dir/bench_fig8_rubis_multi.cpp.o"
+  "CMakeFiles/bench_fig8_rubis_multi.dir/bench_fig8_rubis_multi.cpp.o.d"
+  "bench_fig8_rubis_multi"
+  "bench_fig8_rubis_multi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_rubis_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

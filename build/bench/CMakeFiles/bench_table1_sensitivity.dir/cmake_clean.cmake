@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_sensitivity.dir/bench_table1_sensitivity.cpp.o"
+  "CMakeFiles/bench_table1_sensitivity.dir/bench_table1_sensitivity.cpp.o.d"
+  "bench_table1_sensitivity"
+  "bench_table1_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fchain_cli.dir/fchain_cli.cpp.o"
+  "CMakeFiles/fchain_cli.dir/fchain_cli.cpp.o.d"
+  "fchain_cli"
+  "fchain_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fchain_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_cloud_deployment.dir/online_cloud_deployment.cpp.o"
+  "CMakeFiles/online_cloud_deployment.dir/online_cloud_deployment.cpp.o.d"
+  "online_cloud_deployment"
+  "online_cloud_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_cloud_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_diagnosis.dir/streaming_diagnosis.cpp.o"
+  "CMakeFiles/streaming_diagnosis.dir/streaming_diagnosis.cpp.o.d"
+  "streaming_diagnosis"
+  "streaming_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fchain_baselines.dir/fchain_scheme.cpp.o"
+  "CMakeFiles/fchain_baselines.dir/fchain_scheme.cpp.o.d"
+  "CMakeFiles/fchain_baselines.dir/graph_schemes.cpp.o"
+  "CMakeFiles/fchain_baselines.dir/graph_schemes.cpp.o.d"
+  "CMakeFiles/fchain_baselines.dir/histogram_scheme.cpp.o"
+  "CMakeFiles/fchain_baselines.dir/histogram_scheme.cpp.o.d"
+  "CMakeFiles/fchain_baselines.dir/netmedic.cpp.o"
+  "CMakeFiles/fchain_baselines.dir/netmedic.cpp.o.d"
+  "libfchain_baselines.a"
+  "libfchain_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fchain_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

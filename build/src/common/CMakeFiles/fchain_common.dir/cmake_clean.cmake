@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fchain_common.dir/stats.cpp.o"
+  "CMakeFiles/fchain_common.dir/stats.cpp.o.d"
+  "CMakeFiles/fchain_common.dir/time_series.cpp.o"
+  "CMakeFiles/fchain_common.dir/time_series.cpp.o.d"
+  "CMakeFiles/fchain_common.dir/types.cpp.o"
+  "CMakeFiles/fchain_common.dir/types.cpp.o.d"
+  "libfchain_common.a"
+  "libfchain_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fchain_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

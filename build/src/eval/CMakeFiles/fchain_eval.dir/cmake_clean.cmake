@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fchain_eval.dir/auc.cpp.o"
+  "CMakeFiles/fchain_eval.dir/auc.cpp.o.d"
+  "CMakeFiles/fchain_eval.dir/cases.cpp.o"
+  "CMakeFiles/fchain_eval.dir/cases.cpp.o.d"
+  "CMakeFiles/fchain_eval.dir/exporter.cpp.o"
+  "CMakeFiles/fchain_eval.dir/exporter.cpp.o.d"
+  "CMakeFiles/fchain_eval.dir/metrics.cpp.o"
+  "CMakeFiles/fchain_eval.dir/metrics.cpp.o.d"
+  "CMakeFiles/fchain_eval.dir/report.cpp.o"
+  "CMakeFiles/fchain_eval.dir/report.cpp.o.d"
+  "CMakeFiles/fchain_eval.dir/runner.cpp.o"
+  "CMakeFiles/fchain_eval.dir/runner.cpp.o.d"
+  "libfchain_eval.a"
+  "libfchain_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fchain_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fchain_faults.dir/fault.cpp.o"
+  "CMakeFiles/fchain_faults.dir/fault.cpp.o.d"
+  "libfchain_faults.a"
+  "libfchain_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fchain_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fchain/adaptive.cpp" "src/fchain/CMakeFiles/fchain_core.dir/adaptive.cpp.o" "gcc" "src/fchain/CMakeFiles/fchain_core.dir/adaptive.cpp.o.d"
+  "/root/repo/src/fchain/change_selector.cpp" "src/fchain/CMakeFiles/fchain_core.dir/change_selector.cpp.o" "gcc" "src/fchain/CMakeFiles/fchain_core.dir/change_selector.cpp.o.d"
+  "/root/repo/src/fchain/fchain.cpp" "src/fchain/CMakeFiles/fchain_core.dir/fchain.cpp.o" "gcc" "src/fchain/CMakeFiles/fchain_core.dir/fchain.cpp.o.d"
+  "/root/repo/src/fchain/fluctuation_model.cpp" "src/fchain/CMakeFiles/fchain_core.dir/fluctuation_model.cpp.o" "gcc" "src/fchain/CMakeFiles/fchain_core.dir/fluctuation_model.cpp.o.d"
+  "/root/repo/src/fchain/incident.cpp" "src/fchain/CMakeFiles/fchain_core.dir/incident.cpp.o" "gcc" "src/fchain/CMakeFiles/fchain_core.dir/incident.cpp.o.d"
+  "/root/repo/src/fchain/master.cpp" "src/fchain/CMakeFiles/fchain_core.dir/master.cpp.o" "gcc" "src/fchain/CMakeFiles/fchain_core.dir/master.cpp.o.d"
+  "/root/repo/src/fchain/pinpoint.cpp" "src/fchain/CMakeFiles/fchain_core.dir/pinpoint.cpp.o" "gcc" "src/fchain/CMakeFiles/fchain_core.dir/pinpoint.cpp.o.d"
+  "/root/repo/src/fchain/slave.cpp" "src/fchain/CMakeFiles/fchain_core.dir/slave.cpp.o" "gcc" "src/fchain/CMakeFiles/fchain_core.dir/slave.cpp.o.d"
+  "/root/repo/src/fchain/validation.cpp" "src/fchain/CMakeFiles/fchain_core.dir/validation.cpp.o" "gcc" "src/fchain/CMakeFiles/fchain_core.dir/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fchain_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/fchain_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/fchain_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fchain_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netdep/CMakeFiles/fchain_netdep.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fchain_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/fchain_faults.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

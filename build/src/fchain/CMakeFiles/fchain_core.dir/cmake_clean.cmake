@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fchain_core.dir/adaptive.cpp.o"
+  "CMakeFiles/fchain_core.dir/adaptive.cpp.o.d"
+  "CMakeFiles/fchain_core.dir/change_selector.cpp.o"
+  "CMakeFiles/fchain_core.dir/change_selector.cpp.o.d"
+  "CMakeFiles/fchain_core.dir/fchain.cpp.o"
+  "CMakeFiles/fchain_core.dir/fchain.cpp.o.d"
+  "CMakeFiles/fchain_core.dir/fluctuation_model.cpp.o"
+  "CMakeFiles/fchain_core.dir/fluctuation_model.cpp.o.d"
+  "CMakeFiles/fchain_core.dir/incident.cpp.o"
+  "CMakeFiles/fchain_core.dir/incident.cpp.o.d"
+  "CMakeFiles/fchain_core.dir/master.cpp.o"
+  "CMakeFiles/fchain_core.dir/master.cpp.o.d"
+  "CMakeFiles/fchain_core.dir/pinpoint.cpp.o"
+  "CMakeFiles/fchain_core.dir/pinpoint.cpp.o.d"
+  "CMakeFiles/fchain_core.dir/slave.cpp.o"
+  "CMakeFiles/fchain_core.dir/slave.cpp.o.d"
+  "CMakeFiles/fchain_core.dir/validation.cpp.o"
+  "CMakeFiles/fchain_core.dir/validation.cpp.o.d"
+  "libfchain_core.a"
+  "libfchain_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fchain_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/markov/discretizer.cpp" "src/markov/CMakeFiles/fchain_markov.dir/discretizer.cpp.o" "gcc" "src/markov/CMakeFiles/fchain_markov.dir/discretizer.cpp.o.d"
+  "/root/repo/src/markov/markov_model.cpp" "src/markov/CMakeFiles/fchain_markov.dir/markov_model.cpp.o" "gcc" "src/markov/CMakeFiles/fchain_markov.dir/markov_model.cpp.o.d"
+  "/root/repo/src/markov/predictor.cpp" "src/markov/CMakeFiles/fchain_markov.dir/predictor.cpp.o" "gcc" "src/markov/CMakeFiles/fchain_markov.dir/predictor.cpp.o.d"
+  "/root/repo/src/markov/signature.cpp" "src/markov/CMakeFiles/fchain_markov.dir/signature.cpp.o" "gcc" "src/markov/CMakeFiles/fchain_markov.dir/signature.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fchain_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/fchain_signal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fchain_markov.dir/discretizer.cpp.o"
+  "CMakeFiles/fchain_markov.dir/discretizer.cpp.o.d"
+  "CMakeFiles/fchain_markov.dir/markov_model.cpp.o"
+  "CMakeFiles/fchain_markov.dir/markov_model.cpp.o.d"
+  "CMakeFiles/fchain_markov.dir/predictor.cpp.o"
+  "CMakeFiles/fchain_markov.dir/predictor.cpp.o.d"
+  "CMakeFiles/fchain_markov.dir/signature.cpp.o"
+  "CMakeFiles/fchain_markov.dir/signature.cpp.o.d"
+  "libfchain_markov.a"
+  "libfchain_markov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fchain_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netdep/cooccurrence.cpp" "src/netdep/CMakeFiles/fchain_netdep.dir/cooccurrence.cpp.o" "gcc" "src/netdep/CMakeFiles/fchain_netdep.dir/cooccurrence.cpp.o.d"
+  "/root/repo/src/netdep/dependency.cpp" "src/netdep/CMakeFiles/fchain_netdep.dir/dependency.cpp.o" "gcc" "src/netdep/CMakeFiles/fchain_netdep.dir/dependency.cpp.o.d"
+  "/root/repo/src/netdep/orion.cpp" "src/netdep/CMakeFiles/fchain_netdep.dir/orion.cpp.o" "gcc" "src/netdep/CMakeFiles/fchain_netdep.dir/orion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fchain_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fchain_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fchain_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/fchain_faults.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fchain_netdep.dir/cooccurrence.cpp.o"
+  "CMakeFiles/fchain_netdep.dir/cooccurrence.cpp.o.d"
+  "CMakeFiles/fchain_netdep.dir/dependency.cpp.o"
+  "CMakeFiles/fchain_netdep.dir/dependency.cpp.o.d"
+  "CMakeFiles/fchain_netdep.dir/orion.cpp.o"
+  "CMakeFiles/fchain_netdep.dir/orion.cpp.o.d"
+  "libfchain_netdep.a"
+  "libfchain_netdep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fchain_netdep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fchain_netdep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fchain_netdep.
+# This may be replaced when dependencies are built.

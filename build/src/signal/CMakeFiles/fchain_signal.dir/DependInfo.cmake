@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/signal/burst.cpp" "src/signal/CMakeFiles/fchain_signal.dir/burst.cpp.o" "gcc" "src/signal/CMakeFiles/fchain_signal.dir/burst.cpp.o.d"
+  "/root/repo/src/signal/cusum.cpp" "src/signal/CMakeFiles/fchain_signal.dir/cusum.cpp.o" "gcc" "src/signal/CMakeFiles/fchain_signal.dir/cusum.cpp.o.d"
+  "/root/repo/src/signal/fft.cpp" "src/signal/CMakeFiles/fchain_signal.dir/fft.cpp.o" "gcc" "src/signal/CMakeFiles/fchain_signal.dir/fft.cpp.o.d"
+  "/root/repo/src/signal/outlier.cpp" "src/signal/CMakeFiles/fchain_signal.dir/outlier.cpp.o" "gcc" "src/signal/CMakeFiles/fchain_signal.dir/outlier.cpp.o.d"
+  "/root/repo/src/signal/smoothing.cpp" "src/signal/CMakeFiles/fchain_signal.dir/smoothing.cpp.o" "gcc" "src/signal/CMakeFiles/fchain_signal.dir/smoothing.cpp.o.d"
+  "/root/repo/src/signal/spectrum.cpp" "src/signal/CMakeFiles/fchain_signal.dir/spectrum.cpp.o" "gcc" "src/signal/CMakeFiles/fchain_signal.dir/spectrum.cpp.o.d"
+  "/root/repo/src/signal/tangent.cpp" "src/signal/CMakeFiles/fchain_signal.dir/tangent.cpp.o" "gcc" "src/signal/CMakeFiles/fchain_signal.dir/tangent.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fchain_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fchain_signal.dir/burst.cpp.o"
+  "CMakeFiles/fchain_signal.dir/burst.cpp.o.d"
+  "CMakeFiles/fchain_signal.dir/cusum.cpp.o"
+  "CMakeFiles/fchain_signal.dir/cusum.cpp.o.d"
+  "CMakeFiles/fchain_signal.dir/fft.cpp.o"
+  "CMakeFiles/fchain_signal.dir/fft.cpp.o.d"
+  "CMakeFiles/fchain_signal.dir/outlier.cpp.o"
+  "CMakeFiles/fchain_signal.dir/outlier.cpp.o.d"
+  "CMakeFiles/fchain_signal.dir/smoothing.cpp.o"
+  "CMakeFiles/fchain_signal.dir/smoothing.cpp.o.d"
+  "CMakeFiles/fchain_signal.dir/spectrum.cpp.o"
+  "CMakeFiles/fchain_signal.dir/spectrum.cpp.o.d"
+  "CMakeFiles/fchain_signal.dir/tangent.cpp.o"
+  "CMakeFiles/fchain_signal.dir/tangent.cpp.o.d"
+  "libfchain_signal.a"
+  "libfchain_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fchain_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/application.cpp" "src/sim/CMakeFiles/fchain_sim.dir/application.cpp.o" "gcc" "src/sim/CMakeFiles/fchain_sim.dir/application.cpp.o.d"
+  "/root/repo/src/sim/apps.cpp" "src/sim/CMakeFiles/fchain_sim.dir/apps.cpp.o" "gcc" "src/sim/CMakeFiles/fchain_sim.dir/apps.cpp.o.d"
+  "/root/repo/src/sim/cloud.cpp" "src/sim/CMakeFiles/fchain_sim.dir/cloud.cpp.o" "gcc" "src/sim/CMakeFiles/fchain_sim.dir/cloud.cpp.o.d"
+  "/root/repo/src/sim/component.cpp" "src/sim/CMakeFiles/fchain_sim.dir/component.cpp.o" "gcc" "src/sim/CMakeFiles/fchain_sim.dir/component.cpp.o.d"
+  "/root/repo/src/sim/injector.cpp" "src/sim/CMakeFiles/fchain_sim.dir/injector.cpp.o" "gcc" "src/sim/CMakeFiles/fchain_sim.dir/injector.cpp.o.d"
+  "/root/repo/src/sim/record_io.cpp" "src/sim/CMakeFiles/fchain_sim.dir/record_io.cpp.o" "gcc" "src/sim/CMakeFiles/fchain_sim.dir/record_io.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/fchain_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/fchain_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/slo.cpp" "src/sim/CMakeFiles/fchain_sim.dir/slo.cpp.o" "gcc" "src/sim/CMakeFiles/fchain_sim.dir/slo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fchain_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fchain_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/fchain_faults.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fchain_sim.dir/application.cpp.o"
+  "CMakeFiles/fchain_sim.dir/application.cpp.o.d"
+  "CMakeFiles/fchain_sim.dir/apps.cpp.o"
+  "CMakeFiles/fchain_sim.dir/apps.cpp.o.d"
+  "CMakeFiles/fchain_sim.dir/cloud.cpp.o"
+  "CMakeFiles/fchain_sim.dir/cloud.cpp.o.d"
+  "CMakeFiles/fchain_sim.dir/component.cpp.o"
+  "CMakeFiles/fchain_sim.dir/component.cpp.o.d"
+  "CMakeFiles/fchain_sim.dir/injector.cpp.o"
+  "CMakeFiles/fchain_sim.dir/injector.cpp.o.d"
+  "CMakeFiles/fchain_sim.dir/record_io.cpp.o"
+  "CMakeFiles/fchain_sim.dir/record_io.cpp.o.d"
+  "CMakeFiles/fchain_sim.dir/simulator.cpp.o"
+  "CMakeFiles/fchain_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/fchain_sim.dir/slo.cpp.o"
+  "CMakeFiles/fchain_sim.dir/slo.cpp.o.d"
+  "libfchain_sim.a"
+  "libfchain_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fchain_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

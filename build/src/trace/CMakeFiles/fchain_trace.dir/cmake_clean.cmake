@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fchain_trace.dir/workload_trace.cpp.o"
+  "CMakeFiles/fchain_trace.dir/workload_trace.cpp.o.d"
+  "libfchain_trace.a"
+  "libfchain_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fchain_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

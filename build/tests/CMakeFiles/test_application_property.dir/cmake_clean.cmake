@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_application_property.dir/application_property_test.cpp.o"
+  "CMakeFiles/test_application_property.dir/application_property_test.cpp.o.d"
+  "test_application_property"
+  "test_application_property.pdb"
+  "test_application_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_application_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

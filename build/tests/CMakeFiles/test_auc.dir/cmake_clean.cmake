@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_auc.dir/auc_test.cpp.o"
+  "CMakeFiles/test_auc.dir/auc_test.cpp.o.d"
+  "test_auc"
+  "test_auc.pdb"
+  "test_auc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_auc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

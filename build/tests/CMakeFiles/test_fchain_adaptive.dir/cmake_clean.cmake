@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fchain_adaptive.dir/fchain_adaptive_test.cpp.o"
+  "CMakeFiles/test_fchain_adaptive.dir/fchain_adaptive_test.cpp.o.d"
+  "test_fchain_adaptive"
+  "test_fchain_adaptive.pdb"
+  "test_fchain_adaptive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fchain_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

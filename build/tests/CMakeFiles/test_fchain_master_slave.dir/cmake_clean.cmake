@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fchain_master_slave.dir/fchain_master_slave_test.cpp.o"
+  "CMakeFiles/test_fchain_master_slave.dir/fchain_master_slave_test.cpp.o.d"
+  "test_fchain_master_slave"
+  "test_fchain_master_slave.pdb"
+  "test_fchain_master_slave[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fchain_master_slave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

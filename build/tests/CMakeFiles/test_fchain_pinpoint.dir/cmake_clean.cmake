@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fchain_pinpoint.dir/fchain_pinpoint_test.cpp.o"
+  "CMakeFiles/test_fchain_pinpoint.dir/fchain_pinpoint_test.cpp.o.d"
+  "test_fchain_pinpoint"
+  "test_fchain_pinpoint.pdb"
+  "test_fchain_pinpoint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fchain_pinpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

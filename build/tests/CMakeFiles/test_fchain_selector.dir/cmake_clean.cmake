@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fchain_selector.dir/fchain_selector_test.cpp.o"
+  "CMakeFiles/test_fchain_selector.dir/fchain_selector_test.cpp.o.d"
+  "test_fchain_selector"
+  "test_fchain_selector.pdb"
+  "test_fchain_selector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fchain_selector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

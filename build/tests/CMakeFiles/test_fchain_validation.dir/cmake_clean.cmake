@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fchain_validation.dir/fchain_validation_test.cpp.o"
+  "CMakeFiles/test_fchain_validation.dir/fchain_validation_test.cpp.o.d"
+  "test_fchain_validation"
+  "test_fchain_validation.pdb"
+  "test_fchain_validation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fchain_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_incident.dir/incident_test.cpp.o"
+  "CMakeFiles/test_incident.dir/incident_test.cpp.o.d"
+  "test_incident"
+  "test_incident.pdb"
+  "test_incident[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_incident.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_markov.dir/markov_test.cpp.o"
+  "CMakeFiles/test_markov.dir/markov_test.cpp.o.d"
+  "test_markov"
+  "test_markov.pdb"
+  "test_markov[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netdep.dir/netdep_test.cpp.o"
+  "CMakeFiles/test_netdep.dir/netdep_test.cpp.o.d"
+  "test_netdep"
+  "test_netdep.pdb"
+  "test_netdep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netdep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_orion.dir/orion_test.cpp.o"
+  "CMakeFiles/test_orion.dir/orion_test.cpp.o.d"
+  "test_orion"
+  "test_orion.pdb"
+  "test_orion[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_orion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

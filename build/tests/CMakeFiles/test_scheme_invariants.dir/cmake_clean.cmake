@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheme_invariants.dir/scheme_invariants_test.cpp.o"
+  "CMakeFiles/test_scheme_invariants.dir/scheme_invariants_test.cpp.o.d"
+  "test_scheme_invariants"
+  "test_scheme_invariants.pdb"
+  "test_scheme_invariants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheme_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_selector_config.dir/selector_config_test.cpp.o"
+  "CMakeFiles/test_selector_config.dir/selector_config_test.cpp.o.d"
+  "test_selector_config"
+  "test_selector_config.pdb"
+  "test_selector_config[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_selector_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_signal_detect.dir/signal_detect_test.cpp.o"
+  "CMakeFiles/test_signal_detect.dir/signal_detect_test.cpp.o.d"
+  "test_signal_detect"
+  "test_signal_detect.pdb"
+  "test_signal_detect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_signal_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_application.dir/sim_application_test.cpp.o"
+  "CMakeFiles/test_sim_application.dir/sim_application_test.cpp.o.d"
+  "test_sim_application"
+  "test_sim_application.pdb"
+  "test_sim_application[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_application.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_component.dir/sim_component_test.cpp.o"
+  "CMakeFiles/test_sim_component.dir/sim_component_test.cpp.o.d"
+  "test_sim_component"
+  "test_sim_component.pdb"
+  "test_sim_component[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_component.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
