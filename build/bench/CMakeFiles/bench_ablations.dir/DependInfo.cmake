@@ -23,6 +23,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/markov/CMakeFiles/fchain_markov.dir/DependInfo.cmake"
   "/root/repo/build/src/signal/CMakeFiles/fchain_signal.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/fchain_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/fchain_runtime.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

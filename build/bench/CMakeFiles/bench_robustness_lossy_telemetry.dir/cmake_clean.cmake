@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_robustness_lossy_telemetry.dir/bench_robustness_lossy_telemetry.cpp.o"
+  "CMakeFiles/bench_robustness_lossy_telemetry.dir/bench_robustness_lossy_telemetry.cpp.o.d"
+  "bench_robustness_lossy_telemetry"
+  "bench_robustness_lossy_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_robustness_lossy_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -253,4 +253,5 @@ bench/CMakeFiles/bench_table2_overhead.dir/bench_table2_overhead.cpp.o: \
  /root/repo/src/fchain/fchain.h /root/repo/src/fchain/change_selector.h \
  /root/repo/src/fchain/fluctuation_model.h /root/repo/src/fchain/master.h \
  /root/repo/src/fchain/pinpoint.h /root/repo/src/fchain/slave.h \
- /root/repo/src/fchain/validation.h
+ /root/repo/src/fchain/validation.h /root/repo/src/runtime/endpoint.h \
+ /root/repo/src/runtime/health.h

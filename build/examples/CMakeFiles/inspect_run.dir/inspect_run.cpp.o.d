@@ -244,8 +244,13 @@ examples/CMakeFiles/inspect_run.dir/inspect_run.cpp.o: \
  /root/repo/src/eval/metrics.h /root/repo/src/fchain/fchain.h \
  /root/repo/src/fchain/change_selector.h \
  /root/repo/src/fchain/fluctuation_model.h /root/repo/src/fchain/master.h \
- /root/repo/src/fchain/pinpoint.h /root/repo/src/fchain/slave.h \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
- /root/repo/src/fchain/validation.h
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/fchain/pinpoint.h \
+ /root/repo/src/fchain/slave.h /root/repo/src/fchain/validation.h \
+ /root/repo/src/runtime/endpoint.h /root/repo/src/runtime/health.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h

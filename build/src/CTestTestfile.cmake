@@ -11,6 +11,7 @@ subdirs("trace")
 subdirs("faults")
 subdirs("sim")
 subdirs("netdep")
+subdirs("runtime")
 subdirs("fchain")
 subdirs("baselines")
 subdirs("eval")

@@ -22,6 +22,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/fchain/CMakeFiles/fchain_core.dir/DependInfo.cmake"
   "/root/repo/build/src/markov/CMakeFiles/fchain_markov.dir/DependInfo.cmake"
   "/root/repo/build/src/signal/CMakeFiles/fchain_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/fchain_runtime.dir/DependInfo.cmake"
   "/root/repo/build/src/netdep/CMakeFiles/fchain_netdep.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/fchain_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/trace/CMakeFiles/fchain_trace.dir/DependInfo.cmake"

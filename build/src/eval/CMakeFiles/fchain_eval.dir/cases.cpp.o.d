@@ -160,12 +160,12 @@ src/eval/CMakeFiles/fchain_eval.dir/cases.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/fchain/config.h \
- /usr/include/c++/12/cstddef /root/repo/src/common/types.h \
+ /usr/include/c++/12/cstddef /root/repo/src/common/time_series.h \
+ /usr/include/c++/12/span /root/repo/src/common/types.h \
  /root/repo/src/markov/predictor.h /usr/include/c++/12/optional \
  /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/common/time_series.h /usr/include/c++/12/span \
  /root/repo/src/markov/discretizer.h /root/repo/src/markov/markov_model.h \
  /root/repo/src/signal/burst.h /root/repo/src/signal/cusum.h \
  /root/repo/src/signal/outlier.h /root/repo/src/signal/tangent.h \

@@ -26,6 +26,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/markov/CMakeFiles/fchain_markov.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/fchain_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/netdep/CMakeFiles/fchain_netdep.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/fchain_runtime.dir/DependInfo.cmake"
   "/root/repo/build/src/trace/CMakeFiles/fchain_trace.dir/DependInfo.cmake"
   "/root/repo/build/src/faults/CMakeFiles/fchain_faults.dir/DependInfo.cmake"
   )

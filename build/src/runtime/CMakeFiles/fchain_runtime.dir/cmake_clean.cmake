@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fchain_runtime.dir/flaky_endpoint.cpp.o"
+  "CMakeFiles/fchain_runtime.dir/flaky_endpoint.cpp.o.d"
+  "libfchain_runtime.a"
+  "libfchain_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fchain_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfchain_runtime.a"
+)

@@ -329,7 +329,11 @@ tests/CMakeFiles/test_baselines.dir/baselines_test.cpp.o: \
  /root/repo/src/signal/tangent.h \
  /root/repo/src/fchain/fluctuation_model.h /root/repo/src/fchain/master.h \
  /root/repo/src/fchain/pinpoint.h /root/repo/src/fchain/slave.h \
- /root/repo/src/fchain/validation.h \
+ /root/repo/src/fchain/validation.h /root/repo/src/runtime/endpoint.h \
+ /root/repo/src/runtime/health.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/baselines/graph_schemes.h \
  /root/repo/src/baselines/histogram_scheme.h \
  /root/repo/src/baselines/netmedic.h /root/repo/src/eval/runner.h \

@@ -330,4 +330,8 @@ tests/CMakeFiles/test_fchain_adaptive.dir/fchain_adaptive_test.cpp.o: \
  /root/repo/src/fchain/fchain.h /root/repo/src/fchain/change_selector.h \
  /root/repo/src/fchain/fluctuation_model.h /root/repo/src/fchain/master.h \
  /root/repo/src/fchain/pinpoint.h /root/repo/src/fchain/slave.h \
- /root/repo/src/fchain/validation.h
+ /root/repo/src/fchain/validation.h /root/repo/src/runtime/endpoint.h \
+ /root/repo/src/runtime/health.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h

@@ -327,4 +327,8 @@ tests/CMakeFiles/test_fchain_master_slave.dir/fchain_master_slave_test.cpp.o: \
  /root/repo/src/sim/apps.h /root/repo/src/sim/application.h \
  /root/repo/src/sim/component.h /root/repo/src/sim/injector.h \
  /root/repo/src/faults/fault.h /root/repo/src/sim/slo.h \
- /root/repo/src/fchain/slave.h /root/repo/src/fchain/validation.h
+ /root/repo/src/fchain/slave.h /root/repo/src/fchain/validation.h \
+ /root/repo/src/runtime/endpoint.h /root/repo/src/runtime/health.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fchain_robustness_test.cpp" "tests/CMakeFiles/test_fchain_robustness.dir/fchain_robustness_test.cpp.o" "gcc" "tests/CMakeFiles/test_fchain_robustness.dir/fchain_robustness_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/fchain_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/fchain_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/fchain/CMakeFiles/fchain_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/netdep/CMakeFiles/fchain_netdep.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fchain_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/fchain_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/fchain_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/markov/CMakeFiles/fchain_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/fchain_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fchain_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/fchain_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

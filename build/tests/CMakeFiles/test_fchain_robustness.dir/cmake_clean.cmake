@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fchain_robustness.dir/fchain_robustness_test.cpp.o"
+  "CMakeFiles/test_fchain_robustness.dir/fchain_robustness_test.cpp.o.d"
+  "test_fchain_robustness"
+  "test_fchain_robustness.pdb"
+  "test_fchain_robustness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fchain_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

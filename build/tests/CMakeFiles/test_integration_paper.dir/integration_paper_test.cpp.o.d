@@ -329,5 +329,10 @@ tests/CMakeFiles/test_integration_paper.dir/integration_paper_test.cpp.o: \
  /root/repo/src/signal/tangent.h \
  /root/repo/src/fchain/fluctuation_model.h /root/repo/src/fchain/master.h \
  /root/repo/src/fchain/pinpoint.h /root/repo/src/fchain/slave.h \
- /root/repo/src/fchain/validation.h /root/repo/src/eval/runner.h \
- /root/repo/src/eval/cases.h /root/repo/src/eval/metrics.h
+ /root/repo/src/fchain/validation.h /root/repo/src/runtime/endpoint.h \
+ /root/repo/src/runtime/health.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/eval/runner.h /root/repo/src/eval/cases.h \
+ /root/repo/src/eval/metrics.h

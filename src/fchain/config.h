@@ -4,6 +4,7 @@
 
 #include <cstddef>
 
+#include "common/time_series.h"
 #include "common/types.h"
 #include "markov/predictor.h"
 #include "signal/burst.h"
@@ -82,6 +83,18 @@ struct FChainConfig {
 
   /// Normal fluctuation model (PRESS-style predictor).
   markov::PredictorConfig predictor;
+
+  // --- Telemetry hardening (unreliable monitoring streams) ---------------
+
+  /// Reconstruction policy for seconds missing from a slave's 1 Hz sample
+  /// stream. Gap-filled samples also feed the fluctuation model so the
+  /// prediction-error series stays aligned with the metric series.
+  GapFill gap_fill = GapFill::LastValue;
+
+  /// A sample whose timestamp jumps more than this far past the end of the
+  /// series is treated as clock corruption and discarded instead of
+  /// synthesizing an absurd number of fill samples.
+  TimeSec max_gap_fill_sec = 3600;
 
   // --- Ablation / baseline switches -------------------------------------
 

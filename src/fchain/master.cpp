@@ -1,22 +1,144 @@
 #include "fchain/master.h"
 
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
 namespace fchain::core {
+
+namespace {
+
+using runtime::EndpointStatus;
+using runtime::HealthState;
+
+}  // namespace
+
+void FChainMaster::addEndpoint(
+    std::shared_ptr<runtime::SlaveEndpoint> endpoint,
+    const std::vector<ComponentId>& components) {
+  const std::size_t index = endpoints_.size();
+  for (ComponentId id : components) {
+    const auto [it, inserted] = routes_.emplace(id, index);
+    if (!inserted) {
+      throw std::invalid_argument(
+          "component " + std::to_string(id) +
+          " is already monitored by another registered slave");
+    }
+  }
+  endpoints_.push_back(
+      {std::move(endpoint),
+       runtime::EndpointHealth(retry_.degraded_after, retry_.down_after)});
+}
+
+void FChainMaster::registerSlave(FChainSlave* slave) {
+  if (slave == nullptr) {
+    throw std::invalid_argument("cannot register a null slave");
+  }
+  if (!registered_.insert(slave).second) {
+    throw std::invalid_argument("slave registered twice");
+  }
+  auto endpoint = std::make_shared<runtime::LocalEndpoint>(slave);
+  addEndpoint(std::move(endpoint), slave->components());
+}
+
+void FChainMaster::registerEndpoint(
+    std::shared_ptr<runtime::SlaveEndpoint> endpoint) {
+  if (endpoint == nullptr) {
+    throw std::invalid_argument("cannot register a null endpoint");
+  }
+  if (!registered_.insert(endpoint.get()).second) {
+    throw std::invalid_argument("endpoint registered twice");
+  }
+  runtime::ComponentListReply reply;
+  for (int attempt = 0; attempt < std::max(1, retry_.max_attempts);
+       ++attempt) {
+    reply = endpoint->listComponents();
+    if (reply.status == EndpointStatus::Ok) break;
+  }
+  if (reply.status != EndpointStatus::Ok) {
+    registered_.erase(endpoint.get());
+    throw std::runtime_error(
+        std::string("slave discovery failed after retries: ") +
+        std::string(runtime::endpointStatusName(reply.status)));
+  }
+  addEndpoint(std::move(endpoint), reply.components);
+}
+
+void FChainMaster::registerEndpoint(
+    std::shared_ptr<runtime::SlaveEndpoint> endpoint,
+    const std::vector<ComponentId>& components) {
+  if (endpoint == nullptr) {
+    throw std::invalid_argument("cannot register a null endpoint");
+  }
+  if (!registered_.insert(endpoint.get()).second) {
+    throw std::invalid_argument("endpoint registered twice");
+  }
+  addEndpoint(std::move(endpoint), components);
+}
+
+std::vector<HealthState> FChainMaster::endpointHealth() const {
+  std::vector<HealthState> states;
+  states.reserve(endpoints_.size());
+  for (const Endpoint& ep : endpoints_) states.push_back(ep.health.state());
+  return states;
+}
 
 PinpointResult FChainMaster::localize(
     const std::vector<ComponentId>& components,
     TimeSec violation_time) const {
   std::vector<ComponentFinding> findings;
+  std::vector<ComponentId> unanalyzed;
+  std::size_t analyzed = 0;
+
   for (ComponentId id : components) {
-    for (const FChainSlave* slave : slaves_) {
-      if (!slave->monitors(id)) continue;
-      if (auto finding = slave->analyze(id, violation_time)) {
-        findings.push_back(std::move(*finding));
+    const auto route = routes_.find(id);
+    if (route == routes_.end()) {
+      unanalyzed.push_back(id);
+      continue;
+    }
+    Endpoint& ep = endpoints_[route->second];
+    // A down endpoint gets one probe instead of the full retry budget, so a
+    // dead slave cannot stall every localization — yet can still recover.
+    const int attempts = ep.health.state() == HealthState::Down
+                             ? 1
+                             : std::max(1, retry_.max_attempts);
+    bool answered = false;
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+      runtime::AnalyzeRequest request;
+      request.component = id;
+      request.violation_time = violation_time;
+      request.deadline_ms = retry_.request_deadline_ms;
+      ++stats_.requests;
+      if (attempt > 0) {
+        ++stats_.retries;
+        stats_.simulated_backoff_ms += runtime::retryDelayMs(
+            retry_, attempt - 1,
+            mixSeed(static_cast<std::uint64_t>(violation_time), id,
+                    static_cast<std::uint64_t>(attempt)));
       }
-      break;
+      runtime::AnalyzeReply reply = ep.endpoint->analyze(request);
+      if (reply.status == EndpointStatus::Ok) {
+        ep.health.recordSuccess();
+        answered = true;
+        ++analyzed;
+        if (reply.finding.has_value()) {
+          findings.push_back(std::move(*reply.finding));
+        }
+        break;
+      }
+      ep.health.recordFailure();
+    }
+    if (!answered) {
+      ++stats_.failures;
+      unanalyzed.push_back(id);
     }
   }
-  return pinpointer_.pinpoint(std::move(findings), components.size(),
-                              &dependencies_);
+
+  PinpointResult result = pinpointer_.pinpoint(
+      std::move(findings), components.size(), &dependencies_, analyzed);
+  std::sort(unanalyzed.begin(), unanalyzed.end());
+  result.unanalyzed = std::move(unanalyzed);
+  return result;
 }
 
 PinpointResult FChainMaster::localizeAndValidate(

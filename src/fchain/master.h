@@ -4,25 +4,61 @@
 // collects their abnormal-change findings, runs integrated pinpointing
 // against the (offline-discovered) dependency graph, and optionally runs the
 // online validation pass to shed false alarms.
+//
+// Slaves are reached through the runtime::SlaveEndpoint seam, so the master
+// survives an unreliable monitoring plane: every analysis request carries a
+// deadline and is retried with exponential backoff + deterministic jitter
+// (runtime::RetryPolicy), each endpoint's health is tracked across requests
+// (healthy -> degraded -> down; down endpoints get a single probe instead of
+// the full retry budget), and localization proceeds from whatever findings
+// arrive — PinpointResult::coverage reports how much of the application was
+// actually analyzed instead of silently pretending full coverage.
 #pragma once
 
-#include <functional>
+#include <map>
+#include <memory>
+#include <set>
 #include <vector>
 
 #include "fchain/pinpoint.h"
 #include "fchain/slave.h"
 #include "fchain/validation.h"
+#include "runtime/endpoint.h"
+#include "runtime/health.h"
 
 namespace fchain::core {
 
+/// Transport bookkeeping accumulated across localize() calls.
+struct MasterRuntimeStats {
+  std::size_t requests = 0;   ///< analysis attempts issued (incl. retries)
+  std::size_t retries = 0;    ///< attempts beyond the first per component
+  std::size_t failures = 0;   ///< components whose retry budget ran out
+  double simulated_backoff_ms = 0.0;  ///< total backoff the schedule imposed
+};
+
 class FChainMaster {
  public:
-  explicit FChainMaster(FChainConfig config = {})
-      : config_(config), pinpointer_(config) {}
+  explicit FChainMaster(FChainConfig config = {},
+                        runtime::RetryPolicy retry = {})
+      : config_(config), retry_(retry), pinpointer_(config) {}
 
-  /// Registers a slave; the master only keeps a handle, the data stays on
-  /// the slave's host. The slave must outlive the master.
-  void registerSlave(FChainSlave* slave) { slaves_.push_back(slave); }
+  /// Registers an in-process slave (wrapped in a runtime::LocalEndpoint);
+  /// the data stays on the slave's host and the slave must outlive the
+  /// master. Register the slave's components first: the routing table is
+  /// built here. Throws std::invalid_argument when the same slave is
+  /// registered twice or a component is already claimed by another slave.
+  void registerSlave(FChainSlave* slave);
+
+  /// Registers a slave behind an arbitrary transport. The component list is
+  /// discovered via listComponents(), retried per the retry policy; throws
+  /// std::runtime_error when discovery keeps failing and
+  /// std::invalid_argument on duplicate endpoints / component claims.
+  void registerEndpoint(std::shared_ptr<runtime::SlaveEndpoint> endpoint);
+
+  /// Same, with the component routing known up front (deployment manifest);
+  /// skips the discovery RPC entirely.
+  void registerEndpoint(std::shared_ptr<runtime::SlaveEndpoint> endpoint,
+                        const std::vector<ComponentId>& components);
 
   /// Supplies the offline-discovered dependency graph (may be empty — e.g.
   /// for stream processing systems, where discovery finds nothing).
@@ -30,7 +66,17 @@ class FChainMaster {
     dependencies_ = std::move(graph);
   }
 
-  /// Localizes the fault for the application made of `components`.
+  const runtime::RetryPolicy& retryPolicy() const { return retry_; }
+  void setRetryPolicy(runtime::RetryPolicy retry) { retry_ = retry; }
+
+  /// Health of every registered endpoint, in registration order.
+  std::vector<runtime::HealthState> endpointHealth() const;
+
+  const MasterRuntimeStats& runtimeStats() const { return stats_; }
+
+  /// Localizes the fault for the application made of `components`. Degraded
+  /// mode: components whose slave never answers are reported in
+  /// PinpointResult::unanalyzed and the result's coverage drops below 1.
   PinpointResult localize(const std::vector<ComponentId>& components,
                           TimeSec violation_time) const;
 
@@ -41,9 +87,25 @@ class FChainMaster {
       const ValidationConfig& validation = {}) const;
 
  private:
+  struct Endpoint {
+    std::shared_ptr<runtime::SlaveEndpoint> endpoint;
+    runtime::EndpointHealth health;
+  };
+
+  /// Adds the endpoint under the given component routes (shared tail of
+  /// both register paths).
+  void addEndpoint(std::shared_ptr<runtime::SlaveEndpoint> endpoint,
+                   const std::vector<ComponentId>& components);
+
   FChainConfig config_;
+  runtime::RetryPolicy retry_;
   IntegratedPinpointer pinpointer_;
-  std::vector<FChainSlave*> slaves_;
+  // Health evolves as the (logically const) localization observes slave
+  // behaviour, like a connection pool's internal bookkeeping.
+  mutable std::vector<Endpoint> endpoints_;
+  mutable MasterRuntimeStats stats_;
+  std::map<ComponentId, std::size_t> routes_;  ///< component -> endpoint idx
+  std::set<const void*> registered_;  ///< raw identity of slaves/endpoints
   netdep::DependencyGraph dependencies_;
 };
 

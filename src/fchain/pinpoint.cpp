@@ -6,8 +6,16 @@ namespace fchain::core {
 
 PinpointResult IntegratedPinpointer::pinpoint(
     std::vector<ComponentFinding> findings, std::size_t total_components,
-    const netdep::DependencyGraph* dependencies) const {
+    const netdep::DependencyGraph* dependencies,
+    std::optional<std::size_t> analyzed_components) const {
   PinpointResult result;
+  const std::size_t analyzed =
+      std::min(analyzed_components.value_or(total_components),
+               total_components);
+  result.coverage = total_components == 0
+                        ? 1.0
+                        : static_cast<double>(analyzed) /
+                              static_cast<double>(total_components);
   if (findings.empty()) return result;
 
   std::sort(findings.begin(), findings.end(),

@@ -28,6 +28,14 @@ struct PinpointResult {
   std::vector<ComponentFinding> chain;
   bool external_factor = false;
   Trend external_trend = Trend::Flat;
+  /// Fraction of the application's components whose look-back windows were
+  /// actually analyzed. 1.0 is full coverage; less means some slaves never
+  /// answered (telemetry-degraded mode) and the verdict is correspondingly
+  /// less trustworthy — it is never silently passed off as complete.
+  double coverage = 1.0;
+  /// Components with no analysis result: unmonitored, or their slave stayed
+  /// unreachable after retries. Sorted ascending.
+  std::vector<ComponentId> unanalyzed;
 };
 
 class IntegratedPinpointer {
@@ -39,9 +47,14 @@ class IntegratedPinpointer {
   /// `total_components`: application size, for the external-factor check.
   /// `dependencies`: discovered dependency graph; pass nullptr (or an empty
   /// graph) when unavailable.
-  PinpointResult pinpoint(std::vector<ComponentFinding> findings,
-                          std::size_t total_components,
-                          const netdep::DependencyGraph* dependencies) const;
+  /// `analyzed_components`: how many components actually produced an
+  /// analysis (degraded mode); defaults to full coverage. The external-
+  /// factor verdict requires full coverage — "every component we could
+  /// still see is abnormal" is not evidence that *every* component is.
+  PinpointResult pinpoint(
+      std::vector<ComponentFinding> findings, std::size_t total_components,
+      const netdep::DependencyGraph* dependencies,
+      std::optional<std::size_t> analyzed_components = std::nullopt) const;
 
  private:
   FChainConfig config_;

@@ -1,12 +1,15 @@
 #include "fchain/slave.h"
 
+#include <cmath>
+
 namespace fchain::core {
 
 void FChainSlave::addComponent(ComponentId id, TimeSec start_time) {
   vms_.emplace(id,
                VmState{MetricSeries(start_time),
                        NormalFluctuationModel(
-                           start_time, selector_.config().predictor)});
+                           start_time, selector_.config().predictor),
+                       IngestStats{}});
 }
 
 std::vector<ComponentId> FChainSlave::components() const {
@@ -18,10 +21,82 @@ std::vector<ComponentId> FChainSlave::components() const {
 
 void FChainSlave::ingest(ComponentId id,
                          const std::array<double, kMetricCount>& sample) {
-  auto it = vms_.find(id);
+  const auto it = vms_.find(id);
   if (it == vms_.end()) return;
-  it->second.series.append(sample);
-  it->second.model.observe(sample);
+  ingestAt(id, it->second.series.endTime(), sample);
+}
+
+void FChainSlave::ingestAt(ComponentId id, TimeSec t,
+                           const std::array<double, kMetricCount>& sample) {
+  const auto it = vms_.find(id);
+  if (it == vms_.end()) return;
+  VmState& vm = it->second;
+  const FChainConfig& config = selector_.config();
+
+  // Quarantine non-finite values: substitute the metric's last good value
+  // (0 before any sample) so downstream analysis only ever sees finite
+  // numbers. The substitution keeps all six per-metric series aligned.
+  std::array<double, kMetricCount> clean = sample;
+  for (std::size_t m = 0; m < kMetricCount; ++m) {
+    if (!std::isfinite(clean[m])) {
+      const TimeSeries& series = vm.series.of(kAllMetrics[m]);
+      clean[m] = series.empty() ? 0.0 : series.at(series.endTime() - 1);
+      ++vm.stats.quarantined;
+    }
+  }
+
+  const TimeSec start = vm.series.of(MetricKind::CpuUsage).startTime();
+  const TimeSec end = vm.series.endTime();
+  if (t < start) {
+    ++vm.stats.stale_dropped;
+    return;
+  }
+  if (t < end) {
+    // Duplicate / out-of-order delivery: the latest value wins. The model
+    // is append-only and has already consumed this second, so it stays
+    // untouched.
+    for (MetricKind kind : kAllMetrics) {
+      vm.series.of(kind).at(t) = clean[metricIndex(kind)];
+    }
+    ++vm.stats.duplicates;
+    return;
+  }
+
+  const TimeSec gap = t - end;
+  if (gap > config.max_gap_fill_sec) {
+    // A timestamp this far in the future is clock corruption, not a gap.
+    ++vm.stats.future_dropped;
+    return;
+  }
+  if (gap > 0) {
+    // Synthesize the missing seconds and feed them to the model too, so the
+    // prediction-error series stays aligned with the metric series.
+    std::array<double, kMetricCount> last{};
+    for (std::size_t m = 0; m < kMetricCount; ++m) {
+      const TimeSeries& series = vm.series.of(kAllMetrics[m]);
+      last[m] = series.empty() ? clean[m] : series.at(series.endTime() - 1);
+    }
+    for (TimeSec g = 1; g <= gap; ++g) {
+      std::array<double, kMetricCount> filled{};
+      const double frac =
+          static_cast<double>(g) / static_cast<double>(gap + 1);
+      for (std::size_t m = 0; m < kMetricCount; ++m) {
+        filled[m] = config.gap_fill == GapFill::Linear
+                        ? last[m] + (clean[m] - last[m]) * frac
+                        : last[m];
+      }
+      vm.series.append(filled);
+      vm.model.observe(filled);
+    }
+    vm.stats.gaps_filled += static_cast<std::size_t>(gap);
+  }
+  vm.series.append(clean);
+  vm.model.observe(clean);
+}
+
+const IngestStats* FChainSlave::ingestStatsOf(ComponentId id) const {
+  const auto it = vms_.find(id);
+  return it == vms_.end() ? nullptr : &it->second.stats;
 }
 
 std::optional<ComponentFinding> FChainSlave::analyze(

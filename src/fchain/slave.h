@@ -4,8 +4,15 @@
 // runs the abnormal change point selector over its local components'
 // look-back windows and returns the findings — the compute-heavy selection
 // work thereby stays distributed across hosts (paper §III-G).
+//
+// Ingestion is hardened against unreliable monitoring streams: missing
+// seconds are gap-filled (FChainConfig::gap_fill), duplicate and
+// out-of-order timestamps are tolerated, and non-finite samples are
+// quarantined before they can reach the Markov model or CUSUM. Per-VM
+// IngestStats count every such repair.
 #pragma once
 
+#include <array>
 #include <map>
 #include <optional>
 #include <vector>
@@ -13,6 +20,15 @@
 #include "fchain/change_selector.h"
 
 namespace fchain::core {
+
+/// Per-VM telemetry repair counters.
+struct IngestStats {
+  std::size_t gaps_filled = 0;     ///< synthesized samples (missing seconds)
+  std::size_t quarantined = 0;     ///< non-finite metric values replaced
+  std::size_t duplicates = 0;      ///< duplicate/out-of-order timestamps
+  std::size_t stale_dropped = 0;   ///< samples older than the series start
+  std::size_t future_dropped = 0;  ///< timestamps past max_gap_fill_sec
+};
 
 class FChainSlave {
  public:
@@ -22,14 +38,27 @@ class FChainSlave {
   HostId host() const { return host_; }
 
   /// Registers a guest VM hosted on this node. `start_time` is the first
-  /// sample's timestamp.
+  /// sample's timestamp. Register every component before handing the slave
+  /// to FChainMaster: the master snapshots the component list then.
   void addComponent(ComponentId id, TimeSec start_time);
 
   bool monitors(ComponentId id) const { return vms_.contains(id); }
   std::vector<ComponentId> components() const;
 
-  /// Feeds one second of samples for one local VM.
+  /// Feeds one second of samples for one local VM at the series' endTime().
   void ingest(ComponentId id, const std::array<double, kMetricCount>& sample);
+
+  /// Timestamped ingest for unreliable streams: tolerates gaps (filled per
+  /// FChainConfig::gap_fill and counted), duplicate/out-of-order timestamps
+  /// (latest value wins, the model is untouched), stale samples (dropped),
+  /// wild future timestamps (dropped) and non-finite values (quarantined —
+  /// the metric's last good value is substituted so neither the Markov
+  /// model nor CUSUM ever sees a NaN/inf).
+  void ingestAt(ComponentId id, TimeSec t,
+                const std::array<double, kMetricCount>& sample);
+
+  /// Telemetry repair counters for one VM; nullptr when unknown.
+  const IngestStats* ingestStatsOf(ComponentId id) const;
 
   /// Master RPC: analyze one local component's look-back window.
   std::optional<ComponentFinding> analyze(ComponentId id,
@@ -39,6 +68,7 @@ class FChainSlave {
   struct VmState {
     MetricSeries series;
     NormalFluctuationModel model;
+    IngestStats stats;
   };
 
   HostId host_;

@@ -1,0 +1,115 @@
+// Master-to-slave transport abstraction (telemetry-fault tolerance layer).
+//
+// The seed reproduction called FChainSlave methods through raw in-process
+// pointers, which bakes the assumption of a perfectly reliable monitoring
+// plane into the master. Real clouds lose requests, time out, and take whole
+// slaves offline; this module inserts an RPC-shaped seam between
+// FChainMaster and FChainSlave so those failure modes become first-class:
+//
+//   FChainMaster ── SlaveEndpoint (interface) ──┬── LocalEndpoint  (in-process)
+//                                               └── FlakyEndpoint  (decorator
+//                                                    injecting drops/timeouts/
+//                                                    outages; flaky_endpoint.h)
+//
+// Every request carries a deadline; every reply carries an explicit status
+// so the master can retry, back off, and track per-slave health
+// (runtime/health.h) instead of silently pretending full coverage.
+//
+// Layering note: these headers see fchain_core types (ComponentFinding,
+// FChainSlave), but the link-level dependency points the other way —
+// fchain_core links fchain_runtime, and everything here that touches core
+// symbols is header-only so it compiles into its including library.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "fchain/slave.h"
+
+namespace fchain::runtime {
+
+/// Outcome of one request to a slave endpoint.
+enum class EndpointStatus : std::uint8_t {
+  Ok,           ///< reply received within the deadline
+  Timeout,      ///< the slave answered too slowly (deadline exceeded)
+  Dropped,      ///< request or response lost in transit
+  Unavailable,  ///< slave process down / unreachable (fast failure)
+};
+
+inline std::string_view endpointStatusName(EndpointStatus status) {
+  switch (status) {
+    case EndpointStatus::Ok: return "ok";
+    case EndpointStatus::Timeout: return "timeout";
+    case EndpointStatus::Dropped: return "dropped";
+    case EndpointStatus::Unavailable: return "unavailable";
+  }
+  return "unknown";
+}
+
+/// Master RPC: analyze one component's look-back window before
+/// `violation_time`.
+struct AnalyzeRequest {
+  ComponentId component = kNoComponent;
+  TimeSec violation_time = 0;
+  /// Per-request deadline in (simulated) milliseconds; 0 disables it.
+  double deadline_ms = 0.0;
+};
+
+struct AnalyzeReply {
+  EndpointStatus status = EndpointStatus::Unavailable;
+  /// Present iff status == Ok *and* the component shows an abnormal change.
+  std::optional<core::ComponentFinding> finding;
+  /// Simulated service latency of this request.
+  double latency_ms = 0.0;
+};
+
+/// Reply to the component-discovery RPC issued at registration time.
+struct ComponentListReply {
+  EndpointStatus status = EndpointStatus::Unavailable;
+  std::vector<ComponentId> components;
+};
+
+/// Transport-level handle to one FChain slave. Implementations must be
+/// deterministic for reproducible experiments (seeded, no wall clock).
+class SlaveEndpoint {
+ public:
+  virtual ~SlaveEndpoint() = default;
+
+  /// Host the slave runs on (advisory; used for display and outage mapping).
+  virtual HostId host() const = 0;
+
+  /// Lists the components this slave monitors.
+  virtual ComponentListReply listComponents() = 0;
+
+  /// Runs the abnormal-change analysis for one component.
+  virtual AnalyzeReply analyze(const AnalyzeRequest& request) = 0;
+};
+
+/// In-process endpoint: wraps a raw FChainSlave pointer and always succeeds
+/// with zero latency — the seed reproduction's behaviour, now explicit. The
+/// slave must outlive the endpoint.
+class LocalEndpoint final : public SlaveEndpoint {
+ public:
+  explicit LocalEndpoint(core::FChainSlave* slave) : slave_(slave) {}
+
+  HostId host() const override { return slave_->host(); }
+
+  ComponentListReply listComponents() override {
+    return {EndpointStatus::Ok, slave_->components()};
+  }
+
+  AnalyzeReply analyze(const AnalyzeRequest& request) override {
+    AnalyzeReply reply;
+    reply.status = EndpointStatus::Ok;
+    reply.finding = slave_->analyze(request.component, request.violation_time);
+    return reply;
+  }
+
+  const core::FChainSlave* slave() const { return slave_; }
+
+ private:
+  core::FChainSlave* slave_;
+};
+
+}  // namespace fchain::runtime

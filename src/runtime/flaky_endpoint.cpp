@@ -1,0 +1,60 @@
+#include "runtime/flaky_endpoint.h"
+
+#include <cmath>
+#include <limits>
+
+namespace fchain::runtime {
+
+FlakyEndpoint::FlakyEndpoint(std::shared_ptr<SlaveEndpoint> inner,
+                             FlakyConfig config)
+    : inner_(std::move(inner)), config_(std::move(config)) {}
+
+EndpointStatus FlakyEndpoint::roll(std::uint64_t index, TimeSec now,
+                                   double deadline_ms,
+                                   double* latency_ms) const {
+  if (down_ || index < config_.fail_first) return EndpointStatus::Unavailable;
+  for (const auto& [from, to] : config_.outage_windows) {
+    if (now >= from && now < to) return EndpointStatus::Unavailable;
+  }
+  Rng rng(mixSeed(config_.seed, 0x41afedull, index));
+  if (rng.chance(config_.drop_probability)) return EndpointStatus::Dropped;
+  if (rng.chance(config_.timeout_probability)) return EndpointStatus::Timeout;
+  double latency = config_.latency_mean_ms;
+  if (config_.latency_jitter_ms > 0.0) {
+    latency = std::max(
+        0.0, latency + rng.uniform(-config_.latency_jitter_ms,
+                                   config_.latency_jitter_ms));
+  }
+  if (latency_ms != nullptr) *latency_ms = latency;
+  if (deadline_ms > 0.0 && latency > deadline_ms) {
+    return EndpointStatus::Timeout;
+  }
+  return EndpointStatus::Ok;
+}
+
+ComponentListReply FlakyEndpoint::listComponents() {
+  const std::uint64_t index = requests_++;
+  // Discovery happens before any incident, so no sim-time outage applies;
+  // drops/cold-start failures still do.
+  const EndpointStatus status =
+      roll(index, std::numeric_limits<TimeSec>::min(), 0.0, nullptr);
+  if (status != EndpointStatus::Ok) return {status, {}};
+  return inner_->listComponents();
+}
+
+AnalyzeReply FlakyEndpoint::analyze(const AnalyzeRequest& request) {
+  const std::uint64_t index = requests_++;
+  double latency = 0.0;
+  const EndpointStatus status =
+      roll(index, request.violation_time, request.deadline_ms, &latency);
+  if (status != EndpointStatus::Ok) {
+    AnalyzeReply reply;
+    reply.status = status;
+    return reply;
+  }
+  AnalyzeReply reply = inner_->analyze(request);
+  reply.latency_ms += latency;
+  return reply;
+}
+
+}  // namespace fchain::runtime

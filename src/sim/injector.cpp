@@ -1,7 +1,10 @@
 #include "sim/injector.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
+
+#include "common/rng.h"
 
 namespace fchain::sim {
 
@@ -133,6 +136,86 @@ void FaultInjector::apply(Application& app, TimeSec now) {
       fired_[i] = true;
     }
   }
+}
+
+std::string_view telemetryFaultTypeName(TelemetryFaultType type) {
+  switch (type) {
+    case TelemetryFaultType::SampleDropBurst: return "sample_drop_burst";
+    case TelemetryFaultType::ValueCorruption: return "value_corruption";
+    case TelemetryFaultType::SlaveOutage: return "slave_outage";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool windowActive(const TelemetryFaultSpec& spec, TimeSec now) {
+  if (now < spec.start_time) return false;
+  return spec.duration_sec == 0 || now < spec.start_time + spec.duration_sec;
+}
+
+bool targetsComponent(const TelemetryFaultSpec& spec, ComponentId id) {
+  if (spec.targets.empty()) return true;
+  return std::find(spec.targets.begin(), spec.targets.end(), id) !=
+         spec.targets.end();
+}
+
+/// Stateless per-(spec, component, second) coin flip.
+bool roll(const TelemetryFaultSpec& spec, ComponentId id, TimeSec now,
+          std::uint64_t salt) {
+  if (spec.rate >= 1.0) return true;
+  if (spec.rate <= 0.0) return false;
+  Rng rng(mixSeed(spec.seed ^ salt, id, static_cast<std::uint64_t>(now)));
+  return rng.chance(spec.rate);
+}
+
+}  // namespace
+
+bool TelemetryFaultInjector::sampleDropped(ComponentId id,
+                                           TimeSec now) const {
+  for (const TelemetryFaultSpec& spec : specs_) {
+    if (spec.type != TelemetryFaultType::SampleDropBurst) continue;
+    if (!windowActive(spec, now) || !targetsComponent(spec, id)) continue;
+    if (roll(spec, id, now, 0x5a3cull)) return true;
+  }
+  return false;
+}
+
+bool TelemetryFaultInjector::corruptSample(
+    ComponentId id, TimeSec now,
+    std::array<double, kMetricCount>& sample) const {
+  bool corrupted = false;
+  for (const TelemetryFaultSpec& spec : specs_) {
+    if (spec.type != TelemetryFaultType::ValueCorruption) continue;
+    if (!windowActive(spec, now) || !targetsComponent(spec, id)) continue;
+    Rng rng(mixSeed(spec.seed ^ 0xc0de11ull, id,
+                    static_cast<std::uint64_t>(now)));
+    for (std::size_t m = 0; m < kMetricCount; ++m) {
+      if (!rng.chance(spec.rate)) continue;
+      // The classic garbage a broken exporter emits: NaN, +-inf, or a
+      // wildly out-of-range reading (counter wraparound, unit confusion).
+      switch (rng.below(4)) {
+        case 0: sample[m] = std::numeric_limits<double>::quiet_NaN(); break;
+        case 1: sample[m] = std::numeric_limits<double>::infinity(); break;
+        case 2: sample[m] = -std::numeric_limits<double>::infinity(); break;
+        default: sample[m] *= 1e9; break;
+      }
+      corrupted = true;
+    }
+  }
+  return corrupted;
+}
+
+bool TelemetryFaultInjector::slaveDown(HostId host, TimeSec now) const {
+  for (const TelemetryFaultSpec& spec : specs_) {
+    if (spec.type != TelemetryFaultType::SlaveOutage) continue;
+    if (!windowActive(spec, now)) continue;
+    if (spec.hosts.empty() || std::find(spec.hosts.begin(), spec.hosts.end(),
+                                        host) != spec.hosts.end()) {
+      return true;
+    }
+  }
+  return false;
 }
 
 std::vector<ComponentId> groundTruth(

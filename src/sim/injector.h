@@ -5,10 +5,19 @@
 // software bugs, or perturbs the external workload for the external
 // factors). Time-evolving behaviour (leak growth, DiskHog ramp-up) is then
 // advanced by Application::step itself.
+//
+// A second, deliberately separate injector models *monitoring* faults — the
+// telemetry plane failing while the application is (or is not) healthy:
+// sample-drop bursts, value corruption (NaN/inf/garbage readings) and whole
+// slave outage windows. These never touch the application; they decide what
+// the FChain slaves get to see.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <vector>
 
+#include "common/rng.h"
 #include "faults/fault.h"
 #include "sim/application.h"
 
@@ -36,5 +45,57 @@ class FaultInjector {
 /// external factors).
 std::vector<ComponentId> groundTruth(
     const std::vector<faults::FaultSpec>& specs);
+
+// --- Monitoring (telemetry) faults --------------------------------------
+
+enum class TelemetryFaultType : std::uint8_t {
+  SampleDropBurst,  ///< samples lost in transit during the window
+  ValueCorruption,  ///< readings replaced by NaN / +-inf / wild values
+  SlaveOutage,      ///< the slave on the listed hosts is unreachable
+};
+
+std::string_view telemetryFaultTypeName(TelemetryFaultType type);
+
+struct TelemetryFaultSpec {
+  TelemetryFaultType type = TelemetryFaultType::SampleDropBurst;
+  TimeSec start_time = 0;
+  /// Window length; 0 means "until the end of the run".
+  TimeSec duration_sec = 0;
+  /// Affected components (drop/corruption); empty means every component.
+  std::vector<ComponentId> targets;
+  /// Affected hosts (SlaveOutage only).
+  std::vector<HostId> hosts;
+  /// Per-sample probability of dropping / corrupting within the window.
+  double rate = 1.0;
+  std::uint64_t seed = 0;
+};
+
+/// Decides, deterministically per (spec seed, component, second), which
+/// samples the monitoring plane loses or mangles. Stateless queries: the
+/// same spec always yields the same loss pattern regardless of call order,
+/// which keeps trials reproducible and lets callers probe any (id, t).
+class TelemetryFaultInjector {
+ public:
+  explicit TelemetryFaultInjector(std::vector<TelemetryFaultSpec> specs = {})
+      : specs_(std::move(specs)) {}
+
+  void add(TelemetryFaultSpec spec) { specs_.push_back(std::move(spec)); }
+  const std::vector<TelemetryFaultSpec>& specs() const { return specs_; }
+
+  /// True when component `id`'s sample at time `now` never reaches its
+  /// slave (the slave sees a gap).
+  bool sampleDropped(ComponentId id, TimeSec now) const;
+
+  /// Applies value corruption in place; returns true when any metric of the
+  /// sample was mangled (to NaN, +-inf, or a wildly scaled value).
+  bool corruptSample(ComponentId id, TimeSec now,
+                     std::array<double, kMetricCount>& sample) const;
+
+  /// True when the slave on `host` is inside an outage window at `now`.
+  bool slaveDown(HostId host, TimeSec now) const;
+
+ private:
+  std::vector<TelemetryFaultSpec> specs_;
+};
 
 }  // namespace fchain::sim

@@ -1,5 +1,7 @@
 #include "sim/record_io.h"
 
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -27,6 +29,25 @@ void expect(std::istream& in, const std::string& keyword) {
     throw std::runtime_error("record parse error: expected '" + keyword +
                              "', got '" + token + "'");
   }
+}
+
+/// Reads one metric/traffic value, rejecting NaN and +-inf with a clear
+/// error. Stream extraction is platform-inconsistent about "nan"/"inf"
+/// tokens, so the token is parsed explicitly: a corrupted record must fail
+/// loudly here rather than poison the Markov models downstream.
+double readFiniteValue(std::istream& in, const char* section) {
+  std::string token;
+  if (!(in >> token)) {
+    throw std::runtime_error(std::string("record parse error: truncated ") +
+                             section + " data");
+  }
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0' || !std::isfinite(value)) {
+    throw std::runtime_error(std::string("record parse error: non-finite ") +
+                             section + " value '" + token + "'");
+  }
+  return value;
 }
 
 }  // namespace
@@ -166,7 +187,7 @@ RunRecord loadRecord(std::istream& in) {
     std::array<std::vector<double>, kMetricCount> columns;
     for (auto& column : columns) {
       column.resize(samples);
-      for (double& value : column) in >> value;
+      for (double& value : column) value = readFiniteValue(in, "metric");
     }
     for (std::size_t i = 0; i < samples; ++i) {
       std::array<double, kMetricCount> sample{};
@@ -184,7 +205,9 @@ RunRecord loadRecord(std::istream& in) {
     std::size_t samples = 0;
     in >> samples;
     traffic.resize(samples);
-    for (double& value : traffic) in >> value;
+    for (double& value : traffic) {
+      value = readFiniteValue(in, "edge_traffic");
+    }
   }
 
   if (!in) throw std::runtime_error("record parse error: truncated file");

@@ -93,6 +93,59 @@ TEST(RecordIo, GarbageInputThrows) {
   EXPECT_THROW(sim::loadRecord(buffer), std::runtime_error);
 }
 
+// A record whose metric stream was corrupted to NaN/inf (broken exporter,
+// truncated float, bit rot) must be rejected with a clear parse error, not
+// silently fed into the Markov models.
+TEST(RecordIo, NonFiniteMetricValueRejectedOnLoad) {
+  sim::RunRecord tiny;
+  tiny.app_spec.name = "tiny";
+  tiny.app_spec.components.resize(1);
+  tiny.app_spec.components[0].name = "c0";
+  MetricSeries series(0);
+  for (int i = 0; i < 3; ++i) {
+    std::array<double, kMetricCount> sample{};
+    sample.fill(1.25);
+    series.append(sample);
+  }
+  tiny.metrics.push_back(series);
+
+  // Sanity: the uncorrupted record round-trips.
+  std::stringstream clean;
+  sim::saveRecord(clean, tiny);
+  const std::string text = clean.str();
+  std::stringstream pristine(text);
+  EXPECT_NO_THROW(sim::loadRecord(pristine));
+
+  for (const char* poison : {"nan", "inf", "-inf", "bogus"}) {
+    std::string corrupted = text;
+    const auto pos = corrupted.find("1.25");
+    ASSERT_NE(pos, std::string::npos);
+    corrupted.replace(pos, 4, poison);
+    std::stringstream in(corrupted);
+    try {
+      sim::loadRecord(in);
+      FAIL() << "corrupted value '" << poison << "' was accepted";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("non-finite"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(RecordIo, NonFiniteEdgeTrafficRejectedOnLoad) {
+  sim::RunRecord tiny;
+  tiny.app_spec.name = "tiny";
+  tiny.edge_traffic = {{3.5, 4.5}};
+  std::stringstream clean;
+  sim::saveRecord(clean, tiny);
+  std::string corrupted = clean.str();
+  const auto pos = corrupted.find("4.5");
+  ASSERT_NE(pos, std::string::npos);
+  corrupted.replace(pos, 3, "nan");
+  std::stringstream in(corrupted);
+  EXPECT_THROW(sim::loadRecord(in), std::runtime_error);
+}
+
 TEST(Exporter, CurvesCsvShape) {
   eval::SchemeCurve curve;
   curve.scheme = "X";
