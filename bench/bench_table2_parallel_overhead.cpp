@@ -1,0 +1,388 @@
+// Extends the Table-II overhead study to the parallel localization engine:
+// sweeps component count × worker-thread count and reports serial vs
+// parallel end-to-end localization latency (the paper's "analysis time"
+// budget, §III-G — FChain's headline claim is pinpointing within seconds of
+// the SLO violation).
+//
+// Three parts:
+//   1. In-process sweep — N components spread round-robin over S slaves,
+//      each with a 700 s six-metric stream and one CpuHog-style step on the
+//      last component; LocalEndpoint transports, so the cells measure pure
+//      compute scaling (needs real cores to show > 1×).
+//   2. Emulated-WAN sweep — the same cluster behind a WanEndpoint decorator
+//      that blocks the calling thread for one simulated network round-trip
+//      per request, the way the paper's deployment pays a real RPC to each
+//      monitoring host. Here the engine's two levers are measurable even on
+//      a single-core machine: batching turns N per-component requests into
+//      S per-slave requests, and the worker pool overlaps the S round-trips.
+//      The 32-component / 4-slave / 4-thread cell must clear 2× or the
+//      bench exits nonzero.
+//   3. Lossy-telemetry equivalence — replays the bench_robustness scenarios
+//      (10 % sample loss, rotating dead slave behind a FlakyEndpoint
+//      blackout) through both engines.
+//
+// Every parallel cell in every part must return a PinpointResult
+// bit-identical to the serial reference; each table prints the identity
+// check per row.
+//
+// Usage: bench_table2_parallel_overhead [repetitions] [seed]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "fchain/fchain.h"
+#include "runtime/flaky_endpoint.h"
+#include "sim/injector.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace fchain;
+using Clock = std::chrono::steady_clock;
+
+constexpr TimeSec kStreamLen = 700;
+constexpr TimeSec kFaultStart = 600;
+
+double msSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+bool sameFinding(const core::ComponentFinding& a,
+                 const core::ComponentFinding& b) {
+  if (a.component != b.component || a.onset != b.onset || a.trend != b.trend ||
+      a.metrics.size() != b.metrics.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.metrics.size(); ++i) {
+    const core::MetricFinding& ma = a.metrics[i];
+    const core::MetricFinding& mb = b.metrics[i];
+    if (ma.metric != mb.metric || ma.onset != mb.onset ||
+        ma.change_point != mb.change_point || ma.trend != mb.trend ||
+        ma.prediction_error != mb.prediction_error ||
+        ma.expected_error != mb.expected_error) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool samePinpoint(const core::PinpointResult& a,
+                  const core::PinpointResult& b) {
+  if (a.pinpointed != b.pinpointed || a.external_factor != b.external_factor ||
+      a.external_trend != b.external_trend || a.coverage != b.coverage ||
+      a.unanalyzed != b.unanalyzed || a.chain.size() != b.chain.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.chain.size(); ++i) {
+    if (!sameFinding(a.chain[i], b.chain[i])) return false;
+  }
+  return true;
+}
+
+/// Synthetic monitored cluster: `components` VMs round-robin across
+/// `slave_count` slaves, each streaming 700 s of noisy six-metric samples;
+/// the last component takes a CpuHog-style step at t=600.
+struct SyntheticCluster {
+  std::vector<core::FChainSlave> slaves;
+  std::vector<ComponentId> components;
+  TimeSec tv = kStreamLen - 1;
+};
+
+SyntheticCluster buildCluster(std::size_t components, std::size_t slave_count,
+                              std::uint64_t seed) {
+  SyntheticCluster cluster;
+  cluster.slaves.reserve(slave_count);
+  for (HostId h = 0; h < slave_count; ++h) cluster.slaves.emplace_back(h);
+  for (ComponentId id = 0; id < components; ++id) {
+    cluster.components.push_back(id);
+    cluster.slaves[id % slave_count].addComponent(id, 0);
+  }
+  const ComponentId faulty = static_cast<ComponentId>(components - 1);
+  for (ComponentId id = 0; id < components; ++id) {
+    Rng rng(mixSeed(seed, 0xc105, id));
+    core::FChainSlave& slave = cluster.slaves[id % slave_count];
+    std::array<double, kMetricCount> level{45.0, 900.0, 210.0,
+                                           180.0, 35.0,  60.0};
+    for (TimeSec t = 0; t < kStreamLen; ++t) {
+      std::array<double, kMetricCount> sample{};
+      const bool hogged = id == faulty && t >= kFaultStart;
+      for (std::size_t m = 0; m < kMetricCount; ++m) {
+        // AR(1)-flavoured wander plus white jitter keeps CUSUM's bootstrap
+        // honestly busy (a constant series would short-circuit selection).
+        level[m] += rng.uniform(-0.4, 0.4);
+        double value = level[m] + rng.uniform(-1.5, 1.5);
+        if (hogged && m == 0) value *= 1.6;  // CPU step
+        sample[m] = value;
+      }
+      slave.ingest(id, sample);
+    }
+  }
+  return cluster;
+}
+
+/// Emulates the cloud deployment's network: every transport round-trip
+/// blocks the calling thread for `rtt_ms` before the in-process slave
+/// answers. The sleep never changes a reply, so determinism holds; it only
+/// makes the cost of a round-trip real, which is what lets a single-core
+/// machine observe the fan-out overlapping S slave RPCs in the time of one.
+class WanEndpoint final : public runtime::SlaveEndpoint {
+ public:
+  WanEndpoint(std::shared_ptr<runtime::SlaveEndpoint> inner, double rtt_ms)
+      : inner_(std::move(inner)), rtt_ms_(rtt_ms) {}
+
+  HostId host() const override { return inner_->host(); }
+
+  runtime::ComponentListReply listComponents() override {
+    wait();
+    return inner_->listComponents();
+  }
+
+  runtime::AnalyzeReply analyze(const runtime::AnalyzeRequest& req) override {
+    wait();
+    auto reply = inner_->analyze(req);
+    reply.latency_ms += rtt_ms_;
+    return reply;
+  }
+
+  runtime::AnalyzeBatchReply analyzeBatch(
+      const runtime::AnalyzeBatchRequest& req) override {
+    wait();
+    auto reply = inner_->analyzeBatch(req);
+    reply.latency_ms += rtt_ms_;
+    return reply;
+  }
+
+ private:
+  void wait() const {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(rtt_ms_));
+  }
+
+  std::shared_ptr<runtime::SlaveEndpoint> inner_;
+  double rtt_ms_;
+};
+
+struct TimedRun {
+  core::PinpointResult result;
+  double best_ms = 0.0;
+};
+
+TimedRun timeLocalize(SyntheticCluster& cluster, int threads,
+                      int slave_threads, std::size_t repetitions,
+                      double rtt_ms) {
+  core::FChainMaster master;
+  master.setWorkerThreads(threads);
+  for (std::size_t s = 0; s < cluster.slaves.size(); ++s) {
+    core::FChainSlave& slave = cluster.slaves[s];
+    slave.setAnalysisThreads(slave_threads);
+    if (rtt_ms <= 0.0) {
+      master.registerSlave(&slave);
+      continue;
+    }
+    std::vector<ComponentId> manifest;
+    for (ComponentId id : cluster.components) {
+      if (id % cluster.slaves.size() == s) manifest.push_back(id);
+    }
+    master.registerEndpoint(
+        std::make_shared<WanEndpoint>(
+            std::make_shared<runtime::LocalEndpoint>(&slave), rtt_ms),
+        manifest);
+  }
+  TimedRun run;
+  run.best_ms = 1e300;
+  for (std::size_t rep = 0; rep < repetitions; ++rep) {
+    const auto start = Clock::now();
+    run.result = master.localize(cluster.components, cluster.tv);
+    run.best_ms = std::min(run.best_ms, msSince(start));
+  }
+  for (core::FChainSlave& slave : cluster.slaves) {
+    slave.setAnalysisThreads(0);
+  }
+  return run;
+}
+
+struct SweepOutcome {
+  bool all_identical = true;
+  /// Speedup of the 32-component / 4-thread cell (the acceptance headline).
+  double headline_speedup = 0.0;
+};
+
+SweepOutcome sweepSynthetic(const char* title, double rtt_ms,
+                            std::size_t repetitions, std::uint64_t seed) {
+  constexpr std::size_t kSlaves = 4;
+  std::printf("%s (%zu slaves)\n", title, kSlaves);
+  std::printf("  %-12s %-10s %-12s %-12s %-10s %s\n", "components", "threads",
+              "serial_ms", "parallel_ms", "speedup", "identical");
+  SweepOutcome outcome;
+  for (std::size_t components : {8u, 16u, 32u, 64u}) {
+    SyntheticCluster cluster = buildCluster(components, kSlaves, seed);
+    const TimedRun serial = timeLocalize(cluster, /*threads=*/0,
+                                         /*slave_threads=*/0, repetitions,
+                                         rtt_ms);
+    for (int threads : {1, 2, 4, 8}) {
+      // Threads beyond the slave count flow into slave-side batch analysis
+      // (each slave fans its own components out across the spare cores).
+      const int slave_threads =
+          threads > static_cast<int>(kSlaves)
+              ? threads / static_cast<int>(kSlaves)
+              : 0;
+      const TimedRun parallel = timeLocalize(cluster, threads, slave_threads,
+                                             repetitions, rtt_ms);
+      const bool identical = samePinpoint(serial.result, parallel.result);
+      outcome.all_identical = outcome.all_identical && identical;
+      const double speedup = serial.best_ms / parallel.best_ms;
+      if (components == 32 && threads == 4) {
+        outcome.headline_speedup = speedup;
+      }
+      std::printf("  %-12zu %-10d %-12.2f %-12.2f %-10.2f %s\n", components,
+                  threads, serial.best_ms, parallel.best_ms, speedup,
+                  identical ? "yes" : "NO");
+    }
+  }
+  std::printf("\n");
+  return outcome;
+}
+
+// --- Part 2: lossy-telemetry equivalence ----------------------------------
+
+constexpr ComponentId kFaultyDb = 3;
+constexpr std::size_t kRubisComponents = 4;
+
+struct Incident {
+  sim::RunRecord record;
+  TimeSec tv = 0;
+};
+
+std::optional<Incident> simulateIncident(std::uint64_t seed) {
+  sim::ScenarioConfig config;
+  config.kind = sim::AppKind::Rubis;
+  config.seed = seed;
+  faults::FaultSpec fault;
+  fault.type = faults::FaultType::CpuHog;
+  fault.targets = {kFaultyDb};
+  fault.start_time = 2000;
+  fault.intensity = 1.35;
+  config.faults = {fault};
+  auto result = sim::runScenario(config);
+  if (!result.record.violation_time.has_value()) return std::nullopt;
+  return Incident{std::move(result.record), *result.record.violation_time};
+}
+
+/// Replays one recorded incident through 10 % sample loss and a rotating
+/// blackout slave (the bench_robustness_lossy_telemetry setup), localizing
+/// with the given engine configuration.
+core::PinpointResult lossyVerdict(const Incident& incident, std::size_t trial,
+                                  int threads, std::uint64_t seed) {
+  sim::TelemetryFaultSpec loss;
+  loss.type = sim::TelemetryFaultType::SampleDropBurst;
+  loss.rate = 0.10;
+  loss.seed = mixSeed(seed, 1, trial);
+  sim::TelemetryFaultInjector telemetry({loss});
+
+  std::vector<core::FChainSlave> slaves;
+  slaves.reserve(kRubisComponents);
+  for (HostId h = 0; h < kRubisComponents; ++h) slaves.emplace_back(h);
+  for (ComponentId id = 0; id < kRubisComponents; ++id) {
+    const MetricSeries& recorded = incident.record.metrics[id];
+    const TimeSec start =
+        recorded.endTime() - static_cast<TimeSec>(recorded.size());
+    slaves[id].addComponent(id, start);
+    for (TimeSec t = start; t < recorded.endTime(); ++t) {
+      if (telemetry.sampleDropped(id, t)) continue;
+      std::array<double, kMetricCount> sample{};
+      for (MetricKind kind : kAllMetrics) {
+        sample[metricIndex(kind)] = recorded.of(kind).at(t);
+      }
+      slaves[id].ingestAt(id, t, sample);
+    }
+  }
+
+  core::FChainMaster master;
+  master.setWorkerThreads(threads);
+  for (ComponentId id = 0; id < kRubisComponents; ++id) {
+    const bool dead = (id + trial) % kRubisComponents == 0;  // one per trial
+    if (!dead) {
+      master.registerSlave(&slaves[id]);
+      continue;
+    }
+    runtime::FlakyConfig blackout;
+    blackout.outage_windows = {
+        {0, incident.record.metrics[id].endTime() + 1}};
+    master.registerEndpoint(
+        std::make_shared<runtime::FlakyEndpoint>(
+            std::make_shared<runtime::LocalEndpoint>(&slaves[id]), blackout),
+        {id});
+  }
+  return master.localize({0, 1, 2, 3}, incident.tv);
+}
+
+bool lossyEquivalence(std::uint64_t seed) {
+  std::printf(
+      "Lossy-telemetry equivalence (10 %% loss, rotating dead slave)\n");
+  std::vector<Incident> incidents;
+  for (std::size_t trial = 0; incidents.size() < 3 && trial < 12; ++trial) {
+    if (auto incident = simulateIncident(mixSeed(seed, 0xbead, trial))) {
+      incidents.push_back(std::move(*incident));
+    }
+  }
+  if (incidents.empty()) {
+    std::printf("  no incident produced an SLO violation\n\n");
+    return false;
+  }
+  bool all_identical = true;
+  for (std::size_t trial = 0; trial < incidents.size(); ++trial) {
+    const auto serial = lossyVerdict(incidents[trial], trial, 0, seed);
+    const auto parallel = lossyVerdict(incidents[trial], trial, 4, seed);
+    const bool identical = samePinpoint(serial, parallel);
+    all_identical = all_identical && identical;
+    std::printf("  trial %zu: coverage %.2f, %s\n", trial, serial.coverage,
+                identical ? "serial == parallel" : "MISMATCH");
+  }
+  std::printf("\n");
+  return all_identical;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t repetitions = 3;
+  std::uint64_t seed = 42;
+  if (argc > 1) repetitions = std::strtoull(argv[1], nullptr, 10);
+  if (argc > 2) seed = std::strtoull(argv[2], nullptr, 10);
+
+  std::printf(
+      "Parallel localization overhead (extends Table II; best of %zu)\n\n",
+      repetitions);
+  const SweepOutcome compute = sweepSynthetic(
+      "Sweep 1: in-process transports (pure compute scaling)", 0.0,
+      repetitions, seed);
+  // 25 ms RTT — a LAN-ish round-trip to each monitoring host, well under the
+  // default 200 ms request deadline.
+  const SweepOutcome wan = sweepSynthetic(
+      "Sweep 2: emulated WAN transports (25 ms blocking round-trip)", 25.0,
+      repetitions, seed);
+  const bool lossy_ok = lossyEquivalence(seed);
+
+  bool failed = false;
+  if (!compute.all_identical || !wan.all_identical || !lossy_ok) {
+    std::printf("FAILURE: parallel verdict diverged from serial\n");
+    failed = true;
+  }
+  if (wan.headline_speedup < 2.0) {
+    std::printf(
+        "FAILURE: WAN 32-component / 4-thread speedup %.2fx is below 2x\n",
+        wan.headline_speedup);
+    failed = true;
+  }
+  if (failed) return 1;
+  std::printf(
+      "All parallel verdicts bit-identical to serial; WAN headline speedup "
+      "%.2fx.\n",
+      wan.headline_speedup);
+  return 0;
+}

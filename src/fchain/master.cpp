@@ -1,8 +1,12 @@
 #include "fchain/master.h"
 
 #include <algorithm>
+#include <functional>
 #include <stdexcept>
 #include <string>
+#include <utility>
+
+#include "runtime/worker_pool.h"
 
 namespace fchain::core {
 
@@ -11,11 +15,18 @@ namespace {
 using runtime::EndpointStatus;
 using runtime::HealthState;
 
+/// Salt stream for discovery-time backoff; keeps discovery retries on their
+/// own deterministic jitter sequence, distinct from analysis retries.
+constexpr std::uint64_t kDiscoverySalt = 0xd15c0ull;
+
 }  // namespace
+
+FChainMaster::~FChainMaster() = default;
 
 void FChainMaster::addEndpoint(
     std::shared_ptr<runtime::SlaveEndpoint> endpoint,
-    const std::vector<ComponentId>& components) {
+    const std::vector<ComponentId>& components,
+    runtime::EndpointHealth health) {
   const std::size_t index = endpoints_.size();
   for (ComponentId id : components) {
     const auto [it, inserted] = routes_.emplace(id, index);
@@ -25,9 +36,8 @@ void FChainMaster::addEndpoint(
           " is already monitored by another registered slave");
     }
   }
-  endpoints_.push_back(
-      {std::move(endpoint),
-       runtime::EndpointHealth(retry_.degraded_after, retry_.down_after)});
+  endpoints_.push_back({std::move(endpoint), health,
+                        std::make_unique<std::mutex>()});
 }
 
 void FChainMaster::registerSlave(FChainSlave* slave) {
@@ -38,7 +48,9 @@ void FChainMaster::registerSlave(FChainSlave* slave) {
     throw std::invalid_argument("slave registered twice");
   }
   auto endpoint = std::make_shared<runtime::LocalEndpoint>(slave);
-  addEndpoint(std::move(endpoint), slave->components());
+  addEndpoint(std::move(endpoint), slave->components(),
+              runtime::EndpointHealth(retry_.degraded_after,
+                                      retry_.down_after));
 }
 
 void FChainMaster::registerEndpoint(
@@ -49,19 +61,40 @@ void FChainMaster::registerEndpoint(
   if (!registered_.insert(endpoint.get()).second) {
     throw std::invalid_argument("endpoint registered twice");
   }
+  // Discovery goes through the same retry/health/stats machinery as the
+  // analysis path: attempts are counted, retries are paced by the backoff
+  // schedule, and the failure history carries into the endpoint's initial
+  // health — a flaky slave no longer gets hammered invisibly.
+  runtime::EndpointHealth health(retry_.degraded_after, retry_.down_after);
+  MasterRuntimeStats local;
   runtime::ComponentListReply reply;
-  for (int attempt = 0; attempt < std::max(1, retry_.max_attempts);
-       ++attempt) {
+  const int attempts = std::max(1, retry_.max_attempts);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    ++local.requests;
+    if (attempt > 0) {
+      ++local.retries;
+      local.simulated_backoff_ms += runtime::retryDelayMs(
+          retry_, attempt - 1,
+          mixSeed(kDiscoverySalt, static_cast<std::uint64_t>(endpoints_.size()),
+                  static_cast<std::uint64_t>(attempt)));
+    }
     reply = endpoint->listComponents();
-    if (reply.status == EndpointStatus::Ok) break;
+    if (reply.status == EndpointStatus::Ok) {
+      health.recordSuccess();
+      break;
+    }
+    health.recordFailure();
   }
   if (reply.status != EndpointStatus::Ok) {
+    ++local.failures;
+    mergeStats(local);
     registered_.erase(endpoint.get());
     throw std::runtime_error(
         std::string("slave discovery failed after retries: ") +
         std::string(runtime::endpointStatusName(reply.status)));
   }
-  addEndpoint(std::move(endpoint), reply.components);
+  mergeStats(local);
+  addEndpoint(std::move(endpoint), reply.components, health);
 }
 
 void FChainMaster::registerEndpoint(
@@ -73,7 +106,14 @@ void FChainMaster::registerEndpoint(
   if (!registered_.insert(endpoint.get()).second) {
     throw std::invalid_argument("endpoint registered twice");
   }
-  addEndpoint(std::move(endpoint), components);
+  addEndpoint(std::move(endpoint), components,
+              runtime::EndpointHealth(retry_.degraded_after,
+                                      retry_.down_after));
+}
+
+void FChainMaster::setWorkerThreads(int threads) {
+  worker_threads_ = std::max(0, threads);
+  pool_.reset();  // rebuilt lazily at the next parallel localize
 }
 
 std::vector<HealthState> FChainMaster::endpointHealth() const {
@@ -83,12 +123,31 @@ std::vector<HealthState> FChainMaster::endpointHealth() const {
   return states;
 }
 
+MasterRuntimeStats FChainMaster::runtimeStats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void FChainMaster::mergeStats(const MasterRuntimeStats& delta) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_.requests += delta.requests;
+  stats_.retries += delta.retries;
+  stats_.failures += delta.failures;
+  stats_.simulated_backoff_ms += delta.simulated_backoff_ms;
+}
+
 PinpointResult FChainMaster::localize(
-    const std::vector<ComponentId>& components,
-    TimeSec violation_time) const {
+    const std::vector<ComponentId>& components, TimeSec violation_time) {
+  return worker_threads_ <= 0 ? localizeSerial(components, violation_time)
+                              : localizeParallel(components, violation_time);
+}
+
+PinpointResult FChainMaster::localizeSerial(
+    const std::vector<ComponentId>& components, TimeSec violation_time) {
   std::vector<ComponentFinding> findings;
   std::vector<ComponentId> unanalyzed;
   std::size_t analyzed = 0;
+  MasterRuntimeStats local;
 
   for (ComponentId id : components) {
     const auto route = routes_.find(id);
@@ -97,6 +156,7 @@ PinpointResult FChainMaster::localize(
       continue;
     }
     Endpoint& ep = endpoints_[route->second];
+    std::lock_guard<std::mutex> endpoint_lock(*ep.lock);
     // A down endpoint gets one probe instead of the full retry budget, so a
     // dead slave cannot stall every localization — yet can still recover.
     const int attempts = ep.health.state() == HealthState::Down
@@ -108,10 +168,10 @@ PinpointResult FChainMaster::localize(
       request.component = id;
       request.violation_time = violation_time;
       request.deadline_ms = retry_.request_deadline_ms;
-      ++stats_.requests;
+      ++local.requests;
       if (attempt > 0) {
-        ++stats_.retries;
-        stats_.simulated_backoff_ms += runtime::retryDelayMs(
+        ++local.retries;
+        local.simulated_backoff_ms += runtime::retryDelayMs(
             retry_, attempt - 1,
             mixSeed(static_cast<std::uint64_t>(violation_time), id,
                     static_cast<std::uint64_t>(attempt)));
@@ -129,10 +189,116 @@ PinpointResult FChainMaster::localize(
       ep.health.recordFailure();
     }
     if (!answered) {
-      ++stats_.failures;
+      ++local.failures;
       unanalyzed.push_back(id);
     }
   }
+  mergeStats(local);
+
+  PinpointResult result = pinpointer_.pinpoint(
+      std::move(findings), components.size(), &dependencies_, analyzed);
+  std::sort(unanalyzed.begin(), unanalyzed.end());
+  result.unanalyzed = std::move(unanalyzed);
+  return result;
+}
+
+void FChainMaster::runBatchJob(BatchJob& job, TimeSec violation_time) {
+  Endpoint& ep = endpoints_[job.endpoint_index];
+  // Hold the endpoint for the whole retry sequence: requests to one slave
+  // stay strictly ordered even when other localize() calls run in parallel.
+  std::lock_guard<std::mutex> endpoint_lock(*ep.lock);
+  const int attempts = ep.health.state() == HealthState::Down
+                           ? 1
+                           : std::max(1, retry_.max_attempts);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    runtime::AnalyzeBatchRequest request;
+    request.components = job.ids;
+    request.violation_time = violation_time;
+    request.deadline_ms = retry_.request_deadline_ms;
+    ++job.stats.requests;
+    if (attempt > 0) {
+      ++job.stats.retries;
+      // Same seeding scheme as the serial path; the batch's backoff is
+      // salted by its first component so the jitter sequence stays
+      // deterministic in (violation_time, routing), never in scheduling.
+      job.stats.simulated_backoff_ms += runtime::retryDelayMs(
+          retry_, attempt - 1,
+          mixSeed(static_cast<std::uint64_t>(violation_time), job.ids.front(),
+                  static_cast<std::uint64_t>(attempt)));
+    }
+    runtime::AnalyzeBatchReply reply = ep.endpoint->analyzeBatch(request);
+    if (reply.status == EndpointStatus::Ok &&
+        reply.findings.size() == job.ids.size()) {
+      ep.health.recordSuccess();
+      job.findings = std::move(reply.findings);
+      job.answered = true;
+      return;
+    }
+    ep.health.recordFailure();
+  }
+  job.stats.failures += job.ids.size();
+}
+
+PinpointResult FChainMaster::localizeParallel(
+    const std::vector<ComponentId>& components, TimeSec violation_time) {
+  // Group components by slave, preserving caller order within each group:
+  // one batch job per endpoint that monitors anything in this application.
+  std::vector<BatchJob> jobs;
+  std::map<std::size_t, std::size_t> job_of_endpoint;
+  std::vector<ComponentId> unrouted;
+  for (ComponentId id : components) {
+    const auto route = routes_.find(id);
+    if (route == routes_.end()) {
+      unrouted.push_back(id);
+      continue;
+    }
+    const auto [it, inserted] =
+        job_of_endpoint.emplace(route->second, jobs.size());
+    if (inserted) {
+      jobs.emplace_back();
+      jobs.back().endpoint_index = route->second;
+    }
+    jobs[it->second].ids.push_back(id);
+  }
+
+  if (pool_ == nullptr && worker_threads_ >= 1) {
+    pool_ = std::make_unique<runtime::WorkerPool>(worker_threads_);
+  }
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(jobs.size());
+  for (BatchJob& job : jobs) {
+    tasks.push_back([this, &job, violation_time] {
+      runBatchJob(job, violation_time);
+    });
+  }
+  pool_->run(std::move(tasks));
+
+  // Deterministic merge: walk the caller's component order and pull each
+  // result from its job slot, exactly reproducing the serial path's
+  // findings order. Stats merge job-by-job in first-appearance order so
+  // even the floating-point backoff sum is schedule-independent.
+  std::map<ComponentId, const std::optional<ComponentFinding>*> slot_of;
+  for (const BatchJob& job : jobs) {
+    if (!job.answered) continue;
+    for (std::size_t i = 0; i < job.ids.size(); ++i) {
+      slot_of.emplace(job.ids[i], &job.findings[i]);
+    }
+  }
+  std::vector<ComponentFinding> findings;
+  std::vector<ComponentId> unanalyzed = std::move(unrouted);
+  std::size_t analyzed = 0;
+  for (ComponentId id : components) {
+    const auto route = routes_.find(id);
+    if (route == routes_.end()) continue;  // already in unanalyzed
+    const auto slot = slot_of.find(id);
+    if (slot == slot_of.end()) {
+      unanalyzed.push_back(id);
+      continue;
+    }
+    ++analyzed;
+    if (slot->second->has_value()) findings.push_back(**slot->second);
+  }
+  for (const BatchJob& job : jobs) mergeStats(job.stats);
 
   PinpointResult result = pinpointer_.pinpoint(
       std::move(findings), components.size(), &dependencies_, analyzed);
@@ -143,7 +309,7 @@ PinpointResult FChainMaster::localize(
 
 PinpointResult FChainMaster::localizeAndValidate(
     const std::vector<ComponentId>& components, TimeSec violation_time,
-    const sim::Simulation& snapshot, const ValidationConfig& validation) const {
+    const sim::Simulation& snapshot, const ValidationConfig& validation) {
   PinpointResult result = localize(components, violation_time);
   if (result.external_factor || result.pinpointed.empty()) return result;
   OnlineValidator validator(validation);

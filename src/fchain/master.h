@@ -13,10 +13,24 @@
 // the full retry budget), and localization proceeds from whatever findings
 // arrive — PinpointResult::coverage reports how much of the application was
 // actually analyzed instead of silently pretending full coverage.
+//
+// Localization runs either serially (worker threads = 0, the reference
+// path: one analyze request per component, walked in caller order) or as a
+// parallel fan-out (worker threads >= 1): components are grouped by their
+// slave, each slave gets ONE batched request covering all its components
+// (runtime::AnalyzeBatchRequest), and the per-slave batch jobs run
+// concurrently on a fixed-size runtime::WorkerPool. A per-endpoint mutex
+// serializes requests to any one endpoint (FlakyEndpoint's request counter
+// and health accounting stay exact), results merge deterministically in
+// caller component order, and the backoff schedule keeps its per-component
+// seeding — so for transports whose failures do not depend on the request
+// arrival index (outages, blackouts, healthy links) the PinpointResult is
+// bit-identical across serial and any thread count.
 #pragma once
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <vector>
 
@@ -26,12 +40,18 @@
 #include "runtime/endpoint.h"
 #include "runtime/health.h"
 
+namespace fchain::runtime {
+class WorkerPool;
+}  // namespace fchain::runtime
+
 namespace fchain::core {
 
-/// Transport bookkeeping accumulated across localize() calls.
+/// Transport bookkeeping accumulated across localize() calls. A request is
+/// one transport round-trip: the serial path issues one per component
+/// attempt, the parallel path one per slave *batch* attempt.
 struct MasterRuntimeStats {
   std::size_t requests = 0;   ///< analysis attempts issued (incl. retries)
-  std::size_t retries = 0;    ///< attempts beyond the first per component
+  std::size_t retries = 0;    ///< attempts beyond the first per request
   std::size_t failures = 0;   ///< components whose retry budget ran out
   double simulated_backoff_ms = 0.0;  ///< total backoff the schedule imposed
 };
@@ -41,6 +61,7 @@ class FChainMaster {
   explicit FChainMaster(FChainConfig config = {},
                         runtime::RetryPolicy retry = {})
       : config_(config), retry_(retry), pinpointer_(config) {}
+  ~FChainMaster();
 
   /// Registers an in-process slave (wrapped in a runtime::LocalEndpoint);
   /// the data stays on the slave's host and the slave must outlive the
@@ -50,8 +71,11 @@ class FChainMaster {
   void registerSlave(FChainSlave* slave);
 
   /// Registers a slave behind an arbitrary transport. The component list is
-  /// discovered via listComponents(), retried per the retry policy; throws
-  /// std::runtime_error when discovery keeps failing and
+  /// discovered via listComponents(), retried per the retry policy — with
+  /// the same backoff schedule, health accounting, and stats counting as
+  /// the localization path, so discovery storms against a flaky slave are
+  /// visible, paced, and carried into the endpoint's initial health.
+  /// Throws std::runtime_error when discovery keeps failing and
   /// std::invalid_argument on duplicate endpoints / component claims.
   void registerEndpoint(std::shared_ptr<runtime::SlaveEndpoint> endpoint);
 
@@ -69,44 +93,78 @@ class FChainMaster {
   const runtime::RetryPolicy& retryPolicy() const { return retry_; }
   void setRetryPolicy(runtime::RetryPolicy retry) { retry_ = retry; }
 
+  /// Sizes the localization fan-out pool. 0 (the default) selects the
+  /// serial reference path; n >= 1 runs per-slave batch jobs on n pool
+  /// threads (1 thread still exercises the batched protocol). The pool is
+  /// created lazily on the next localize() and rebuilt on resize.
+  void setWorkerThreads(int threads);
+  int workerThreads() const { return worker_threads_; }
+
   /// Health of every registered endpoint, in registration order.
   std::vector<runtime::HealthState> endpointHealth() const;
 
-  const MasterRuntimeStats& runtimeStats() const { return stats_; }
+  MasterRuntimeStats runtimeStats() const;
 
   /// Localizes the fault for the application made of `components`. Degraded
   /// mode: components whose slave never answers are reported in
   /// PinpointResult::unanalyzed and the result's coverage drops below 1.
+  /// Mutates transport bookkeeping (endpoint health, runtime stats) — the
+  /// seed's `const localize` quietly did the same through mutable members.
+  /// Safe to call from multiple threads concurrently: per-endpoint mutexes
+  /// serialize transport access and stats merge under a lock.
   PinpointResult localize(const std::vector<ComponentId>& components,
-                          TimeSec violation_time) const;
+                          TimeSec violation_time);
 
   /// Localize + online validation against a simulation snapshot.
   PinpointResult localizeAndValidate(
       const std::vector<ComponentId>& components, TimeSec violation_time,
       const sim::Simulation& snapshot,
-      const ValidationConfig& validation = {}) const;
+      const ValidationConfig& validation = {});
 
  private:
   struct Endpoint {
     std::shared_ptr<runtime::SlaveEndpoint> endpoint;
     runtime::EndpointHealth health;
+    /// Serializes requests to this endpoint across pool workers and across
+    /// concurrent localize() calls.
+    std::unique_ptr<std::mutex> lock;
+  };
+
+  /// One per-slave unit of the parallel fan-out.
+  struct BatchJob {
+    std::size_t endpoint_index = 0;
+    std::vector<ComponentId> ids;  ///< caller order, this slave's subset
+    std::vector<std::optional<ComponentFinding>> findings;  ///< aligned
+    bool answered = false;
+    MasterRuntimeStats stats;  ///< merged by the coordinator afterwards
   };
 
   /// Adds the endpoint under the given component routes (shared tail of
-  /// both register paths).
+  /// both register paths); `health` carries any discovery-time history.
   void addEndpoint(std::shared_ptr<runtime::SlaveEndpoint> endpoint,
-                   const std::vector<ComponentId>& components);
+                   const std::vector<ComponentId>& components,
+                   runtime::EndpointHealth health);
+
+  PinpointResult localizeSerial(const std::vector<ComponentId>& components,
+                                TimeSec violation_time);
+  PinpointResult localizeParallel(const std::vector<ComponentId>& components,
+                                  TimeSec violation_time);
+  /// Issues one batch (with retries) to the job's endpoint; runs on a pool
+  /// worker. Holds the endpoint's mutex for the whole retry sequence.
+  void runBatchJob(BatchJob& job, TimeSec violation_time);
+  void mergeStats(const MasterRuntimeStats& delta);
 
   FChainConfig config_;
   runtime::RetryPolicy retry_;
   IntegratedPinpointer pinpointer_;
-  // Health evolves as the (logically const) localization observes slave
-  // behaviour, like a connection pool's internal bookkeeping.
-  mutable std::vector<Endpoint> endpoints_;
-  mutable MasterRuntimeStats stats_;
+  std::vector<Endpoint> endpoints_;
+  MasterRuntimeStats stats_;
+  mutable std::mutex stats_mutex_;  ///< guards stats_ only
   std::map<ComponentId, std::size_t> routes_;  ///< component -> endpoint idx
   std::set<const void*> registered_;  ///< raw identity of slaves/endpoints
   netdep::DependencyGraph dependencies_;
+  int worker_threads_ = 0;  ///< 0 = serial reference path
+  std::unique_ptr<runtime::WorkerPool> pool_;
 };
 
 }  // namespace fchain::core

@@ -1,8 +1,15 @@
 #include "fchain/slave.h"
 
 #include <cmath>
+#include <functional>
+
+#include "runtime/worker_pool.h"
 
 namespace fchain::core {
+
+FChainSlave::~FChainSlave() = default;
+FChainSlave::FChainSlave(FChainSlave&&) noexcept = default;
+FChainSlave& FChainSlave::operator=(FChainSlave&&) noexcept = default;
 
 void FChainSlave::addComponent(ComponentId id, TimeSec start_time) {
   vms_.emplace(id,
@@ -33,20 +40,27 @@ void FChainSlave::ingestAt(ComponentId id, TimeSec t,
   VmState& vm = it->second;
   const FChainConfig& config = selector_.config();
 
-  // Quarantine non-finite values: substitute the metric's last good value
-  // (0 before any sample) so downstream analysis only ever sees finite
-  // numbers. The substitution keeps all six per-metric series aligned.
+  const TimeSec start = vm.series.of(MetricKind::CpuUsage).startTime();
+  const TimeSec end = vm.series.endTime();
+
+  // Quarantine non-finite values so downstream analysis only ever sees
+  // finite numbers. The substitute is the good value already stored *at
+  // time t* when this is a duplicate/out-of-order delivery (re-sending a
+  // second must never overwrite correct history with a stale tail value),
+  // and otherwise the metric's last good value (0 before any sample). The
+  // substitution keeps all six per-metric series aligned.
   std::array<double, kMetricCount> clean = sample;
   for (std::size_t m = 0; m < kMetricCount; ++m) {
     if (!std::isfinite(clean[m])) {
       const TimeSeries& series = vm.series.of(kAllMetrics[m]);
-      clean[m] = series.empty() ? 0.0 : series.at(series.endTime() - 1);
+      if (t >= start && t < end) {
+        clean[m] = series.at(t);
+      } else {
+        clean[m] = series.empty() ? 0.0 : series.at(series.endTime() - 1);
+      }
       ++vm.stats.quarantined;
     }
   }
-
-  const TimeSec start = vm.series.of(MetricKind::CpuUsage).startTime();
-  const TimeSec end = vm.series.endTime();
   if (t < start) {
     ++vm.stats.stale_dropped;
     return;
@@ -99,12 +113,48 @@ const IngestStats* FChainSlave::ingestStatsOf(ComponentId id) const {
   return it == vms_.end() ? nullptr : &it->second.stats;
 }
 
+const MetricSeries* FChainSlave::seriesOf(ComponentId id) const {
+  const auto it = vms_.find(id);
+  return it == vms_.end() ? nullptr : &it->second.series;
+}
+
 std::optional<ComponentFinding> FChainSlave::analyze(
     ComponentId id, TimeSec violation_time) const {
   const auto it = vms_.find(id);
   if (it == vms_.end()) return std::nullopt;
   return selector_.analyzeComponent(id, it->second.series, it->second.model,
                                     violation_time);
+}
+
+std::vector<std::optional<ComponentFinding>> FChainSlave::analyzeBatch(
+    const std::vector<ComponentId>& ids, TimeSec violation_time) const {
+  std::vector<std::optional<ComponentFinding>> findings(ids.size());
+  if (pool_ == nullptr || ids.size() < 2) {
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      findings[i] = analyze(ids[i], violation_time);
+    }
+    return findings;
+  }
+  // analyze() only reads vms_ and the (stateless) selector, so concurrent
+  // per-component calls are safe; each task owns exactly one reply slot.
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    tasks.push_back([this, &findings, &ids, i, violation_time] {
+      findings[i] = analyze(ids[i], violation_time);
+    });
+  }
+  pool_->run(std::move(tasks));
+  return findings;
+}
+
+void FChainSlave::setAnalysisThreads(int threads) {
+  pool_ = threads > 1 ? std::make_unique<runtime::WorkerPool>(threads)
+                      : nullptr;
+}
+
+int FChainSlave::analysisThreads() const {
+  return pool_ == nullptr ? 1 : pool_->threadCount();
 }
 
 }  // namespace fchain::core

@@ -14,10 +14,12 @@
 
 #include <array>
 #include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "fchain/change_selector.h"
+#include "runtime/worker_pool.h"
 
 namespace fchain::core {
 
@@ -34,6 +36,9 @@ class FChainSlave {
  public:
   explicit FChainSlave(HostId host, FChainConfig config = {})
       : host_(host), selector_(std::move(config)) {}
+  ~FChainSlave();
+  FChainSlave(FChainSlave&&) noexcept;
+  FChainSlave& operator=(FChainSlave&&) noexcept;
 
   HostId host() const { return host_; }
 
@@ -60,9 +65,28 @@ class FChainSlave {
   /// Telemetry repair counters for one VM; nullptr when unknown.
   const IngestStats* ingestStatsOf(ComponentId id) const;
 
+  /// Read-only view of one VM's repaired metric ring; nullptr when unknown.
+  const MetricSeries* seriesOf(ComponentId id) const;
+
   /// Master RPC: analyze one local component's look-back window.
   std::optional<ComponentFinding> analyze(ComponentId id,
                                           TimeSec violation_time) const;
+
+  /// Batched master RPC: analyze every listed component against the same
+  /// violation time. Returns one slot per requested id, aligned with `ids`
+  /// (nullopt = unknown component or no abnormal change). When analysis
+  /// threads are enabled the per-VM selector runs fan out across the
+  /// slave's worker pool; each component writes only its own pre-allocated
+  /// slot, so the reply is bit-identical to serial analysis regardless of
+  /// scheduling.
+  std::vector<std::optional<ComponentFinding>> analyzeBatch(
+      const std::vector<ComponentId>& ids, TimeSec violation_time) const;
+
+  /// Enables (threads > 1) or disables (<= 1) parallel per-VM analysis for
+  /// analyzeBatch. Deployment-time configuration: size to the host cores
+  /// Domain 0 may burn on diagnosis.
+  void setAnalysisThreads(int threads);
+  int analysisThreads() const;
 
  private:
   struct VmState {
@@ -74,6 +98,7 @@ class FChainSlave {
   HostId host_;
   AbnormalChangeSelector selector_;
   std::map<ComponentId, VmState> vms_;
+  std::unique_ptr<runtime::WorkerPool> pool_;  ///< null = serial analysis
 };
 
 }  // namespace fchain::core

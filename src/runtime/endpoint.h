@@ -64,6 +64,29 @@ struct AnalyzeReply {
   double latency_ms = 0.0;
 };
 
+/// Batched master RPC: one request per *slave* covering every component it
+/// monitors for this localization, instead of one request per component.
+/// This is what the parallel localization engine fans out — a slave hosting
+/// k VMs costs one transport round-trip, not k.
+struct AnalyzeBatchRequest {
+  std::vector<ComponentId> components;
+  TimeSec violation_time = 0;
+  /// Per-request deadline in (simulated) milliseconds; 0 disables it.
+  double deadline_ms = 0.0;
+};
+
+/// Batch replies are all-or-nothing at the transport level: the batch is a
+/// single request, so a drop/timeout/outage loses every component in it
+/// (status != Ok, findings empty) and the master retries the batch.
+struct AnalyzeBatchReply {
+  EndpointStatus status = EndpointStatus::Unavailable;
+  /// Aligned with AnalyzeBatchRequest::components; a slot is nullopt when
+  /// the component is unknown to the slave or shows no abnormal change.
+  std::vector<std::optional<core::ComponentFinding>> findings;
+  /// Simulated service latency of this request.
+  double latency_ms = 0.0;
+};
+
 /// Reply to the component-discovery RPC issued at registration time.
 struct ComponentListReply {
   EndpointStatus status = EndpointStatus::Unavailable;
@@ -84,6 +107,31 @@ class SlaveEndpoint {
 
   /// Runs the abnormal-change analysis for one component.
   virtual AnalyzeReply analyze(const AnalyzeRequest& request) = 0;
+
+  /// Runs the abnormal-change analysis for a batch of components in one
+  /// round-trip. The default adapter loops analyze() per component so
+  /// transports that predate the batch protocol keep working; real
+  /// implementations override it with a genuinely single request
+  /// (LocalEndpoint dispatches to FChainSlave::analyzeBatch, FlakyEndpoint
+  /// rolls one transport fate for the whole batch).
+  virtual AnalyzeBatchReply analyzeBatch(const AnalyzeBatchRequest& request) {
+    AnalyzeBatchReply reply;
+    reply.status = EndpointStatus::Ok;
+    reply.findings.reserve(request.components.size());
+    for (ComponentId id : request.components) {
+      AnalyzeRequest single;
+      single.component = id;
+      single.violation_time = request.violation_time;
+      single.deadline_ms = request.deadline_ms;
+      AnalyzeReply one = analyze(single);
+      if (one.status != EndpointStatus::Ok) {
+        return {one.status, {}, reply.latency_ms + one.latency_ms};
+      }
+      reply.findings.push_back(std::move(one.finding));
+      reply.latency_ms += one.latency_ms;
+    }
+    return reply;
+  }
 };
 
 /// In-process endpoint: wraps a raw FChainSlave pointer and always succeeds
@@ -103,6 +151,14 @@ class LocalEndpoint final : public SlaveEndpoint {
     AnalyzeReply reply;
     reply.status = EndpointStatus::Ok;
     reply.finding = slave_->analyze(request.component, request.violation_time);
+    return reply;
+  }
+
+  AnalyzeBatchReply analyzeBatch(const AnalyzeBatchRequest& request) override {
+    AnalyzeBatchReply reply;
+    reply.status = EndpointStatus::Ok;
+    reply.findings =
+        slave_->analyzeBatch(request.components, request.violation_time);
     return reply;
   }
 

@@ -57,4 +57,20 @@ AnalyzeReply FlakyEndpoint::analyze(const AnalyzeRequest& request) {
   return reply;
 }
 
+AnalyzeBatchReply FlakyEndpoint::analyzeBatch(
+    const AnalyzeBatchRequest& request) {
+  const std::uint64_t index = requests_++;
+  double latency = 0.0;
+  const EndpointStatus status =
+      roll(index, request.violation_time, request.deadline_ms, &latency);
+  if (status != EndpointStatus::Ok) {
+    AnalyzeBatchReply reply;
+    reply.status = status;
+    return reply;
+  }
+  AnalyzeBatchReply reply = inner_->analyzeBatch(request);
+  reply.latency_ms += latency;
+  return reply;
+}
+
 }  // namespace fchain::runtime

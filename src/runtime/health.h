@@ -12,6 +12,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <string_view>
 
@@ -63,39 +64,67 @@ inline double retryDelayMs(const RetryPolicy& policy, int attempt,
   return std::max(0.0, delay);
 }
 
-/// Consecutive-failure health tracker for one endpoint.
+/// Consecutive-failure health tracker for one endpoint. Thread-safe: the
+/// parallel localization engine records outcomes from worker threads while
+/// endpointHealth() may be read from the coordinator, so the counters are
+/// atomics. (Per-endpoint request *ordering* is enforced by the master's
+/// per-endpoint mutex, not here.)
 class EndpointHealth {
  public:
   EndpointHealth(int degraded_after = 1, int down_after = 3)
       : degraded_after_(std::max(1, degraded_after)),
         down_after_(std::max(degraded_after_, down_after)) {}
 
+  EndpointHealth(const EndpointHealth& other)
+      : degraded_after_(other.degraded_after_),
+        down_after_(other.down_after_),
+        consecutive_failures_(other.consecutiveFailures()),
+        total_failures_(other.totalFailures()),
+        total_successes_(other.totalSuccesses()) {}
+
+  EndpointHealth& operator=(const EndpointHealth& other) {
+    degraded_after_ = other.degraded_after_;
+    down_after_ = other.down_after_;
+    consecutive_failures_.store(other.consecutiveFailures(),
+                                std::memory_order_relaxed);
+    total_failures_.store(other.totalFailures(), std::memory_order_relaxed);
+    total_successes_.store(other.totalSuccesses(), std::memory_order_relaxed);
+    return *this;
+  }
+
   void recordSuccess() {
-    consecutive_failures_ = 0;
-    ++total_successes_;
+    consecutive_failures_.store(0, std::memory_order_relaxed);
+    total_successes_.fetch_add(1, std::memory_order_relaxed);
   }
 
   void recordFailure() {
-    ++consecutive_failures_;
-    ++total_failures_;
+    consecutive_failures_.fetch_add(1, std::memory_order_relaxed);
+    total_failures_.fetch_add(1, std::memory_order_relaxed);
   }
 
   HealthState state() const {
-    if (consecutive_failures_ >= down_after_) return HealthState::Down;
-    if (consecutive_failures_ >= degraded_after_) return HealthState::Degraded;
+    const int failures = consecutiveFailures();
+    if (failures >= down_after_) return HealthState::Down;
+    if (failures >= degraded_after_) return HealthState::Degraded;
     return HealthState::Healthy;
   }
 
-  int consecutiveFailures() const { return consecutive_failures_; }
-  std::size_t totalFailures() const { return total_failures_; }
-  std::size_t totalSuccesses() const { return total_successes_; }
+  int consecutiveFailures() const {
+    return consecutive_failures_.load(std::memory_order_relaxed);
+  }
+  std::size_t totalFailures() const {
+    return total_failures_.load(std::memory_order_relaxed);
+  }
+  std::size_t totalSuccesses() const {
+    return total_successes_.load(std::memory_order_relaxed);
+  }
 
  private:
   int degraded_after_;
   int down_after_;
-  int consecutive_failures_ = 0;
-  std::size_t total_failures_ = 0;
-  std::size_t total_successes_ = 0;
+  std::atomic<int> consecutive_failures_{0};
+  std::atomic<std::size_t> total_failures_{0};
+  std::atomic<std::size_t> total_successes_{0};
 };
 
 }  // namespace fchain::runtime

@@ -1,0 +1,62 @@
+// Fixed-size worker pool for the parallel localization engine.
+//
+// FChainMaster fans analyze batches out across slave endpoints, and
+// FChainSlave fans per-VM change-point analysis out across cores. Both use
+// this pool: a fixed set of threads spawned once, fed through a shared task
+// queue. Determinism is preserved by construction — tasks write into
+// pre-allocated, disjoint result slots and the coordinator merges them in a
+// fixed order after run() returns, so the schedule can never reorder
+// results.
+//
+// The pool knows nothing about FChain types (it lives below the core layer,
+// linking only the standard library), so both fchain_core and future
+// subsystems can share it.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <condition_variable>
+
+namespace fchain::runtime {
+
+/// Fixed-size thread pool. Threads are spawned in the constructor and
+/// joined in the destructor; run() executes a batch of independent tasks to
+/// completion. Safe to call run() from multiple coordinator threads
+/// concurrently (each waits until the queue fully drains).
+class WorkerPool {
+ public:
+  /// Spawns max(1, threads) workers.
+  explicit WorkerPool(int threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int threadCount() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs every task to completion and returns. Tasks must not themselves
+  /// call run() on the same pool (the worker would deadlock waiting for
+  /// itself). If a task throws, the first exception is rethrown here after
+  /// all tasks of the batch have finished.
+  void run(std::vector<std::function<void()>> tasks);
+
+ private:
+  void workerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t pending_ = 0;  ///< queued + currently-running tasks
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace fchain::runtime

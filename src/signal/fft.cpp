@@ -61,14 +61,18 @@ void ifftInPlace(std::vector<std::complex<double>>& data) {
 }
 
 std::vector<std::complex<double>> fftReal(std::span<const double> xs) {
-  std::vector<std::complex<double>> data(nextPow2(std::max<std::size_t>(
-      xs.size(), 1)));
-  for (std::size_t i = 0; i < xs.size(); ++i) data[i] = xs[i];
+  const std::size_t padded = nextPow2(std::max<std::size_t>(xs.size(), 1));
+  // Reserve the padded size up front: bulk-assign the samples, then extend
+  // with zero padding inside the same buffer — one allocation total.
+  std::vector<std::complex<double>> data;
+  data.reserve(padded);
+  data.assign(xs.begin(), xs.end());
+  data.resize(padded);
   fftInPlace(data);
   return data;
 }
 
-std::vector<double> ifftToReal(std::vector<std::complex<double>> spectrum,
+std::vector<double> ifftToReal(std::vector<std::complex<double>>&& spectrum,
                                std::size_t n) {
   ifftInPlace(spectrum);
   std::vector<double> out;

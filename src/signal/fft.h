@@ -23,10 +23,14 @@ void fftInPlace(std::vector<std::complex<double>>& data);
 void ifftInPlace(std::vector<std::complex<double>>& data);
 
 /// Forward FFT of a real signal, zero-padded to the next power of two.
+/// Allocates exactly once (the returned spectrum buffer).
 std::vector<std::complex<double>> fftReal(std::span<const double> xs);
 
 /// Inverse FFT returning only the real parts of the first `n` samples.
-std::vector<double> ifftToReal(std::vector<std::complex<double>> spectrum,
+/// Takes the spectrum by rvalue: the inverse transform runs in the caller's
+/// buffer, so the only allocation is the returned real vector. Callers must
+/// std::move their spectrum in (it is consumed).
+std::vector<double> ifftToReal(std::vector<std::complex<double>>&& spectrum,
                                std::size_t n);
 
 }  // namespace fchain::signal

@@ -1,0 +1,307 @@
+// Parallel localization engine tests: the worker pool, batched slave
+// analysis, and the determinism guarantee — localize() must return a
+// PinpointResult bit-identical to the serial reference path at any thread
+// count, including under injected endpoint outages (degraded mode).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "fchain/fchain.h"
+#include "netdep/dependency.h"
+#include "runtime/flaky_endpoint.h"
+#include "runtime/worker_pool.h"
+#include "sim/simulator.h"
+
+namespace fchain::core {
+namespace {
+
+// --- WorkerPool -----------------------------------------------------------
+
+TEST(WorkerPool, RunsEveryTaskAcrossThreads) {
+  runtime::WorkerPool pool(4);
+  EXPECT_EQ(pool.threadCount(), 4);
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 100; ++i) {
+    tasks.push_back([&counter] { counter.fetch_add(1); });
+  }
+  pool.run(std::move(tasks));
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(WorkerPool, ThreadCountClampsToAtLeastOne) {
+  runtime::WorkerPool pool(-3);
+  EXPECT_EQ(pool.threadCount(), 1);
+  std::atomic<int> counter{0};
+  pool.run({[&counter] { counter.fetch_add(1); }});
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(WorkerPool, ReusableAcrossRuns) {
+  runtime::WorkerPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 10; ++i) {
+      tasks.push_back([&counter] { counter.fetch_add(1); });
+    }
+    pool.run(std::move(tasks));
+  }
+  EXPECT_EQ(counter.load(), 30);
+}
+
+TEST(WorkerPool, PropagatesFirstTaskExceptionAndStaysUsable) {
+  runtime::WorkerPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 5; ++i) {
+    tasks.push_back([&counter] { counter.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.run(std::move(tasks)), std::runtime_error);
+  EXPECT_EQ(counter.load(), 5);  // the other tasks still ran to completion
+  pool.run({[&counter] { counter.fetch_add(1); }});
+  EXPECT_EQ(counter.load(), 6);
+}
+
+// --- Shared incident fixture ----------------------------------------------
+
+/// One RUBiS CpuHog incident ingested into two slaves of two VMs each:
+/// slave_front hosts {web=0, app1=1}, slave_back hosts {app2=2, db=3}; the
+/// fault is on the db VM. Built once — localization is a read-only fan-out,
+/// so every test can share the ingested state.
+struct Cluster {
+  FChainSlave front{0};  // components 0, 1
+  FChainSlave back{1};   // components 2, 3
+  TimeSec tv = 0;
+  netdep::DependencyGraph deps;
+};
+
+Cluster& cluster() {
+  static Cluster& instance = *[] {
+    auto* c = new Cluster();
+    sim::ScenarioConfig config;
+    config.kind = sim::AppKind::Rubis;
+    config.seed = 77;
+    faults::FaultSpec fault;
+    fault.type = faults::FaultType::CpuHog;
+    fault.targets = {3};
+    fault.start_time = 2000;
+    fault.intensity = 1.35;
+    config.faults = {fault};
+
+    c->front.addComponent(0, 0);
+    c->front.addComponent(1, 0);
+    c->back.addComponent(2, 0);
+    c->back.addComponent(3, 0);
+
+    sim::Simulation sim(config);
+    while (!sim.violationTime().has_value() && sim.now() < 3600) {
+      sim.step();
+      const TimeSec t = sim.now() - 1;
+      for (ComponentId id = 0; id < 4; ++id) {
+        std::array<double, kMetricCount> sample{};
+        for (MetricKind kind : kAllMetrics) {
+          sample[metricIndex(kind)] = sim.app().metricsOf(id).of(kind).at(t);
+        }
+        (id < 2 ? c->front : c->back).ingest(id, sample);
+      }
+    }
+    EXPECT_TRUE(sim.violationTime().has_value());
+    c->tv = *sim.violationTime();
+    c->deps = netdep::discoverDependencies(sim.record());
+    return c;
+  }();
+  return instance;
+}
+
+bool sameFinding(const ComponentFinding& a, const ComponentFinding& b) {
+  if (a.component != b.component || a.onset != b.onset || a.trend != b.trend ||
+      a.metrics.size() != b.metrics.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.metrics.size(); ++i) {
+    const MetricFinding& ma = a.metrics[i];
+    const MetricFinding& mb = b.metrics[i];
+    if (ma.metric != mb.metric || ma.onset != mb.onset ||
+        ma.change_point != mb.change_point || ma.trend != mb.trend ||
+        ma.prediction_error != mb.prediction_error ||
+        ma.expected_error != mb.expected_error) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Byte-level equality of every PinpointResult field.
+bool samePinpoint(const PinpointResult& a, const PinpointResult& b) {
+  if (a.pinpointed != b.pinpointed || a.external_factor != b.external_factor ||
+      a.external_trend != b.external_trend || a.coverage != b.coverage ||
+      a.unanalyzed != b.unanalyzed || a.chain.size() != b.chain.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.chain.size(); ++i) {
+    if (!sameFinding(a.chain[i], b.chain[i])) return false;
+  }
+  return true;
+}
+
+// --- Batched slave analysis -----------------------------------------------
+
+TEST(SlaveBatch, BatchMatchesPerComponentAnalysisAtAnyThreadCount) {
+  Cluster& c = cluster();
+  const std::vector<ComponentId> ids = {2, 3, 99};  // 99 is unknown
+  std::vector<std::optional<ComponentFinding>> reference;
+  for (ComponentId id : ids) reference.push_back(c.back.analyze(id, c.tv));
+  EXPECT_FALSE(reference[2].has_value());
+
+  for (int threads : {0, 3, 8}) {
+    c.back.setAnalysisThreads(threads);
+    const auto batch = c.back.analyzeBatch(ids, c.tv);
+    ASSERT_EQ(batch.size(), reference.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      ASSERT_EQ(batch[i].has_value(), reference[i].has_value()) << i;
+      if (batch[i].has_value()) {
+        EXPECT_TRUE(sameFinding(*batch[i], *reference[i])) << i;
+      }
+    }
+  }
+  c.back.setAnalysisThreads(0);
+}
+
+// --- Master determinism: serial vs parallel -------------------------------
+
+PinpointResult localizeHealthy(int threads) {
+  Cluster& c = cluster();
+  FChainMaster master;
+  master.setWorkerThreads(threads);
+  master.registerSlave(&c.front);
+  master.registerSlave(&c.back);
+  master.setDependencies(c.deps);
+  return master.localize({0, 1, 2, 3}, c.tv);
+}
+
+TEST(ParallelLocalize, HealthyClusterIsIdenticalAcrossThreadCounts) {
+  const PinpointResult serial = localizeHealthy(0);
+  EXPECT_EQ(serial.pinpointed, (std::vector<ComponentId>{3}));
+  EXPECT_DOUBLE_EQ(serial.coverage, 1.0);
+  for (int threads : {1, 2, 8}) {
+    const PinpointResult parallel = localizeHealthy(threads);
+    EXPECT_TRUE(samePinpoint(serial, parallel)) << threads << " threads";
+  }
+}
+
+/// The front slave (web + app1) is dark for the whole incident, so the
+/// batch covering components {0, 1} exhausts its retries while {2, 3}
+/// analyze normally — degraded mode under parallel fan-out.
+PinpointResult localizeWithOutage(int threads) {
+  Cluster& c = cluster();
+  FChainMaster master;
+  master.setWorkerThreads(threads);
+  runtime::FlakyConfig outage;
+  outage.outage_windows = {{0, 1'000'000}};
+  master.registerEndpoint(
+      std::make_shared<runtime::FlakyEndpoint>(
+          std::make_shared<runtime::LocalEndpoint>(&c.front), outage),
+      {0, 1});
+  master.registerSlave(&c.back);
+  master.setDependencies(c.deps);
+  return master.localize({0, 1, 2, 3}, c.tv);
+}
+
+TEST(ParallelLocalize, EndpointOutageIsIdenticalAcrossThreadCounts) {
+  const PinpointResult serial = localizeWithOutage(0);
+  EXPECT_DOUBLE_EQ(serial.coverage, 0.5);
+  EXPECT_EQ(serial.unanalyzed, (std::vector<ComponentId>{0, 1}));
+  EXPECT_NE(std::find(serial.pinpointed.begin(), serial.pinpointed.end(),
+                      ComponentId{3}),
+            serial.pinpointed.end());
+  for (int threads : {1, 2, 8}) {
+    const PinpointResult parallel = localizeWithOutage(threads);
+    EXPECT_TRUE(samePinpoint(serial, parallel)) << threads << " threads";
+  }
+}
+
+TEST(ParallelLocalize, SlaveSideParallelismPreservesTheVerdict) {
+  Cluster& c = cluster();
+  const PinpointResult serial = localizeHealthy(0);
+  c.front.setAnalysisThreads(4);
+  c.back.setAnalysisThreads(4);
+  const PinpointResult parallel = localizeHealthy(4);
+  c.front.setAnalysisThreads(0);
+  c.back.setAnalysisThreads(0);
+  EXPECT_TRUE(samePinpoint(serial, parallel));
+}
+
+// --- Batch transport accounting -------------------------------------------
+
+TEST(ParallelLocalize, OneBatchRequestPerSlave) {
+  Cluster& c = cluster();
+  FChainMaster master;
+  master.setWorkerThreads(2);
+  master.registerSlave(&c.front);
+  master.registerSlave(&c.back);
+  (void)master.localize({0, 1, 2, 3}, c.tv);
+  const auto stats = master.runtimeStats();
+  EXPECT_EQ(stats.requests, 2u);  // one batch per slave, not one per VM
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.failures, 0u);
+}
+
+TEST(ParallelLocalize, OutageExhaustsBatchRetriesAndMarksEndpointDown) {
+  Cluster& c = cluster();
+  FChainMaster master;
+  master.setWorkerThreads(2);
+  runtime::FlakyConfig outage;
+  outage.outage_windows = {{0, 1'000'000}};
+  master.registerEndpoint(
+      std::make_shared<runtime::FlakyEndpoint>(
+          std::make_shared<runtime::LocalEndpoint>(&c.front), outage),
+      {0, 1});
+  const auto result = master.localize({0, 1}, c.tv);
+  EXPECT_DOUBLE_EQ(result.coverage, 0.0);
+  const auto stats = master.runtimeStats();
+  EXPECT_EQ(stats.requests, 3u);  // the batch burned the full retry budget
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.failures, 2u);  // both components stayed unanalyzed
+  EXPECT_GT(stats.simulated_backoff_ms, 0.0);
+  EXPECT_EQ(master.endpointHealth().front(), runtime::HealthState::Down);
+
+  // A later localization outside the outage window probes once and fully
+  // recovers the endpoint — same policy as the serial path.
+  const auto after = master.localize({0, 1}, 1'000'001);
+  EXPECT_DOUBLE_EQ(after.coverage, 1.0);
+  EXPECT_EQ(master.endpointHealth().front(), runtime::HealthState::Healthy);
+}
+
+// --- Concurrent localizations ---------------------------------------------
+
+TEST(ParallelLocalize, ConcurrentLocalizeCallsAgree) {
+  Cluster& c = cluster();
+  FChainMaster master;
+  master.setWorkerThreads(4);
+  master.registerSlave(&c.front);
+  master.registerSlave(&c.back);
+  master.setDependencies(c.deps);
+  const PinpointResult reference = master.localize({0, 1, 2, 3}, c.tv);
+
+  std::vector<PinpointResult> results(4);
+  std::vector<std::thread> callers;
+  callers.reserve(results.size());
+  for (auto& slot : results) {
+    callers.emplace_back([&master, &c, &slot] {
+      slot = master.localize({0, 1, 2, 3}, c.tv);
+    });
+  }
+  for (auto& caller : callers) caller.join();
+  for (const PinpointResult& result : results) {
+    EXPECT_TRUE(samePinpoint(reference, result));
+  }
+}
+
+}  // namespace
+}  // namespace fchain::core

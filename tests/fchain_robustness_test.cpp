@@ -114,6 +114,35 @@ TEST(SlaveIngest, NonFiniteValuesAreQuarantined) {
   EXPECT_FALSE(slave.analyze(1, 1).has_value());
 }
 
+TEST(SlaveIngest, QuarantinedDuplicateKeepsValueAlreadyStoredAtThatSecond) {
+  // Regression: a non-finite metric arriving as a duplicate/out-of-order
+  // delivery used to be substituted with the series *tail* value, silently
+  // overwriting the correct history at time t with a stale newer value.
+  FChainSlave slave(0);
+  slave.addComponent(1, 0);
+  slave.ingestAt(1, 0, flatSample(1.0));
+  slave.ingestAt(1, 1, flatSample(2.0));
+  slave.ingestAt(1, 2, flatSample(3.0));
+
+  auto resend = flatSample(9.0);
+  resend[0] = kNan;  // corrupt re-send of second 1
+  slave.ingestAt(1, 1, resend);
+
+  const IngestStats* stats = slave.ingestStatsOf(1);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->quarantined, 1u);
+  EXPECT_EQ(stats->duplicates, 1u);
+  const MetricSeries* series = slave.seriesOf(1);
+  ASSERT_NE(series, nullptr);
+  // The corrupted metric keeps the good value already stored at t=1 (2.0),
+  // not the tail value (3.0); the finite metrics take the re-sent value.
+  EXPECT_DOUBLE_EQ(series->of(kAllMetrics[0]).at(1), 2.0);
+  EXPECT_DOUBLE_EQ(series->of(kAllMetrics[1]).at(1), 9.0);
+  // History before and after the re-sent second is untouched.
+  EXPECT_DOUBLE_EQ(series->of(kAllMetrics[0]).at(0), 1.0);
+  EXPECT_DOUBLE_EQ(series->of(kAllMetrics[0]).at(2), 3.0);
+}
+
 TEST(SlaveIngest, QuarantineBeforeFirstSampleUsesZero) {
   FChainSlave slave(0);
   slave.addComponent(1, 0);
@@ -203,6 +232,50 @@ TEST(MasterRegistration, RejectsDuplicateComponentClaims) {
 TEST(MasterRegistration, RejectsNullSlave) {
   FChainMaster master;
   EXPECT_THROW(master.registerSlave(nullptr), std::invalid_argument);
+}
+
+// --- Discovery retry path (registerEndpoint) -------------------------------
+
+TEST(MasterDiscovery, RetriesAreCountedBackedOffAndHealthTracked) {
+  // Regression: discovery used to spin its retry loop with no backoff, no
+  // health accounting, and no stats counting — a discovery storm against a
+  // cold-starting slave was invisible in every diagnostic surface.
+  FChainSlave slave(0);
+  slave.addComponent(0, 0);
+  runtime::FlakyConfig cold;
+  cold.fail_first = 2;  // two cold-start failures, then discovery lands
+  auto endpoint = std::make_shared<runtime::FlakyEndpoint>(
+      std::make_shared<runtime::LocalEndpoint>(&slave), cold);
+
+  FChainMaster master;
+  master.registerEndpoint(endpoint);
+
+  const auto stats = master.runtimeStats();
+  EXPECT_EQ(stats.requests, 3u);  // two failures + the success
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.failures, 0u);
+  EXPECT_GT(stats.simulated_backoff_ms, 0.0);  // retries are paced
+  // The discovery failures carry into the endpoint's health history.
+  ASSERT_EQ(master.endpointHealth().size(), 1u);
+  EXPECT_EQ(master.endpointHealth().front(), runtime::HealthState::Healthy);
+}
+
+TEST(MasterDiscovery, ExhaustedDiscoveryCountsAsFailure) {
+  FChainSlave slave(0);
+  slave.addComponent(0, 0);
+  runtime::FlakyConfig black;
+  black.drop_probability = 1.0;
+  auto endpoint = std::make_shared<runtime::FlakyEndpoint>(
+      std::make_shared<runtime::LocalEndpoint>(&slave), black);
+
+  FChainMaster master;
+  EXPECT_THROW(master.registerEndpoint(endpoint), std::runtime_error);
+  const auto stats = master.runtimeStats();
+  EXPECT_EQ(stats.requests, 3u);  // the full retry budget was spent
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.failures, 1u);
+  EXPECT_GT(stats.simulated_backoff_ms, 0.0);
+  EXPECT_TRUE(master.endpointHealth().empty());  // never registered
 }
 
 // --- Endpoint health and retry behaviour ----------------------------------

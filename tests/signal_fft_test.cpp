@@ -1,12 +1,39 @@
 // Unit & property tests for signal/fft and signal/burst.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <new>
 #include <numbers>
 
 #include "common/rng.h"
 #include "signal/burst.h"
 #include "signal/fft.h"
+
+// Allocation counter for the ±Q-window round-trip micro-assert below: the
+// change selector FFTs a small window around every candidate change point,
+// so each direction of the transform is required to allocate exactly once.
+namespace {
+std::atomic<std::size_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace fchain::signal {
 namespace {
@@ -71,6 +98,34 @@ TEST_P(FftRoundTrip, InverseRecoversInput) {
 INSTANTIATE_TEST_SUITE_P(Sizes, FftRoundTrip,
                          ::testing::Values(1, 2, 3, 7, 8, 16, 41, 64, 100,
                                            128, 333, 1024));
+
+TEST(Fft, QWindowRoundTripAllocatesOncePerDirection) {
+  // The selector's ±Q window is 2Q+1 = 41 samples by default. fftReal must
+  // build its padded spectrum in a single allocation (reserve + bulk
+  // assign, no element-wise growth or resize-reallocation), and ifftToReal
+  // must transform in the moved-in buffer so its only allocation is the
+  // returned real vector.
+  constexpr std::size_t kQWindow = 41;
+  std::vector<double> xs(kQWindow);
+  for (std::size_t i = 0; i < kQWindow; ++i) {
+    xs[i] = std::sin(0.37 * static_cast<double>(i));
+  }
+
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  auto spectrum = fftReal(xs);
+  const std::size_t after_forward =
+      g_allocations.load(std::memory_order_relaxed);
+  auto back = ifftToReal(std::move(spectrum), kQWindow);
+  const std::size_t after_inverse =
+      g_allocations.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(after_forward - before, 1u);
+  EXPECT_EQ(after_inverse - after_forward, 1u);
+  ASSERT_EQ(back.size(), kQWindow);
+  for (std::size_t i = 0; i < kQWindow; ++i) {
+    EXPECT_NEAR(back[i], xs[i], 1e-9);
+  }
+}
 
 TEST(Fft, ParsevalEnergyConservation) {
   constexpr std::size_t kN = 128;
