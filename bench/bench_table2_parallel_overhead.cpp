@@ -34,6 +34,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_util.h"
 #include "fchain/fchain.h"
 #include "runtime/flaky_endpoint.h"
 #include "sim/injector.h"
@@ -367,6 +368,11 @@ int main(int argc, char** argv) {
       "Sweep 2: emulated WAN transports (25 ms blocking round-trip)", 25.0,
       repetitions, seed);
   const bool lossy_ok = lossyEquivalence(seed);
+
+  // With FCHAIN_TRACE=1 every localize() above recorded master / pool /
+  // slave / signal-kernel spans; dump them for offline inspection (CI
+  // uploads the JSON as an artifact).
+  benchutil::maybeDumpTrace("bench_table2_parallel_overhead");
 
   bool failed = false;
   if (!compute.all_identical || !wan.all_identical || !lossy_ok) {

@@ -7,8 +7,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "baselines/fchain_scheme.h"
@@ -17,8 +19,32 @@
 #include "baselines/netmedic.h"
 #include "eval/report.h"
 #include "eval/runner.h"
+#include "obs/trace.h"
 
 namespace fchain::benchutil {
+
+/// When FCHAIN_TRACE is set in the environment the global tracer self-enables
+/// on first use and the pipeline's instrumentation records spans; this dumps
+/// everything accumulated so far as Chrome trace JSON (`<name>.trace.json`,
+/// viewable in chrome://tracing or https://ui.perfetto.dev) plus the per-span
+/// summary table on stdout. No-op (returns false) when tracing is off, so
+/// every bench can call it unconditionally after its runs.
+inline bool maybeDumpTrace(const char* bench_name) {
+  obs::Tracer& tracer = obs::tracer();
+  if (!tracer.enabled()) return false;
+  const std::string path = std::string(bench_name) + ".trace.json";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) {
+    std::fprintf(stderr, "[obs] cannot write %s\n", path.c_str());
+    return false;
+  }
+  tracer.writeChromeTrace(out);
+  std::printf("\n[obs] wrote %s (%zu spans) — load it in chrome://tracing "
+              "or https://ui.perfetto.dev\n",
+              path.c_str(), tracer.records().size());
+  tracer.writeSummary(std::cout);
+  return true;
+}
 
 struct Args {
   std::size_t trials = 30;

@@ -5,6 +5,7 @@
 #include <span>
 
 #include "common/stats.h"
+#include "obs/trace.h"
 #include "signal/smoothing.h"
 
 namespace fchain::core {
@@ -69,6 +70,8 @@ std::size_t adaptiveSmoothHalf(std::span<const double> window) {
 std::optional<MetricFinding> AbnormalChangeSelector::analyzeMetric(
     MetricKind kind, const TimeSeries& series, const TimeSeries& errors,
     TimeSec violation_time) const {
+  FCHAIN_SPAN_VAR(span, "selector.metric");
+  span.arg("metric", static_cast<std::int64_t>(metricIndex(kind)));
   const TimeSec window_start =
       std::max(series.startTime(), violation_time - config_.lookback_sec);
   const TimeSec window_end = std::min(series.endTime(), violation_time + 1);
@@ -205,6 +208,8 @@ std::optional<MetricFinding> AbnormalChangeSelector::analyzeMetric(
 std::optional<ComponentFinding> AbnormalChangeSelector::analyzeComponent(
     ComponentId id, const MetricSeries& series,
     const NormalFluctuationModel& model, TimeSec violation_time) const {
+  FCHAIN_SPAN_VAR(span, "selector.component");
+  span.arg("component", static_cast<std::int64_t>(id));
   ComponentFinding finding;
   finding.component = id;
   for (MetricKind kind : kAllMetrics) {

@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/trace.h"
 #include "runtime/worker_pool.h"
 
 namespace fchain::core {
@@ -124,26 +125,40 @@ std::vector<HealthState> FChainMaster::endpointHealth() const {
 }
 
 MasterRuntimeStats FChainMaster::runtimeStats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
+  MasterRuntimeStats stats;
+  stats.requests = metric_requests_.value();
+  stats.retries = metric_retries_.value();
+  stats.failures = metric_failures_.value();
+  stats.simulated_backoff_ms = metric_backoff_ms_.value();
+  return stats;
 }
 
 void FChainMaster::mergeStats(const MasterRuntimeStats& delta) {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  stats_.requests += delta.requests;
-  stats_.retries += delta.retries;
-  stats_.failures += delta.failures;
-  stats_.simulated_backoff_ms += delta.simulated_backoff_ms;
+  metric_requests_.add(delta.requests);
+  metric_retries_.add(delta.retries);
+  metric_failures_.add(delta.failures);
+  metric_backoff_ms_.add(delta.simulated_backoff_ms);
 }
 
 PinpointResult FChainMaster::localize(
     const std::vector<ComponentId>& components, TimeSec violation_time) {
-  return worker_threads_ <= 0 ? localizeSerial(components, violation_time)
-                              : localizeParallel(components, violation_time);
+  FCHAIN_SPAN_VAR(span, "master.localize");
+  span.arg("components", static_cast<std::int64_t>(components.size()));
+  const std::uint64_t start_us = obs::tracer().now();
+  PinpointResult result =
+      worker_threads_ <= 0 ? localizeSerial(components, violation_time)
+                           : localizeParallel(components, violation_time);
+  // Guarded difference: an injected logical clock may not be monotonic.
+  const std::uint64_t end_us = obs::tracer().now();
+  metric_localize_ms_.observe(
+      end_us >= start_us ? static_cast<double>(end_us - start_us) / 1000.0
+                         : 0.0);
+  return result;
 }
 
 PinpointResult FChainMaster::localizeSerial(
     const std::vector<ComponentId>& components, TimeSec violation_time) {
+  FCHAIN_SPAN("master.serial");
   std::vector<ComponentFinding> findings;
   std::vector<ComponentId> unanalyzed;
   std::size_t analyzed = 0;
@@ -203,6 +218,8 @@ PinpointResult FChainMaster::localizeSerial(
 }
 
 void FChainMaster::runBatchJob(BatchJob& job, TimeSec violation_time) {
+  FCHAIN_SPAN_VAR(span, "master.batch");
+  span.arg("n", static_cast<std::int64_t>(job.ids.size()));
   Endpoint& ep = endpoints_[job.endpoint_index];
   // Hold the endpoint for the whole retry sequence: requests to one slave
   // stay strictly ordered even when other localize() calls run in parallel.
@@ -264,15 +281,24 @@ PinpointResult FChainMaster::localizeParallel(
   if (pool_ == nullptr && worker_threads_ >= 1) {
     pool_ = std::make_unique<runtime::WorkerPool>(worker_threads_);
   }
-  std::vector<std::function<void()>> tasks;
-  tasks.reserve(jobs.size());
-  for (BatchJob& job : jobs) {
-    tasks.push_back([this, &job, violation_time] {
-      runBatchJob(job, violation_time);
-    });
+  {
+    FCHAIN_SPAN_VAR(fanout, "master.fanout");
+    fanout.arg("jobs", static_cast<std::int64_t>(jobs.size()));
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(jobs.size());
+    for (BatchJob& job : jobs) {
+      tasks.push_back([this, &job, violation_time] {
+        runBatchJob(job, violation_time);
+      });
+    }
+    pool_->run(std::move(tasks));
+    // The fan-out is a barrier, so the pool queue must be empty again;
+    // recording the gauge (instead of asserting) keeps a leak visible in a
+    // metric snapshot even in release builds.
+    metric_pool_pending_.set(static_cast<double>(pool_->pendingCount()));
   }
-  pool_->run(std::move(tasks));
 
+  FCHAIN_SPAN("master.merge");
   // Deterministic merge: walk the caller's component order and pull each
   // result from its job slot, exactly reproducing the serial path's
   // findings order. Stats merge job-by-job in first-appearance order so
@@ -312,6 +338,7 @@ PinpointResult FChainMaster::localizeAndValidate(
     const sim::Simulation& snapshot, const ValidationConfig& validation) {
   PinpointResult result = localize(components, violation_time);
   if (result.external_factor || result.pinpointed.empty()) return result;
+  FCHAIN_SPAN("master.validate");
   OnlineValidator validator(validation);
   result.pinpointed = validator.validate(snapshot, result);
   return result;

@@ -37,6 +37,7 @@
 #include "fchain/pinpoint.h"
 #include "fchain/slave.h"
 #include "fchain/validation.h"
+#include "obs/metrics.h"
 #include "runtime/endpoint.h"
 #include "runtime/health.h"
 
@@ -49,6 +50,11 @@ namespace fchain::core {
 /// Transport bookkeeping accumulated across localize() calls. A request is
 /// one transport round-trip: the serial path issues one per component
 /// attempt, the parallel path one per slave *batch* attempt.
+///
+/// This struct is now a *view*: the authoritative values live in the
+/// master's obs::MetricRegistry (counters "master.requests" / ".retries" /
+/// ".failures" and gauge "master.backoff_ms"); runtimeStats() adapts the
+/// registry back into this shape for existing callers.
 struct MasterRuntimeStats {
   std::size_t requests = 0;   ///< analysis attempts issued (incl. retries)
   std::size_t retries = 0;    ///< attempts beyond the first per request
@@ -103,7 +109,19 @@ class FChainMaster {
   /// Health of every registered endpoint, in registration order.
   std::vector<runtime::HealthState> endpointHealth() const;
 
+  /// Thin adapter over the metric registry: reads the transport counters
+  /// back into the legacy struct. Values are identical to the registry
+  /// snapshot's, by construction.
   MasterRuntimeStats runtimeStats() const;
+
+  /// This master's metric registry. Registry metric names:
+  ///   master.requests / master.retries / master.failures   (counters)
+  ///   master.backoff_ms      (gauge: accumulated simulated backoff)
+  ///   master.pool_pending    (gauge: worker-pool queue depth after the
+  ///                           fan-out drains — 0 unless something leaked)
+  ///   master.localize_ms     (histogram: end-to-end localize wall-clock)
+  obs::MetricRegistry& metrics() { return registry_; }
+  const obs::MetricRegistry& metrics() const { return registry_; }
 
   /// Localizes the fault for the application made of `components`. Degraded
   /// mode: components whose slave never answers are reported in
@@ -111,7 +129,9 @@ class FChainMaster {
   /// Mutates transport bookkeeping (endpoint health, runtime stats) — the
   /// seed's `const localize` quietly did the same through mutable members.
   /// Safe to call from multiple threads concurrently: per-endpoint mutexes
-  /// serialize transport access and stats merge under a lock.
+  /// serialize transport access and stats land in lock-free registry
+  /// atomics. When the global obs tracer is enabled, the call emits
+  /// master / worker-pool / slave / signal-kernel spans.
   PinpointResult localize(const std::vector<ComponentId>& components,
                           TimeSec violation_time);
 
@@ -158,8 +178,19 @@ class FChainMaster {
   runtime::RetryPolicy retry_;
   IntegratedPinpointer pinpointer_;
   std::vector<Endpoint> endpoints_;
-  MasterRuntimeStats stats_;
-  mutable std::mutex stats_mutex_;  ///< guards stats_ only
+  /// Registry-backed runtime metrics. The instrument references are
+  /// registered once here (registry_ must be declared first); hot-path
+  /// updates are lock-free atomics, so no stats mutex is needed anymore.
+  obs::MetricRegistry registry_;
+  obs::Counter& metric_requests_ = registry_.counter("master.requests");
+  obs::Counter& metric_retries_ = registry_.counter("master.retries");
+  obs::Counter& metric_failures_ = registry_.counter("master.failures");
+  obs::Gauge& metric_backoff_ms_ = registry_.gauge("master.backoff_ms");
+  obs::Gauge& metric_pool_pending_ = registry_.gauge("master.pool_pending");
+  obs::Histogram& metric_localize_ms_ = registry_.histogram(
+      "master.localize_ms",
+      {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0,
+       2000.0, 5000.0, 10000.0});
   std::map<ComponentId, std::size_t> routes_;  ///< component -> endpoint idx
   std::set<const void*> registered_;  ///< raw identity of slaves/endpoints
   netdep::DependencyGraph dependencies_;

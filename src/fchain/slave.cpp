@@ -3,6 +3,7 @@
 #include <cmath>
 #include <functional>
 
+#include "obs/trace.h"
 #include "runtime/worker_pool.h"
 
 namespace fchain::core {
@@ -120,6 +121,8 @@ const MetricSeries* FChainSlave::seriesOf(ComponentId id) const {
 
 std::optional<ComponentFinding> FChainSlave::analyze(
     ComponentId id, TimeSec violation_time) const {
+  FCHAIN_SPAN_VAR(span, "slave.analyze_vm");
+  span.arg("component", static_cast<std::int64_t>(id));
   const auto it = vms_.find(id);
   if (it == vms_.end()) return std::nullopt;
   return selector_.analyzeComponent(id, it->second.series, it->second.model,
@@ -128,6 +131,8 @@ std::optional<ComponentFinding> FChainSlave::analyze(
 
 std::vector<std::optional<ComponentFinding>> FChainSlave::analyzeBatch(
     const std::vector<ComponentId>& ids, TimeSec violation_time) const {
+  FCHAIN_SPAN_VAR(span, "slave.analyze_batch");
+  span.arg("n", static_cast<std::int64_t>(ids.size()));
   std::vector<std::optional<ComponentFinding>> findings(ids.size());
   if (pool_ == nullptr || ids.size() < 2) {
     for (std::size_t i = 0; i < ids.size(); ++i) {

@@ -1,0 +1,213 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <ostream>
+#include <utility>
+
+namespace fchain::obs {
+
+namespace {
+
+/// Per-thread cache of (tracer instance id, state). A plain vector beats a
+/// hash map here: a process holds one or two live tracers (the global one
+/// plus a test-local instance), so the scan is one or two integer compares.
+/// Entries are never erased — a destroyed tracer's slot is stale but
+/// unreachable, because instance ids are never reused.
+struct ThreadEntry {
+  std::uint64_t tracer_id = 0;
+  Tracer::ThreadState state;
+};
+
+thread_local std::vector<ThreadEntry> tls_entries;
+
+std::atomic<std::uint64_t> g_next_tracer_id{1};
+
+/// JSON string escaping for span names. Names are our own literals, so this
+/// mostly passes through, but the exporter must never emit invalid JSON.
+void writeJsonString(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          out << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+std::uint64_t Tracer::now() const {
+  const ClockFn clock = clock_.load(std::memory_order_acquire);
+  if (clock != nullptr) return clock();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Tracer::Tracer()
+    : instance_id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)) {
+}
+
+Tracer::ThreadState& Tracer::threadState() {
+  for (ThreadEntry& entry : tls_entries) {
+    if (entry.tracer_id == instance_id_) return entry.state;
+  }
+  tls_entries.push_back(ThreadEntry{instance_id_, ThreadState{}});
+  tls_entries.back().state.tid =
+      next_tid_.fetch_add(1, std::memory_order_relaxed);
+  return tls_entries.back().state;
+}
+
+void Tracer::record(SpanRecord&& span) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.push_back(std::move(span));
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.clear();
+}
+
+std::vector<SpanRecord> Tracer::records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+std::vector<SpanStats> Tracer::stats() const {
+  std::vector<SpanStats> out;
+  for (const SpanRecord& span : records()) {
+    auto it = std::find_if(out.begin(), out.end(), [&](const SpanStats& s) {
+      return s.name == span.name;
+    });
+    if (it == out.end()) {
+      out.push_back(SpanStats{span.name, 1, span.dur_us, span.dur_us,
+                              span.dur_us});
+      continue;
+    }
+    ++it->count;
+    it->total_us += span.dur_us;
+    it->min_us = std::min(it->min_us, span.dur_us);
+    it->max_us = std::max(it->max_us, span.dur_us);
+  }
+  std::sort(out.begin(), out.end(), [](const SpanStats& a,
+                                       const SpanStats& b) {
+    if (a.total_us != b.total_us) return a.total_us > b.total_us;
+    return a.name < b.name;
+  });
+  return out;
+}
+
+void Tracer::writeChromeTrace(std::ostream& out) const {
+  const std::vector<SpanRecord> spans = records();
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& span : spans) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n{\"name\":";
+    writeJsonString(out, span.name);
+    out << ",\"ph\":\"X\",\"pid\":1,\"tid\":" << span.tid
+        << ",\"ts\":" << span.start_us << ",\"dur\":" << span.dur_us
+        << ",\"args\":{\"depth\":" << span.depth;
+    if (span.arg_name != nullptr) {
+      out << ",";
+      writeJsonString(out, span.arg_name);
+      out << ":" << span.arg_value;
+    }
+    out << "}}";
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void Tracer::writeSummary(std::ostream& out) const {
+  out << "span                             count    total_us     mean_us"
+         "      min_us      max_us\n";
+  for (const SpanStats& s : stats()) {
+    const std::uint64_t mean = s.count == 0 ? 0 : s.total_us / s.count;
+    out << s.name;
+    for (std::size_t pad = s.name.size(); pad < 32; ++pad) out << ' ';
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " %8zu %11llu %11llu %11llu %11llu\n",
+                  s.count, static_cast<unsigned long long>(s.total_us),
+                  static_cast<unsigned long long>(mean),
+                  static_cast<unsigned long long>(s.min_us),
+                  static_cast<unsigned long long>(s.max_us));
+    out << buf;
+  }
+}
+
+void Tracer::recordSpan(const char* name, std::uint64_t start_us,
+                        std::uint64_t end_us, const char* arg_name,
+                        std::int64_t arg_value) {
+  if (!enabled()) return;
+  const ThreadState& state = threadState();
+  SpanRecord span;
+  span.name = name;
+  span.start_us = start_us;
+  span.dur_us = end_us >= start_us ? end_us - start_us : 0;
+  span.tid = state.tid;
+  span.depth = state.depth;
+  span.arg_name = arg_name;
+  span.arg_value = arg_value;
+  record(std::move(span));
+}
+
+Span::Span(const char* name) : Span(tracer(), name) {}
+
+void Span::open(const char* name) {
+  name_ = name;
+  Tracer::ThreadState& state = tracer_->threadState();
+  tid_ = state.tid;
+  depth_ = state.depth++;
+  start_us_ = tracer_->now();
+}
+
+void Span::close() {
+  const std::uint64_t end = tracer_->now();
+  Tracer::ThreadState& state = tracer_->threadState();
+  if (state.depth > 0) --state.depth;
+  SpanRecord record;
+  record.name = name_;
+  record.start_us = start_us_;
+  record.dur_us = end >= start_us_ ? end - start_us_ : 0;
+  record.tid = tid_;
+  record.depth = depth_;
+  record.arg_name = arg_name_;
+  record.arg_value = arg_value_;
+  tracer_->record(std::move(record));
+}
+
+Tracer& tracer() {
+  // Immortal in-place construction: no heap allocation (the signal-kernel
+  // hot paths are covered by allocation-counting tests and must not pay a
+  // lazy-init malloc) and no destruction (spans may close during static
+  // teardown).
+  alignas(Tracer) static unsigned char storage[sizeof(Tracer)];
+  static Tracer* instance = [] {
+    Tracer* t = ::new (static_cast<void*>(storage)) Tracer();
+    const char* env = std::getenv("FCHAIN_TRACE");
+    if (env != nullptr && env[0] != '\0' &&
+        !(env[0] == '0' && env[1] == '\0')) {
+      t->setEnabled(true);
+    }
+    return t;
+  }();
+  return *instance;
+}
+
+}  // namespace fchain::obs

@@ -1,0 +1,193 @@
+// Lightweight span tracer for the localization pipeline.
+//
+// FChain's headline claim is *online* localization — pinpointing within
+// seconds of the SLO violation — so the analysis pipeline itself needs a
+// profile: where does a localize() call spend its wall-clock (fan-out wait
+// vs. per-VM selection vs. FFT/CUSUM math)? The tracer answers that with
+// nestable RAII spans recorded per thread and exported as Chrome trace
+// format JSON (load the file in chrome://tracing or https://ui.perfetto.dev)
+// plus a compact per-name text summary.
+//
+// Design constraints, in order:
+//   1. Near-zero cost when disabled. The hot paths (signal kernels, per-VM
+//      selector) open a span per call; a disabled tracer must cost one
+//      relaxed atomic load there, no clock read, no allocation. Span carries
+//      a nullptr tracer in that case and the destructor is a branch.
+//   2. Deterministic for tests. The clock is injectable (a plain function
+//      pointer returning microseconds), so a logical clock makes the JSON
+//      byte-exact; thread ids are small integers assigned per tracer in
+//      first-span order, not platform thread ids.
+//   3. No dependencies. The obs library sits below every other target (even
+//      common) so runtime/signal/core can all link it.
+//
+// The process-global tracer (obs::tracer()) starts disabled unless the
+// FCHAIN_TRACE environment variable is set to anything but "0"/"". Tests
+// construct their own Tracer instances and stay isolated from it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fchain::obs {
+
+/// One closed span. `tid` is the tracer-local thread index (first-span
+/// order) and `depth` the nesting level within that thread when the span
+/// opened — both recorded explicitly so tests can assert attribution
+/// without reparsing timestamps.
+struct SpanRecord {
+  std::string name;
+  std::uint64_t start_us = 0;
+  std::uint64_t dur_us = 0;
+  std::uint32_t tid = 0;
+  std::uint32_t depth = 0;
+  /// Optional integer payload (batch size, sample count, ...). arg_name is
+  /// a string literal supplied by the instrumentation site; nullptr = none.
+  const char* arg_name = nullptr;
+  std::int64_t arg_value = 0;
+};
+
+/// Aggregated per-name statistics for the text summary.
+struct SpanStats {
+  std::string name;
+  std::size_t count = 0;
+  std::uint64_t total_us = 0;
+  std::uint64_t min_us = 0;
+  std::uint64_t max_us = 0;
+};
+
+class Span;
+
+class Tracer {
+ public:
+  /// Microsecond clock. Injectable for deterministic tests; nullptr
+  /// restores the default steady_clock-based source.
+  using ClockFn = std::uint64_t (*)();
+
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void setEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_release);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void setClock(ClockFn clock) {
+    clock_.store(clock, std::memory_order_release);
+  }
+
+  /// Current time in microseconds from the active clock source.
+  std::uint64_t now() const;
+
+  /// Drops every recorded span (thread ids keep their assignments).
+  void clear();
+
+  /// Copy of the closed spans, in close order.
+  std::vector<SpanRecord> records() const;
+
+  /// Aggregates spans by name, sorted by total time descending (name
+  /// ascending as the tiebreak).
+  std::vector<SpanStats> stats() const;
+
+  /// Chrome trace format: {"traceEvents":[{"ph":"X",...},...]}. With an
+  /// injected logical clock the output is byte-exact for a fixed span
+  /// sequence (records are written in close order).
+  void writeChromeTrace(std::ostream& out) const;
+
+  /// Compact per-name table (count / total / mean / min / max).
+  void writeSummary(std::ostream& out) const;
+
+  /// Records an already-measured interval as a span on the calling thread,
+  /// at the thread's current nesting depth. Used where the interval starts
+  /// before the recording thread could open an RAII span (e.g. a worker
+  /// reporting how long a task sat in the queue). No-op when disabled.
+  void recordSpan(const char* name, std::uint64_t start_us,
+                  std::uint64_t end_us, const char* arg_name = nullptr,
+                  std::int64_t arg_value = 0);
+
+  /// Tracer-local thread bookkeeping, looked up through a thread_local
+  /// cache keyed by tracer identity (see trace.cpp).
+  struct ThreadState {
+    std::uint32_t tid = 0;
+    std::uint32_t depth = 0;
+  };
+
+ private:
+  friend class Span;
+
+  ThreadState& threadState();
+  void record(SpanRecord&& span);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<ClockFn> clock_{nullptr};
+  std::atomic<std::uint32_t> next_tid_{0};
+  /// Process-unique id assigned at construction. Thread-local span state is
+  /// keyed by this id, not the tracer address: a test tracer on the stack
+  /// can be destroyed and a new one constructed at the same address, and
+  /// the new tracer must not inherit the old one's thread ids/depths.
+  const std::uint64_t instance_id_;
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> records_;
+};
+
+/// RAII span. Construction on a disabled tracer stores a null pointer and
+/// does nothing else; destruction closes and records the span.
+class Span {
+ public:
+  Span(Tracer& tracer, const char* name)
+      : tracer_(tracer.enabled() ? &tracer : nullptr) {
+    if (tracer_ != nullptr) open(name);
+  }
+  /// Opens on the process-global tracer.
+  explicit Span(const char* name);
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() {
+    if (tracer_ != nullptr) close();
+  }
+
+  /// Attaches one integer payload ("n" items, component id, ...). `key`
+  /// must be a string literal (it is stored by pointer). No-op when the
+  /// span is disabled.
+  void arg(const char* key, std::int64_t value) {
+    if (tracer_ == nullptr) return;
+    arg_name_ = key;
+    arg_value_ = value;
+  }
+
+ private:
+  void open(const char* name);
+  void close();
+
+  Tracer* tracer_;
+  const char* name_ = nullptr;
+  std::uint64_t start_us_ = 0;
+  std::uint32_t tid_ = 0;
+  std::uint32_t depth_ = 0;
+  const char* arg_name_ = nullptr;
+  std::int64_t arg_value_ = 0;
+};
+
+/// Process-global tracer. First use reads FCHAIN_TRACE from the environment
+/// ("1"/anything non-"0" enables tracing at startup; tests and benches can
+/// still toggle it later with setEnabled).
+Tracer& tracer();
+
+#define FCHAIN_OBS_CONCAT_INNER(a, b) a##b
+#define FCHAIN_OBS_CONCAT(a, b) FCHAIN_OBS_CONCAT_INNER(a, b)
+
+/// Opens a span named `name` (a string literal) on the global tracer for
+/// the rest of the enclosing scope.
+#define FCHAIN_SPAN(name) \
+  ::fchain::obs::Span FCHAIN_OBS_CONCAT(fchain_obs_span_, __LINE__){name}
+
+/// Same, but binds the span to `var` so the site can attach an arg.
+#define FCHAIN_SPAN_VAR(var, name) ::fchain::obs::Span var{name}
+
+}  // namespace fchain::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace fchain::runtime {
 
 WorkerPool::WorkerPool(int threads) {
@@ -24,14 +26,31 @@ WorkerPool::~WorkerPool() {
 
 void WorkerPool::run(std::vector<std::function<void()>> tasks) {
   if (tasks.empty()) return;
+  obs::Tracer& tracer = obs::tracer();
+  if (tracer.enabled()) {
+    // Bracket each task with a "pool.task" span and report how long it sat
+    // in the queue; the wait is measured from enqueue here to dequeue on
+    // the worker, then recorded *by* the worker so the span lands on the
+    // thread that actually ran the task.
+    for (auto& task : tasks) {
+      task = [inner = std::move(task), enqueued_us = tracer.now(),
+              &tracer] {
+        tracer.recordSpan("pool.queue_wait", enqueued_us, tracer.now());
+        obs::Span span(tracer, "pool.task");
+        inner();
+      };
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (auto& task : tasks) queue_.push_back(std::move(task));
-    pending_ += tasks.size();
+    pending_.fetch_add(tasks.size(), std::memory_order_relaxed);
   }
   work_available_.notify_all();
   std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return pending_ == 0; });
+  all_done_.wait(lock,
+                 [this] { return pending_.load(std::memory_order_relaxed) ==
+                                 0; });
   if (first_error_ != nullptr) {
     std::exception_ptr error = std::exchange(first_error_, nullptr);
     lock.unlock();
@@ -57,7 +76,9 @@ void WorkerPool::workerLoop() {
     }
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (--pending_ == 0) all_done_.notify_all();
+      if (pending_.fetch_sub(1, std::memory_order_relaxed) == 1) {
+        all_done_.notify_all();
+      }
     }
   }
 }

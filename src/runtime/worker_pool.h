@@ -13,6 +13,7 @@
 // subsystems can share it.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <deque>
 #include <exception>
@@ -40,10 +41,20 @@ class WorkerPool {
 
   int threadCount() const { return static_cast<int>(workers_.size()); }
 
+  /// Queued + currently-running tasks, readable from any thread without
+  /// taking the queue lock. 0 whenever no run() is in flight — the
+  /// queue-depth gauge the master records must drain back to zero after
+  /// every localization.
+  std::size_t pendingCount() const {
+    return pending_.load(std::memory_order_relaxed);
+  }
+
   /// Runs every task to completion and returns. Tasks must not themselves
   /// call run() on the same pool (the worker would deadlock waiting for
   /// itself). If a task throws, the first exception is rethrown here after
-  /// all tasks of the batch have finished.
+  /// all tasks of the batch have finished. When the global tracer is
+  /// enabled, each task is bracketed by a "pool.task" span and its time in
+  /// the queue recorded as "pool.queue_wait".
   void run(std::vector<std::function<void()>> tasks);
 
  private:
@@ -53,7 +64,10 @@ class WorkerPool {
   std::condition_variable work_available_;
   std::condition_variable all_done_;
   std::deque<std::function<void()>> queue_;
-  std::size_t pending_ = 0;  ///< queued + currently-running tasks
+  /// Queued + currently-running tasks. Mutated only under mutex_ (the
+  /// condition variables need that anyway); atomic so pendingCount() can
+  /// observe it lock-free.
+  std::atomic<std::size_t> pending_{0};
   std::exception_ptr first_error_;
   bool stop_ = false;
   std::vector<std::thread> workers_;

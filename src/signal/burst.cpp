@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/stats.h"
+#include "obs/trace.h"
 #include "signal/fft.h"
 
 namespace fchain::signal {
@@ -36,6 +37,8 @@ std::vector<double> burstSignal(std::span<const double> xs,
 
 double expectedPredictionError(std::span<const double> xs,
                                const BurstConfig& config) {
+  FCHAIN_SPAN_VAR(span, "signal.burst_threshold");
+  span.arg("n", static_cast<std::int64_t>(xs.size()));
   if (xs.size() < 2) return 0.0;
   auto burst = burstSignal(xs, config);
   for (double& b : burst) b = std::fabs(b);

@@ -5,6 +5,7 @@
 
 #include "common/rng.h"
 #include "common/stats.h"
+#include "obs/trace.h"
 
 namespace fchain::signal {
 
@@ -77,6 +78,10 @@ void detectRecursive(std::span<const double> xs, std::size_t offset,
 
 std::vector<ChangePoint> detectChangePoints(std::span<const double> xs,
                                             const CusumConfig& config) {
+  // One span for the whole bootstrap/segmentation recursion — per-segment
+  // spans would swamp the trace without adding signal.
+  FCHAIN_SPAN_VAR(span, "signal.cusum");
+  span.arg("n", static_cast<std::int64_t>(xs.size()));
   std::vector<ChangePoint> points;
   fchain::Rng rng(config.seed);
   detectRecursive(xs, 0, config, rng, points);

@@ -4,6 +4,8 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace fchain::signal {
 
 namespace {
@@ -61,6 +63,8 @@ void ifftInPlace(std::vector<std::complex<double>>& data) {
 }
 
 std::vector<std::complex<double>> fftReal(std::span<const double> xs) {
+  FCHAIN_SPAN_VAR(span, "signal.fft");
+  span.arg("n", static_cast<std::int64_t>(xs.size()));
   const std::size_t padded = nextPow2(std::max<std::size_t>(xs.size(), 1));
   // Reserve the padded size up front: bulk-assign the samples, then extend
   // with zero padding inside the same buffer — one allocation total.
@@ -74,6 +78,8 @@ std::vector<std::complex<double>> fftReal(std::span<const double> xs) {
 
 std::vector<double> ifftToReal(std::vector<std::complex<double>>&& spectrum,
                                std::size_t n) {
+  FCHAIN_SPAN_VAR(span, "signal.ifft");
+  span.arg("n", static_cast<std::int64_t>(spectrum.size()));
   ifftInPlace(spectrum);
   std::vector<double> out;
   out.reserve(n);

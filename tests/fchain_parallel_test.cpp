@@ -6,11 +6,14 @@
 
 #include <atomic>
 #include <memory>
+#include <set>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "fchain/fchain.h"
+#include "obs/trace.h"
 #include "netdep/dependency.h"
 #include "runtime/flaky_endpoint.h"
 #include "runtime/worker_pool.h"
@@ -276,6 +279,98 @@ TEST(ParallelLocalize, OutageExhaustsBatchRetriesAndMarksEndpointDown) {
   const auto after = master.localize({0, 1}, 1'000'001);
   EXPECT_DOUBLE_EQ(after.coverage, 1.0);
   EXPECT_EQ(master.endpointHealth().front(), runtime::HealthState::Healthy);
+}
+
+// --- Observability: pool drain + stats adapter ----------------------------
+
+TEST(WorkerPool, PendingCountRisesWhileBlockedAndDrainsToZero) {
+  runtime::WorkerPool pool(1);
+  EXPECT_EQ(pool.pendingCount(), 0u);
+  std::atomic<bool> release{false};
+  std::atomic<std::size_t> observed_pending{0};
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([&pool, &release, &observed_pending] {
+    // The single worker is parked here, so the remaining tasks are still
+    // pending — the count must include them plus this running task.
+    observed_pending.store(pool.pendingCount());
+    while (!release.load()) std::this_thread::yield();
+  });
+  for (int i = 0; i < 3; ++i) tasks.push_back([] {});
+  std::thread runner([&pool, &tasks] { pool.run(std::move(tasks)); });
+  while (observed_pending.load() == 0) std::this_thread::yield();
+  EXPECT_EQ(observed_pending.load(), 4u);
+  release.store(true);
+  runner.join();
+  EXPECT_EQ(pool.pendingCount(), 0u);
+}
+
+TEST(ParallelLocalize, PoolDrainsToZeroAfterLocalize) {
+  Cluster& c = cluster();
+  FChainMaster master;
+  master.setWorkerThreads(4);
+  master.registerSlave(&c.front);
+  master.registerSlave(&c.back);
+  master.setDependencies(c.deps);
+  (void)master.localize({0, 1, 2, 3}, c.tv);
+  // localize() waits for the fan-out, so no batch job may still be queued —
+  // and the master records that drained depth as a gauge.
+  EXPECT_DOUBLE_EQ(
+      master.metrics().snapshot().gauges.at("master.pool_pending"), 0.0);
+}
+
+TEST(ParallelLocalize, RuntimeStatsAdapterMatchesRegistrySnapshot) {
+  // Exercise retries *and* failures (dark front slave burns the full retry
+  // budget), then check the legacy struct is exactly the registry values.
+  Cluster& c = cluster();
+  FChainMaster master;
+  master.setWorkerThreads(2);
+  runtime::FlakyConfig outage;
+  outage.outage_windows = {{0, 1'000'000}};
+  master.registerEndpoint(
+      std::make_shared<runtime::FlakyEndpoint>(
+          std::make_shared<runtime::LocalEndpoint>(&c.front), outage),
+      {0, 1});
+  master.registerSlave(&c.back);
+  (void)master.localize({0, 1, 2, 3}, c.tv);
+
+  const MasterRuntimeStats stats = master.runtimeStats();
+  const obs::MetricsSnapshot snap = master.metrics().snapshot();
+  EXPECT_GT(stats.requests, 0u);
+  EXPECT_GT(stats.retries, 0u);
+  EXPECT_GT(stats.failures, 0u);
+  EXPECT_GT(stats.simulated_backoff_ms, 0.0);
+  EXPECT_EQ(stats.requests, snap.counters.at("master.requests"));
+  EXPECT_EQ(stats.retries, snap.counters.at("master.retries"));
+  EXPECT_EQ(stats.failures, snap.counters.at("master.failures"));
+  EXPECT_EQ(stats.simulated_backoff_ms, snap.gauges.at("master.backoff_ms"));
+  // Every localize() lands one observation in the latency histogram.
+  EXPECT_EQ(snap.histograms.at("master.localize_ms").count, 1u);
+}
+
+TEST(ParallelLocalize, TracedLocalizeEmitsPipelineSpans) {
+  // Flip the global tracer on around one parallel localization and check the
+  // span taxonomy covers every pipeline layer; the verdict itself must be
+  // untouched by tracing.
+  Cluster& c = cluster();
+  const PinpointResult reference = localizeHealthy(0);
+  obs::Tracer& tracer = obs::tracer();
+  const bool was_enabled = tracer.enabled();
+  tracer.setEnabled(true);
+  tracer.clear();
+  const PinpointResult traced = localizeHealthy(2);
+  tracer.setEnabled(was_enabled);
+  EXPECT_TRUE(samePinpoint(reference, traced));
+
+  std::set<std::string> names;
+  for (const obs::SpanRecord& r : tracer.records()) names.insert(r.name);
+  tracer.clear();
+  for (const char* expected :
+       {"master.localize", "master.fanout", "master.merge", "master.batch",
+        "pool.queue_wait", "pool.task", "slave.analyze_batch",
+        "slave.analyze_vm", "selector.component", "selector.metric",
+        "signal.cusum", "signal.burst_threshold"}) {
+    EXPECT_TRUE(names.count(expected)) << "missing span " << expected;
+  }
 }
 
 // --- Concurrent localizations ---------------------------------------------

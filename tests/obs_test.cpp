@@ -1,0 +1,416 @@
+// Tests for the observability layer (src/obs): span tracer and metric
+// registry. The tracer tests use injected logical clocks so every timestamp
+// in the output is deterministic — including a byte-exact golden for the
+// Chrome trace JSON exporter.
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fchain::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Logical clocks. Tracer::ClockFn is a plain function pointer, so each test
+// clock is a function over file-scope atomic state, reset per test.
+
+std::atomic<std::uint64_t> g_tick{0};
+
+std::uint64_t tickClock() {
+  return g_tick.fetch_add(100, std::memory_order_relaxed);
+}
+
+void resetTickClock(std::uint64_t start = 0) {
+  g_tick.store(start, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer basics
+
+TEST(Tracer, DisabledSpanRecordsNothing) {
+  Tracer tracer;
+  ASSERT_FALSE(tracer.enabled());
+  {
+    Span span(tracer, "should.not.appear");
+    span.arg("n", 42);
+  }
+  tracer.recordSpan("also.not", 0, 10);
+  EXPECT_TRUE(tracer.records().empty());
+}
+
+TEST(Tracer, RecordsCloseOrderWithDurations) {
+  resetTickClock();
+  Tracer tracer;
+  tracer.setEnabled(true);
+  tracer.setClock(&tickClock);
+  {
+    Span outer(tracer, "outer");  // opens at t=0
+    {
+      Span inner(tracer, "inner");  // opens at t=100, closes at t=200
+    }
+  }  // outer closes at t=300
+  const std::vector<SpanRecord> records = tracer.records();
+  ASSERT_EQ(records.size(), 2u);
+  // Close order: inner first.
+  EXPECT_EQ(records[0].name, "inner");
+  EXPECT_EQ(records[0].start_us, 100u);
+  EXPECT_EQ(records[0].dur_us, 100u);
+  EXPECT_EQ(records[1].name, "outer");
+  EXPECT_EQ(records[1].start_us, 0u);
+  EXPECT_EQ(records[1].dur_us, 300u);
+}
+
+TEST(Tracer, NestingDepthTracksOpenSpans) {
+  resetTickClock();
+  Tracer tracer;
+  tracer.setEnabled(true);
+  tracer.setClock(&tickClock);
+  {
+    Span a(tracer, "a");
+    {
+      Span b(tracer, "b");
+      { Span c(tracer, "c"); }
+    }
+    { Span d(tracer, "d"); }  // sibling of b: back to depth 1
+  }
+  const std::vector<SpanRecord> records = tracer.records();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records[0].name, "c");
+  EXPECT_EQ(records[0].depth, 2u);
+  EXPECT_EQ(records[1].name, "b");
+  EXPECT_EQ(records[1].depth, 1u);
+  EXPECT_EQ(records[2].name, "d");
+  EXPECT_EQ(records[2].depth, 1u);
+  EXPECT_EQ(records[3].name, "a");
+  EXPECT_EQ(records[3].depth, 0u);
+}
+
+TEST(Tracer, ThreadIdsAssignedInFirstSpanOrderAndDistinct) {
+  Tracer tracer;
+  tracer.setEnabled(true);
+  { Span main_span(tracer, "on.main"); }  // main thread claims tid 0
+  // Serialize the workers so first-span order (and thus tid assignment) is
+  // deterministic: worker i opens its first span before worker i+1 starts.
+  for (int i = 0; i < 3; ++i) {
+    std::thread worker([&tracer] {
+      Span span(tracer, "on.worker");
+      Span probe(tracer, "probe");
+      (void)span;
+      (void)probe;
+    });
+    worker.join();
+  }
+  const std::vector<SpanRecord> records = tracer.records();
+  // main span + 2 spans per worker.
+  ASSERT_EQ(records.size(), 7u);
+  EXPECT_EQ(records[0].name, "on.main");
+  EXPECT_EQ(records[0].tid, 0u);
+  // Workers were serialized, so tids are 1, 2, 3 in spawn order. Each
+  // worker's two spans share one tid.
+  for (int i = 0; i < 3; ++i) {
+    const SpanRecord& probe = records[static_cast<std::size_t>(1 + 2 * i)];
+    const SpanRecord& span = records[static_cast<std::size_t>(2 + 2 * i)];
+    EXPECT_EQ(span.tid, static_cast<std::uint32_t>(i + 1));
+    EXPECT_EQ(probe.tid, span.tid);
+    EXPECT_EQ(span.depth, 0u);
+    EXPECT_EQ(probe.depth, 1u);
+  }
+}
+
+TEST(Tracer, TwoTracersKeepIndependentThreadState) {
+  // A thread's tid/depth is per tracer: nesting in one tracer must not leak
+  // depth into the other, and each tracer numbers threads from 0.
+  Tracer a;
+  Tracer b;
+  a.setEnabled(true);
+  b.setEnabled(true);
+  {
+    Span outer_a(a, "a.outer");
+    Span only_b(b, "b.only");  // depth 0 in b even though a is nested
+    Span inner_a(a, "a.inner");
+  }
+  ASSERT_EQ(a.records().size(), 2u);
+  ASSERT_EQ(b.records().size(), 1u);
+  EXPECT_EQ(a.records()[0].depth, 1u);  // a.inner
+  EXPECT_EQ(b.records()[0].depth, 0u);  // b.only
+  EXPECT_EQ(b.records()[0].tid, 0u);
+}
+
+TEST(Tracer, RecordSpanAttachesToCallingThreadDepth) {
+  resetTickClock();
+  Tracer tracer;
+  tracer.setEnabled(true);
+  tracer.setClock(&tickClock);
+  {
+    Span outer(tracer, "outer");
+    tracer.recordSpan("measured", 5, 25, "k", 7);
+  }
+  const std::vector<SpanRecord> records = tracer.records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].name, "measured");
+  EXPECT_EQ(records[0].start_us, 5u);
+  EXPECT_EQ(records[0].dur_us, 20u);
+  EXPECT_EQ(records[0].depth, 1u);  // inside "outer"
+  ASSERT_NE(records[0].arg_name, nullptr);
+  EXPECT_STREQ(records[0].arg_name, "k");
+  EXPECT_EQ(records[0].arg_value, 7);
+}
+
+TEST(Tracer, NonMonotonicClockClampsDurationToZero) {
+  Tracer tracer;
+  tracer.setEnabled(true);
+  tracer.recordSpan("backwards", 100, 40);
+  ASSERT_EQ(tracer.records().size(), 1u);
+  EXPECT_EQ(tracer.records()[0].dur_us, 0u);
+}
+
+TEST(Tracer, ClearDropsRecordsButKeepsThreadIds) {
+  Tracer tracer;
+  tracer.setEnabled(true);
+  { Span span(tracer, "first"); }
+  tracer.clear();
+  EXPECT_TRUE(tracer.records().empty());
+  { Span span(tracer, "second"); }
+  ASSERT_EQ(tracer.records().size(), 1u);
+  EXPECT_EQ(tracer.records()[0].tid, 0u);
+}
+
+TEST(Tracer, StatsAggregateByNameSortedByTotal) {
+  resetTickClock();
+  Tracer tracer;
+  tracer.setEnabled(true);
+  tracer.setClock(&tickClock);
+  { Span span(tracer, "small"); }        // dur 100
+  { Span span(tracer, "big"); }          // dur 100
+  tracer.recordSpan("big", 0, 900);      // dur 900 -> big total 1000
+  const std::vector<SpanStats> stats = tracer.stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].name, "big");
+  EXPECT_EQ(stats[0].count, 2u);
+  EXPECT_EQ(stats[0].total_us, 1000u);
+  EXPECT_EQ(stats[0].min_us, 100u);
+  EXPECT_EQ(stats[0].max_us, 900u);
+  EXPECT_EQ(stats[1].name, "small");
+  EXPECT_EQ(stats[1].count, 1u);
+}
+
+TEST(Tracer, ConcurrentSpansFromManyThreadsAllRecorded) {
+  // TSan coverage: hammer one tracer from several threads. Every span must
+  // land exactly once and carry a tid < thread count.
+  Tracer tracer;
+  tracer.setEnabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        Span outer(tracer, "outer");
+        Span inner(tracer, "inner");
+        (void)outer;
+        (void)inner;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const std::vector<SpanRecord> records = tracer.records();
+  EXPECT_EQ(records.size(),
+            static_cast<std::size_t>(kThreads) * kSpansPerThread * 2);
+  for (const SpanRecord& r : records) {
+    EXPECT_LT(r.tid, static_cast<std::uint32_t>(kThreads));
+    EXPECT_LT(r.depth, 2u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace JSON golden (byte-exact under the logical clock)
+
+TEST(Tracer, ChromeTraceJsonGolden) {
+  resetTickClock();
+  Tracer tracer;
+  tracer.setEnabled(true);
+  tracer.setClock(&tickClock);
+  {
+    Span outer(tracer, "outer");  // t=0
+    outer.arg("n", 4);
+    {
+      Span inner(tracer, "inner");  // t=100..200
+    }
+  }  // t=300
+  std::ostringstream out;
+  tracer.writeChromeTrace(out);
+  const std::string expected =
+      "{\"traceEvents\":[\n"
+      "{\"name\":\"inner\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":100,"
+      "\"dur\":100,\"args\":{\"depth\":1}},\n"
+      "{\"name\":\"outer\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":0,"
+      "\"dur\":300,\"args\":{\"depth\":0,\"n\":4}}\n"
+      "],\"displayTimeUnit\":\"ms\"}\n";
+  EXPECT_EQ(out.str(), expected);
+}
+
+TEST(Tracer, ChromeTraceEscapesSpanNames) {
+  Tracer tracer;
+  tracer.setEnabled(true);
+  tracer.recordSpan("quote\"back\\slash\nline", 0, 1);
+  std::ostringstream out;
+  tracer.writeChromeTrace(out);
+  EXPECT_NE(out.str().find("\"quote\\\"back\\\\slash\\nline\""),
+            std::string::npos);
+}
+
+TEST(Tracer, EmptyTraceIsStillValidJson) {
+  Tracer tracer;
+  std::ostringstream out;
+  tracer.writeChromeTrace(out);
+  EXPECT_EQ(out.str(), "{\"traceEvents\":[\n],\"displayTimeUnit\":\"ms\"}\n");
+}
+
+TEST(Tracer, SummaryListsEveryName) {
+  resetTickClock();
+  Tracer tracer;
+  tracer.setEnabled(true);
+  tracer.setClock(&tickClock);
+  { Span span(tracer, "alpha"); }
+  { Span span(tracer, "beta"); }
+  std::ostringstream out;
+  tracer.writeSummary(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("span"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("beta"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics: counters and gauges
+
+TEST(Metrics, CounterStartsAtZeroAndAccumulates) {
+  MetricRegistry registry;
+  Counter& c = registry.counter("c");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+  // Same name returns the same instrument.
+  EXPECT_EQ(&registry.counter("c"), &c);
+}
+
+TEST(Metrics, GaugeSetAndAdd) {
+  MetricRegistry registry;
+  Gauge& g = registry.gauge("g");
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(2.5);
+  g.add(0.25);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.75);
+}
+
+TEST(Metrics, CrossKindNameReuseThrows) {
+  MetricRegistry registry;
+  registry.counter("x");
+  EXPECT_THROW(registry.gauge("x"), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("x", {1.0}), std::invalid_argument);
+  registry.histogram("h", {1.0, 2.0});
+  EXPECT_THROW(registry.counter("h"), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("h", {1.0, 3.0}), std::invalid_argument);
+  // Same bounds: fine, same instrument.
+  EXPECT_EQ(&registry.histogram("h", {1.0, 2.0}),
+            &registry.histogram("h", {1.0, 2.0}));
+}
+
+// ---------------------------------------------------------------------------
+// Histogram bucket edges (Prometheus "le" semantics: value <= bound lands
+// in that bucket; above the last bound lands in the +inf overflow bucket)
+
+TEST(Metrics, HistogramBucketEdges) {
+  MetricRegistry registry;
+  Histogram& h = registry.histogram("lat", {1.0, 10.0, 100.0});
+  h.observe(0.5);    // <= 1        -> bucket 0
+  h.observe(1.0);    // == 1 (le)   -> bucket 0
+  h.observe(1.0001); // just above  -> bucket 1
+  h.observe(10.0);   // == 10       -> bucket 1
+  h.observe(99.9);   //             -> bucket 2
+  h.observe(100.0);  // == 100      -> bucket 2
+  h.observe(100.5);  // overflow    -> +inf bucket
+  const HistogramSnapshot snap = h.snapshot();
+  ASSERT_EQ(snap.bounds, (std::vector<double>{1.0, 10.0, 100.0}));
+  ASSERT_EQ(snap.buckets.size(), 4u);
+  EXPECT_EQ(snap.buckets[0], 2u);
+  EXPECT_EQ(snap.buckets[1], 2u);
+  EXPECT_EQ(snap.buckets[2], 2u);
+  EXPECT_EQ(snap.buckets[3], 1u);
+  EXPECT_EQ(snap.count, 7u);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.5 + 1.0 + 1.0001 + 10.0 + 99.9 + 100.0 + 100.5);
+}
+
+TEST(Metrics, HistogramRejectsUnsortedBounds) {
+  MetricRegistry registry;
+  EXPECT_THROW(registry.histogram("bad", {2.0, 1.0}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot-vs-concurrent-increment safety (TSan coverage)
+
+TEST(Metrics, SnapshotWhileConcurrentlyIncrementing) {
+  MetricRegistry registry;
+  Counter& c = registry.counter("hits");
+  Gauge& g = registry.gauge("level");
+  Histogram& h = registry.histogram("obs", {10.0, 100.0});
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 500;
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&registry, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const MetricsSnapshot snap = registry.snapshot();
+      // Counter is monotone, so any snapshot value is a valid partial sum.
+      EXPECT_LE(snap.counters.at("hits"),
+                static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+      std::ostringstream out;
+      registry.writeJson(out);
+    }
+  });
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&c, &g, &h] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        c.add();
+        g.add(1.0);
+        h.observe(static_cast<double>(i % 128));
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  snapshotter.join();
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("hits"),
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("level"),
+                   static_cast<double>(kThreads) * kOpsPerThread);
+  EXPECT_EQ(snap.histograms.at("obs").count,
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+}
+
+TEST(Metrics, WriteJsonShape) {
+  MetricRegistry registry;
+  registry.counter("a").add(3);
+  registry.gauge("b").set(1.5);
+  registry.histogram("c", {1.0}).observe(0.5);
+  std::ostringstream out;
+  registry.writeJson(out);
+  EXPECT_EQ(out.str(),
+            "{\"counters\":{\"a\":3},\"gauges\":{\"b\":1.5},"
+            "\"histograms\":{\"c\":{\"bounds\":[1],\"buckets\":[1,0],"
+            "\"count\":1,\"sum\":0.5}}}\n");
+}
+
+}  // namespace
+}  // namespace fchain::obs
