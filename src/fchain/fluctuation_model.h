@@ -13,6 +13,10 @@
 #include "common/time_series.h"
 #include "markov/predictor.h"
 
+namespace fchain::persist {
+struct StateAccess;
+}
+
 namespace fchain::core {
 
 class NormalFluctuationModel {
@@ -35,6 +39,9 @@ class NormalFluctuationModel {
   TimeSec endTime() const { return predictors_[0].errors().endTime(); }
 
  private:
+  /// Snapshot/restore bridge (persist/state_access.h).
+  friend struct ::fchain::persist::StateAccess;
+
   std::array<markov::OnlinePredictor, kMetricCount> predictors_;
 };
 

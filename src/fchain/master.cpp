@@ -38,7 +38,9 @@ void FChainMaster::addEndpoint(
     }
   }
   endpoints_.push_back({std::move(endpoint), health,
-                        std::make_unique<std::mutex>()});
+                        std::make_shared<std::mutex>(),
+                        runtime::CircuitBreaker(watchdog_.breaker_trip_after,
+                                                watchdog_.breaker_probe_after)});
 }
 
 void FChainMaster::registerSlave(FChainSlave* slave) {
@@ -117,6 +119,30 @@ void FChainMaster::setWorkerThreads(int threads) {
   pool_.reset();  // rebuilt lazily at the next parallel localize
 }
 
+void FChainMaster::setWatchdog(runtime::WatchdogConfig config) {
+  watchdog_ = config;
+  for (Endpoint& ep : endpoints_) {
+    ep.breaker = runtime::CircuitBreaker(config.breaker_trip_after,
+                                         config.breaker_probe_after);
+  }
+}
+
+void FChainMaster::recordOutcome(Endpoint& ep, bool ok) {
+  const HealthState before = ep.health.state();
+  if (ok) {
+    ep.health.recordSuccess();
+  } else {
+    ep.health.recordFailure();
+  }
+  const HealthState after = ep.health.state();
+  if (after == before) return;
+  switch (after) {
+    case HealthState::Healthy: metric_state_healthy_.add(1); break;
+    case HealthState::Degraded: metric_state_degraded_.add(1); break;
+    case HealthState::Down: metric_state_down_.add(1); break;
+  }
+}
+
 std::vector<HealthState> FChainMaster::endpointHealth() const {
   std::vector<HealthState> states;
   states.reserve(endpoints_.size());
@@ -130,39 +156,63 @@ MasterRuntimeStats FChainMaster::runtimeStats() const {
   stats.retries = metric_retries_.value();
   stats.failures = metric_failures_.value();
   stats.simulated_backoff_ms = metric_backoff_ms_.value();
+  stats.watchdog_trips = metric_watchdog_trips_.value();
+  stats.breaker_opens = metric_breaker_opens_.value();
+  stats.deadline_skips = metric_deadline_skips_.value();
   return stats;
 }
 
 void FChainMaster::mergeStats(const MasterRuntimeStats& delta) {
   metric_requests_.add(delta.requests);
   metric_retries_.add(delta.retries);
+  metric_retries_total_.add(delta.retries);
   metric_failures_.add(delta.failures);
   metric_backoff_ms_.add(delta.simulated_backoff_ms);
+  metric_watchdog_trips_.add(delta.watchdog_trips);
+  metric_breaker_opens_.add(delta.breaker_opens);
+  metric_deadline_skips_.add(delta.deadline_skips);
 }
 
 PinpointResult FChainMaster::localize(
     const std::vector<ComponentId>& components, TimeSec violation_time) {
   FCHAIN_SPAN_VAR(span, "master.localize");
   span.arg("components", static_cast<std::int64_t>(components.size()));
+  // Journal the localization's *input* before any work: a crash anywhere
+  // below leaves a pending entry that rerunPendingIncidents() can re-run.
+  std::uint64_t incident_id = 0;
+  if (incident_journal_ != nullptr) {
+    incident_id = incident_journal_->logStart(components, violation_time);
+  }
+  Deadline deadline;
+  if (watchdog_.localize_deadline_ms > 0.0) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double, std::milli>(
+                       watchdog_.localize_deadline_ms));
+  }
   const std::uint64_t start_us = obs::tracer().now();
   PinpointResult result =
-      worker_threads_ <= 0 ? localizeSerial(components, violation_time)
-                           : localizeParallel(components, violation_time);
+      worker_threads_ <= 0
+          ? localizeSerial(components, violation_time, deadline)
+          : localizeParallel(components, violation_time, deadline);
   // Guarded difference: an injected logical clock may not be monotonic.
   const std::uint64_t end_us = obs::tracer().now();
   metric_localize_ms_.observe(
       end_us >= start_us ? static_cast<double>(end_us - start_us) / 1000.0
                          : 0.0);
+  if (incident_journal_ != nullptr) incident_journal_->logDone(incident_id);
   return result;
 }
 
 PinpointResult FChainMaster::localizeSerial(
-    const std::vector<ComponentId>& components, TimeSec violation_time) {
+    const std::vector<ComponentId>& components, TimeSec violation_time,
+    Deadline deadline) {
   FCHAIN_SPAN("master.serial");
   std::vector<ComponentFinding> findings;
   std::vector<ComponentId> unanalyzed;
   std::size_t analyzed = 0;
   MasterRuntimeStats local;
+  const bool use_watchdog = watchdog_.call_timeout_ms > 0.0;
 
   for (ComponentId id : components) {
     const auto route = routes_.find(id);
@@ -170,8 +220,28 @@ PinpointResult FChainMaster::localizeSerial(
       unanalyzed.push_back(id);
       continue;
     }
+    if (deadline && std::chrono::steady_clock::now() >= *deadline) {
+      // Out of wall-time budget: shed the rest of the application into
+      // degraded-mode coverage instead of blowing the diagnosis SLO.
+      ++local.deadline_skips;
+      unanalyzed.push_back(id);
+      continue;
+    }
     Endpoint& ep = endpoints_[route->second];
-    std::lock_guard<std::mutex> endpoint_lock(*ep.lock);
+    if (!ep.breaker.allowRequest()) {
+      // Breaker open after repeated hangs: don't spend a full watchdog
+      // timeout on this endpoint, route its component to degraded coverage.
+      unanalyzed.push_back(id);
+      continue;
+    }
+    // Without the watchdog the endpoint is locked across the whole retry
+    // sequence (the reference behaviour). With it, each attempt locks
+    // *inside* the sacrificial thread, so an abandoned call wedges only
+    // that endpoint, never this coordinator loop.
+    std::unique_lock<std::mutex> endpoint_lock;
+    if (!use_watchdog) {
+      endpoint_lock = std::unique_lock<std::mutex>(*ep.lock);
+    }
     // A down endpoint gets one probe instead of the full retry budget, so a
     // dead slave cannot stall every localization — yet can still recover.
     const int attempts = ep.health.state() == HealthState::Down
@@ -191,9 +261,31 @@ PinpointResult FChainMaster::localizeSerial(
             mixSeed(static_cast<std::uint64_t>(violation_time), id,
                     static_cast<std::uint64_t>(attempt)));
       }
-      runtime::AnalyzeReply reply = ep.endpoint->analyze(request);
+      runtime::AnalyzeReply reply;
+      if (use_watchdog) {
+        const auto endpoint = ep.endpoint;
+        const auto lock = ep.lock;
+        auto bounded = runtime::callWithWallTimeout(
+            [endpoint, lock, request] {
+              std::lock_guard<std::mutex> g(*lock);
+              return endpoint->analyze(request);
+            },
+            watchdog_.call_timeout_ms);
+        if (!bounded.has_value()) {
+          // Hung call: abandon it *and* the rest of the retry budget —
+          // more attempts against a wedged endpoint only burn the deadline.
+          ++local.watchdog_trips;
+          if (ep.breaker.recordTrip()) ++local.breaker_opens;
+          recordOutcome(ep, false);
+          break;
+        }
+        ep.breaker.recordCompletion();
+        reply = std::move(*bounded);
+      } else {
+        reply = ep.endpoint->analyze(request);
+      }
       if (reply.status == EndpointStatus::Ok) {
-        ep.health.recordSuccess();
+        recordOutcome(ep, true);
         answered = true;
         ++analyzed;
         if (reply.finding.has_value()) {
@@ -201,7 +293,7 @@ PinpointResult FChainMaster::localizeSerial(
         }
         break;
       }
-      ep.health.recordFailure();
+      recordOutcome(ep, false);
     }
     if (!answered) {
       ++local.failures;
@@ -217,17 +309,33 @@ PinpointResult FChainMaster::localizeSerial(
   return result;
 }
 
-void FChainMaster::runBatchJob(BatchJob& job, TimeSec violation_time) {
+void FChainMaster::runBatchJob(BatchJob& job, TimeSec violation_time,
+                               Deadline deadline) {
   FCHAIN_SPAN_VAR(span, "master.batch");
   span.arg("n", static_cast<std::int64_t>(job.ids.size()));
   Endpoint& ep = endpoints_[job.endpoint_index];
-  // Hold the endpoint for the whole retry sequence: requests to one slave
-  // stay strictly ordered even when other localize() calls run in parallel.
-  std::lock_guard<std::mutex> endpoint_lock(*ep.lock);
+  if (!ep.breaker.allowRequest()) {
+    // Breaker open after repeated hangs: the whole batch goes straight to
+    // degraded-mode coverage (unanswered -> unanalyzed).
+    return;
+  }
+  const bool use_watchdog = watchdog_.call_timeout_ms > 0.0;
+  // Without the watchdog, hold the endpoint for the whole retry sequence:
+  // requests to one slave stay strictly ordered even when other localize()
+  // calls run in parallel. With it, each attempt locks inside the
+  // sacrificial thread so an abandoned call cannot park this pool worker.
+  std::unique_lock<std::mutex> endpoint_lock;
+  if (!use_watchdog) {
+    endpoint_lock = std::unique_lock<std::mutex>(*ep.lock);
+  }
   const int attempts = ep.health.state() == HealthState::Down
                            ? 1
                            : std::max(1, retry_.max_attempts);
   for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (deadline && std::chrono::steady_clock::now() >= *deadline) {
+      job.stats.deadline_skips += job.ids.size();
+      return;
+    }
     runtime::AnalyzeBatchRequest request;
     request.components = job.ids;
     request.violation_time = violation_time;
@@ -243,21 +351,42 @@ void FChainMaster::runBatchJob(BatchJob& job, TimeSec violation_time) {
           mixSeed(static_cast<std::uint64_t>(violation_time), job.ids.front(),
                   static_cast<std::uint64_t>(attempt)));
     }
-    runtime::AnalyzeBatchReply reply = ep.endpoint->analyzeBatch(request);
+    runtime::AnalyzeBatchReply reply;
+    if (use_watchdog) {
+      const auto endpoint = ep.endpoint;
+      const auto lock = ep.lock;
+      auto bounded = runtime::callWithWallTimeout(
+          [endpoint, lock, request] {
+            std::lock_guard<std::mutex> g(*lock);
+            return endpoint->analyzeBatch(request);
+          },
+          watchdog_.call_timeout_ms);
+      if (!bounded.has_value()) {
+        ++job.stats.watchdog_trips;
+        if (ep.breaker.recordTrip()) ++job.stats.breaker_opens;
+        recordOutcome(ep, false);
+        break;  // a wedged endpoint: stop burning the deadline on retries
+      }
+      ep.breaker.recordCompletion();
+      reply = std::move(*bounded);
+    } else {
+      reply = ep.endpoint->analyzeBatch(request);
+    }
     if (reply.status == EndpointStatus::Ok &&
         reply.findings.size() == job.ids.size()) {
-      ep.health.recordSuccess();
+      recordOutcome(ep, true);
       job.findings = std::move(reply.findings);
       job.answered = true;
       return;
     }
-    ep.health.recordFailure();
+    recordOutcome(ep, false);
   }
   job.stats.failures += job.ids.size();
 }
 
 PinpointResult FChainMaster::localizeParallel(
-    const std::vector<ComponentId>& components, TimeSec violation_time) {
+    const std::vector<ComponentId>& components, TimeSec violation_time,
+    Deadline deadline) {
   // Group components by slave, preserving caller order within each group:
   // one batch job per endpoint that monitors anything in this application.
   std::vector<BatchJob> jobs;
@@ -287,8 +416,8 @@ PinpointResult FChainMaster::localizeParallel(
     std::vector<std::function<void()>> tasks;
     tasks.reserve(jobs.size());
     for (BatchJob& job : jobs) {
-      tasks.push_back([this, &job, violation_time] {
-        runBatchJob(job, violation_time);
+      tasks.push_back([this, &job, violation_time, deadline] {
+        runBatchJob(job, violation_time, deadline);
       });
     }
     pool_->run(std::move(tasks));

@@ -28,9 +28,11 @@
 // bit-identical across serial and any thread count.
 #pragma once
 
+#include <chrono>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <vector>
 
@@ -38,8 +40,11 @@
 #include "fchain/slave.h"
 #include "fchain/validation.h"
 #include "obs/metrics.h"
+#include "persist/journal.h"
+#include "runtime/breaker.h"
 #include "runtime/endpoint.h"
 #include "runtime/health.h"
+#include "runtime/watchdog.h"
 
 namespace fchain::runtime {
 class WorkerPool;
@@ -60,6 +65,10 @@ struct MasterRuntimeStats {
   std::size_t retries = 0;    ///< attempts beyond the first per request
   std::size_t failures = 0;   ///< components whose retry budget ran out
   double simulated_backoff_ms = 0.0;  ///< total backoff the schedule imposed
+  // Watchdog bookkeeping (all zero unless setWatchdog() enabled it).
+  std::size_t watchdog_trips = 0;   ///< endpoint calls abandoned on timeout
+  std::size_t breaker_opens = 0;    ///< circuit breakers opened by trips
+  std::size_t deadline_skips = 0;   ///< components shed by the deadline
 };
 
 class FChainMaster {
@@ -99,6 +108,24 @@ class FChainMaster {
   const runtime::RetryPolicy& retryPolicy() const { return retry_; }
   void setRetryPolicy(runtime::RetryPolicy retry) { retry_ = retry; }
 
+  /// Enables wall-time bounding of localization (see runtime/watchdog.h):
+  /// per-call watchdog, whole-localize deadline, and per-endpoint circuit
+  /// breakers that shed repeatedly hanging endpoints into degraded-mode
+  /// coverage. Off by default — with the zero config, localization behaviour
+  /// is bit-identical to a master without a watchdog. Resets every
+  /// endpoint's breaker to the new thresholds.
+  void setWatchdog(runtime::WatchdogConfig config);
+  const runtime::WatchdogConfig& watchdog() const { return watchdog_; }
+
+  /// Attaches the master's incident journal (nullptr detaches; not owned,
+  /// must outlive the master). Every localize() records its input to the
+  /// journal before fan-out and marks it done afterwards, so a master crash
+  /// mid-localization leaves a pending entry that rerunPendingIncidents()
+  /// (fchain/recovery.h) can re-run after restart.
+  void setIncidentJournal(persist::IncidentJournal* journal) {
+    incident_journal_ = journal;
+  }
+
   /// Sizes the localization fan-out pool. 0 (the default) selects the
   /// serial reference path; n >= 1 runs per-slave batch jobs on n pool
   /// threads (1 thread still exercises the batched protocol). The pool is
@@ -116,6 +143,14 @@ class FChainMaster {
 
   /// This master's metric registry. Registry metric names:
   ///   master.requests / master.retries / master.failures   (counters)
+  ///   master.retries_total   (counter: alias of master.retries under the
+  ///                           fleet-dashboard naming convention)
+  ///   master.watchdog_trips  (counter: endpoint calls abandoned on timeout)
+  ///   master.breaker_opens   (counter: circuit breakers opened)
+  ///   master.deadline_skips  (counter: components shed by the deadline)
+  ///   master.endpoint_state.healthy / .degraded / .down
+  ///                          (counters: health-state *transitions* into
+  ///                           each state, across all endpoints)
   ///   master.backoff_ms      (gauge: accumulated simulated backoff)
   ///   master.pool_pending    (gauge: worker-pool queue depth after the
   ///                           fan-out drains — 0 unless something leaked)
@@ -146,9 +181,17 @@ class FChainMaster {
     std::shared_ptr<runtime::SlaveEndpoint> endpoint;
     runtime::EndpointHealth health;
     /// Serializes requests to this endpoint across pool workers and across
-    /// concurrent localize() calls.
-    std::unique_ptr<std::mutex> lock;
+    /// concurrent localize() calls. shared_ptr (not unique_ptr) on purpose:
+    /// a watchdog sacrificial thread locks it *inside* the thread and may
+    /// outlive any given localize() call — capturing the shared_ptr by
+    /// value keeps the mutex alive for the abandoned call.
+    std::shared_ptr<std::mutex> lock;
+    /// Opens after repeated watchdog trips; see runtime/breaker.h.
+    runtime::CircuitBreaker breaker;
   };
+
+  /// Wall-clock cutoff for one localize() (nullopt = no deadline).
+  using Deadline = std::optional<std::chrono::steady_clock::time_point>;
 
   /// One per-slave unit of the parallel fan-out.
   struct BatchJob {
@@ -166,13 +209,18 @@ class FChainMaster {
                    runtime::EndpointHealth health);
 
   PinpointResult localizeSerial(const std::vector<ComponentId>& components,
-                                TimeSec violation_time);
+                                TimeSec violation_time, Deadline deadline);
   PinpointResult localizeParallel(const std::vector<ComponentId>& components,
-                                  TimeSec violation_time);
+                                  TimeSec violation_time, Deadline deadline);
   /// Issues one batch (with retries) to the job's endpoint; runs on a pool
-  /// worker. Holds the endpoint's mutex for the whole retry sequence.
-  void runBatchJob(BatchJob& job, TimeSec violation_time);
+  /// worker. Without the watchdog it holds the endpoint's mutex for the
+  /// whole retry sequence; with it, each attempt locks inside the
+  /// sacrificial thread.
+  void runBatchJob(BatchJob& job, TimeSec violation_time, Deadline deadline);
   void mergeStats(const MasterRuntimeStats& delta);
+  /// Records a request outcome on the endpoint's health and bumps the
+  /// endpoint_state transition counter when the state changed.
+  void recordOutcome(Endpoint& ep, bool ok);
 
   FChainConfig config_;
   runtime::RetryPolicy retry_;
@@ -184,7 +232,21 @@ class FChainMaster {
   obs::MetricRegistry registry_;
   obs::Counter& metric_requests_ = registry_.counter("master.requests");
   obs::Counter& metric_retries_ = registry_.counter("master.retries");
+  obs::Counter& metric_retries_total_ =
+      registry_.counter("master.retries_total");
   obs::Counter& metric_failures_ = registry_.counter("master.failures");
+  obs::Counter& metric_watchdog_trips_ =
+      registry_.counter("master.watchdog_trips");
+  obs::Counter& metric_breaker_opens_ =
+      registry_.counter("master.breaker_opens");
+  obs::Counter& metric_deadline_skips_ =
+      registry_.counter("master.deadline_skips");
+  obs::Counter& metric_state_healthy_ =
+      registry_.counter("master.endpoint_state.healthy");
+  obs::Counter& metric_state_degraded_ =
+      registry_.counter("master.endpoint_state.degraded");
+  obs::Counter& metric_state_down_ =
+      registry_.counter("master.endpoint_state.down");
   obs::Gauge& metric_backoff_ms_ = registry_.gauge("master.backoff_ms");
   obs::Gauge& metric_pool_pending_ = registry_.gauge("master.pool_pending");
   obs::Histogram& metric_localize_ms_ = registry_.histogram(
@@ -196,6 +258,8 @@ class FChainMaster {
   netdep::DependencyGraph dependencies_;
   int worker_threads_ = 0;  ///< 0 = serial reference path
   std::unique_ptr<runtime::WorkerPool> pool_;
+  runtime::WatchdogConfig watchdog_;  ///< zeros = watchdog off
+  persist::IncidentJournal* incident_journal_ = nullptr;  ///< not owned
 };
 
 }  // namespace fchain::core

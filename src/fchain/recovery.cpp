@@ -1,0 +1,133 @@
+#include "fchain/recovery.h"
+
+#include <algorithm>
+
+#include "persist/snapshot.h"
+
+namespace fchain::core {
+
+namespace {
+
+std::string snapshotPathFor(const std::string& dir, HostId host) {
+  return dir + "/slave_" + std::to_string(host) + ".snap";
+}
+
+std::string journalPathFor(const std::string& dir, HostId host) {
+  return dir + "/slave_" + std::to_string(host) + ".journal";
+}
+
+}  // namespace
+
+SlaveCheckpointer::SlaveCheckpointer(FChainSlave& slave, std::string dir,
+                                     CheckpointPolicy policy)
+    : slave_(slave), dir_(std::move(dir)), policy_(policy) {
+  if (persist::fileExists(snapshotPath())) {
+    // Continue the epoch sequence of whatever generation is already there.
+    epoch_ = persist::loadSlaveSnapshot(snapshotPath()).epoch;
+  }
+  checkpointNow();
+}
+
+std::string SlaveCheckpointer::snapshotPath() const {
+  return snapshotPathFor(dir_, slave_.host());
+}
+
+std::string SlaveCheckpointer::journalPath() const {
+  return journalPathFor(dir_, slave_.host());
+}
+
+std::size_t SlaveCheckpointer::journaledSinceSnapshot() const {
+  return journal_ ? journal_->recordsWritten() : 0;
+}
+
+TimeSec SlaveCheckpointer::sampleClock() const {
+  TimeSec now = 0;
+  for (ComponentId id : slave_.components()) {
+    if (const MetricSeries* series = slave_.seriesOf(id)) {
+      now = std::max(now, series->endTime());
+    }
+  }
+  return now;
+}
+
+void SlaveCheckpointer::checkpointNow() {
+  ++epoch_;
+  // Snapshot first (atomic rename), truncate the journal after: a crash in
+  // between leaves journal records the snapshot already contains, and
+  // replaying those is value-safe (see header).
+  persist::saveSlaveSnapshot(snapshotPath(), slave_.snapshot(epoch_));
+  journal_.emplace(journalPath(), epoch_, /*truncate=*/true);
+  last_checkpoint_end_ = sampleClock();
+}
+
+void SlaveCheckpointer::ingestAt(
+    ComponentId id, TimeSec t,
+    const std::array<double, kMetricCount>& sample) {
+  journal_->append({id, t, sample});
+  slave_.ingestAt(id, t, sample);
+  if (t >= last_checkpoint_end_ + policy_.snapshot_interval_sec) {
+    checkpointNow();
+  }
+}
+
+void SlaveCheckpointer::ingest(
+    ComponentId id, const std::array<double, kMetricCount>& sample) {
+  const MetricSeries* series = slave_.seriesOf(id);
+  if (series == nullptr) return;
+  ingestAt(id, series->endTime(), sample);
+}
+
+bool SlaveCheckpointer::hasState(const std::string& dir, HostId host) {
+  return persist::fileExists(snapshotPathFor(dir, host)) ||
+         persist::fileExists(journalPathFor(dir, host));
+}
+
+SlaveCheckpointer::Recovered SlaveCheckpointer::recover(
+    const std::string& dir, HostId host, FChainConfig config) {
+  Recovered result{FChainSlave(host, config)};
+  const std::string snapshot_path = snapshotPathFor(dir, host);
+  if (persist::fileExists(snapshot_path)) {
+    const persist::SlaveSnapshot snap =
+        persist::loadSlaveSnapshot(snapshot_path);
+    if (snap.host != host) {
+      throw std::runtime_error("snapshot " + snapshot_path + " is for host " +
+                               std::to_string(snap.host) + ", not " +
+                               std::to_string(host));
+    }
+    result.slave = FChainSlave::fromSnapshot(snap, std::move(config));
+    result.epoch = snap.epoch;
+  }
+  const std::string journal_path = journalPathFor(dir, host);
+  if (persist::fileExists(journal_path)) {
+    const persist::SampleJournalReplay replay =
+        persist::readSampleJournal(journal_path);
+    result.journal_clean = replay.clean;
+    // Replay everything unconditionally. Records the snapshot already
+    // contains hit the duplicate path (equal values overwritten, models
+    // untouched); skipping by timestamp would wrongly drop legitimate
+    // out-of-order overwrites.
+    for (const persist::SampleRecord& record : replay.records) {
+      result.slave.ingestAt(record.component, record.t, record.sample);
+      ++result.replayed;
+    }
+  }
+  return result;
+}
+
+std::vector<RerunIncident> rerunPendingIncidents(
+    FChainMaster& master, persist::IncidentJournal& journal) {
+  std::vector<RerunIncident> reruns;
+  for (persist::IncidentJournal::Pending& pending :
+       persist::IncidentJournal::pending(journal.path())) {
+    RerunIncident rerun;
+    rerun.id = pending.id;
+    rerun.components = std::move(pending.components);
+    rerun.violation_time = pending.violation_time;
+    rerun.result = master.localize(rerun.components, rerun.violation_time);
+    journal.logDone(rerun.id);
+    reruns.push_back(std::move(rerun));
+  }
+  return reruns;
+}
+
+}  // namespace fchain::core

@@ -1,0 +1,116 @@
+// Warm restart for FChain processes (slave checkpointing + master incident
+// replay).
+//
+// A slave's learned state is hours of online history; losing it to a crash
+// means a blind re-calibration window during which faults pinpoint poorly
+// (the paper's models must have "seen and learned" normal behaviour first).
+// SlaveCheckpointer bounds that loss to zero: it journals every raw sample
+// *before* it reaches the in-memory slave and periodically collapses the
+// journal into a snapshot. recover() = load snapshot + replay journal
+// through the same deterministic ingestAt path, so the rebuilt slave is
+// bit-identical to one that never crashed.
+//
+// The crash-ordering invariants:
+//   - journal-then-ingest: a sample is durable before it mutates state, so
+//     a crash can lose at most the sample being written (torn tail), never
+//     a sample the models already consumed;
+//   - snapshot-then-truncate: checkpointNow() renames the new snapshot into
+//     place before truncating the journal. A crash between the two leaves a
+//     journal whose records are already inside the snapshot — replaying
+//     them is value-safe (the duplicate path overwrites with equal values
+//     and leaves the models untouched), never state-corrupting.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "fchain/master.h"
+#include "fchain/slave.h"
+#include "persist/journal.h"
+
+namespace fchain::core {
+
+struct CheckpointPolicy {
+  /// Auto-checkpoint cadence in *sample* time (deterministic, unlike wall
+  /// time): when an ingested timestamp is this far past the last checkpoint,
+  /// the journal is collapsed into a fresh snapshot.
+  TimeSec snapshot_interval_sec = 600;
+};
+
+class SlaveCheckpointer {
+ public:
+  /// Wraps a live slave (components already registered). Immediately writes
+  /// a checkpoint, so `dir` always holds a consistent snapshot + journal
+  /// pair from construction on. Epoch numbering continues from any snapshot
+  /// already in `dir`.
+  SlaveCheckpointer(FChainSlave& slave, std::string dir,
+                    CheckpointPolicy policy = {});
+
+  /// Journals the raw sample, then feeds it to the slave (see the ordering
+  /// invariants above). Auto-checkpoints per CheckpointPolicy.
+  void ingestAt(ComponentId id, TimeSec t,
+                const std::array<double, kMetricCount>& sample);
+
+  /// Convenience: ingest at the component's current series end.
+  void ingest(ComponentId id, const std::array<double, kMetricCount>& sample);
+
+  /// Snapshots the slave's current state (atomic rename) and truncates the
+  /// journal to start a new epoch.
+  void checkpointNow();
+
+  std::uint64_t epoch() const { return epoch_; }
+  std::size_t journaledSinceSnapshot() const;
+  std::string snapshotPath() const;
+  std::string journalPath() const;
+
+  /// True when `dir` holds persisted state for `host` (snapshot or journal).
+  static bool hasState(const std::string& dir, HostId host);
+
+  struct Recovered {
+    FChainSlave slave;
+    /// Epoch of the snapshot that was restored (0 = no snapshot, journal
+    /// replayed into a fresh slave).
+    std::uint64_t epoch = 0;
+    /// Journal records replayed on top of the snapshot.
+    std::size_t replayed = 0;
+    /// False when the journal ended in a torn record (the expected crash
+    /// signature) — the valid prefix was still replayed.
+    bool journal_clean = true;
+  };
+
+  /// Rebuilds the slave persisted in `dir`: snapshot restore + full journal
+  /// replay. `config` must match the crashed slave's config. Throws
+  /// persist::CorruptDataError when the snapshot or a journal header is
+  /// damaged (a torn journal *tail* is tolerated, not an error).
+  static Recovered recover(const std::string& dir, HostId host,
+                           FChainConfig config = {});
+
+ private:
+  TimeSec sampleClock() const;
+
+  FChainSlave& slave_;
+  std::string dir_;
+  CheckpointPolicy policy_;
+  std::uint64_t epoch_ = 0;
+  std::optional<persist::SampleJournalWriter> journal_;
+  TimeSec last_checkpoint_end_ = 0;
+};
+
+/// One incident re-run after a master restart.
+struct RerunIncident {
+  std::uint64_t id = 0;  ///< original journal id of the interrupted incident
+  std::vector<ComponentId> components;
+  TimeSec violation_time = 0;
+  PinpointResult result;
+};
+
+/// Re-runs every localization the journal recorded as started but never
+/// completed (a master crash mid-incident), in original start order, and
+/// marks each done. The master's slaves must be registered and recovered
+/// first. Safe when the same journal is attached to the master via
+/// setIncidentJournal(): each re-run then also journals its own complete
+/// start/done pair.
+std::vector<RerunIncident> rerunPendingIncidents(
+    FChainMaster& master, persist::IncidentJournal& journal);
+
+}  // namespace fchain::core

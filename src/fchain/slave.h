@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "fchain/change_selector.h"
+#include "persist/snapshot.h"
 #include "runtime/worker_pool.h"
 
 namespace fchain::core {
@@ -87,6 +88,22 @@ class FChainSlave {
   /// Domain 0 may burn on diagnosis.
   void setAnalysisThreads(int threads);
   int analysisThreads() const;
+
+  /// Captures the slave's complete learned state — every VM's repaired
+  /// metric series, the six per-metric predictors (discretizer calibration,
+  /// Markov transition mass, error history, prediction carry-over) and the
+  /// ingest-repair counters — as a persistable value. `epoch` tags the
+  /// checkpoint generation (see SlaveCheckpointer).
+  persist::SlaveSnapshot snapshot(std::uint64_t epoch = 0) const;
+
+  /// Rebuilds a slave from a snapshot. The restored slave's analyze() /
+  /// analyzeBatch() results are bit-identical to the slave that produced the
+  /// snapshot, and further ingest continues the models deterministically.
+  /// `config` supplies the non-persisted analysis parameters (thresholds,
+  /// gap-fill mode) and must match the original slave's config for
+  /// equivalence to hold.
+  static FChainSlave fromSnapshot(const persist::SlaveSnapshot& snapshot,
+                                  FChainConfig config = {});
 
  private:
   struct VmState {

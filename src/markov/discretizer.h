@@ -11,6 +11,10 @@
 #include <cstddef>
 #include <vector>
 
+namespace fchain::persist {
+struct StateAccess;
+}
+
 namespace fchain::markov {
 
 class Discretizer {
@@ -38,6 +42,10 @@ class Discretizer {
   double rangeHi() const { return hi_; }
 
  private:
+  /// Snapshot/restore bridge (persist/state_access.h) — the one non-public
+  /// door into the calibrated range.
+  friend struct ::fchain::persist::StateAccess;
+
   void finalizeRange();
 
   std::size_t bins_;

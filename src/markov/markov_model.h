@@ -10,6 +10,10 @@
 #include <cstddef>
 #include <vector>
 
+namespace fchain::persist {
+struct StateAccess;
+}
+
 namespace fchain::markov {
 
 class MarkovModel {
@@ -44,6 +48,11 @@ class MarkovModel {
   double rowMass(std::size_t from) const;
 
  private:
+  /// Snapshot/restore bridge (persist/state_access.h). row_mass_ must be
+  /// persisted, not recomputed: it is maintained incrementally under decay,
+  /// so a recomputed sum can differ in the last bits.
+  friend struct ::fchain::persist::StateAccess;
+
   double cell(std::size_t from, std::size_t to) const {
     return counts_[from * states_ + to];
   }

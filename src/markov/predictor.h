@@ -13,6 +13,10 @@
 #include "markov/discretizer.h"
 #include "markov/markov_model.h"
 
+namespace fchain::persist {
+struct StateAccess;
+}
+
 namespace fchain::markov {
 
 struct PredictorConfig {
@@ -45,6 +49,9 @@ class OnlinePredictor {
   const Discretizer& discretizer() const { return discretizer_; }
 
  private:
+  /// Snapshot/restore bridge (persist/state_access.h).
+  friend struct ::fchain::persist::StateAccess;
+
   Discretizer discretizer_;
   MarkovModel model_;
   TimeSeries errors_;

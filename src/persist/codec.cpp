@@ -1,0 +1,188 @@
+#include "persist/codec.h"
+
+#include <array>
+#include <bit>
+#include <cstdio>
+#include <fstream>
+
+namespace fchain::persist {
+
+namespace {
+
+std::array<std::uint32_t, 256> makeCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = makeCrcTable();
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = seed ^ 0xffffffffu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ bytes[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+void Encoder::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buffer_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Encoder::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buffer_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Encoder::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void Encoder::bytes(std::span<const std::uint8_t> data) {
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+void Encoder::doubles(std::span<const double> values) {
+  u64(values.size());
+  for (double v : values) f64(v);
+}
+
+void Decoder::need(std::size_t n) const {
+  if (remaining() < n) {
+    throw CorruptDataError("truncated data: need " + std::to_string(n) +
+                               " bytes, have " + std::to_string(remaining()),
+                           offset_);
+  }
+}
+
+std::uint8_t Decoder::u8() {
+  need(1);
+  return bytes_[offset_++];
+}
+
+std::uint32_t Decoder::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(bytes_[offset_ + i]) << (8 * i);
+  }
+  offset_ += 4;
+  return v;
+}
+
+std::uint64_t Decoder::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(bytes_[offset_ + i]) << (8 * i);
+  }
+  offset_ += 8;
+  return v;
+}
+
+double Decoder::f64() { return std::bit_cast<double>(u64()); }
+
+std::vector<double> Decoder::doubles() {
+  const std::uint64_t count = u64();
+  if (count > remaining() / 8) {
+    fail("double-vector count " + std::to_string(count) +
+         " exceeds remaining bytes");
+  }
+  std::vector<double> values(static_cast<std::size_t>(count));
+  for (double& v : values) v = f64();
+  return values;
+}
+
+std::vector<std::uint8_t> frame(std::uint32_t magic, std::uint32_t version,
+                                std::span<const std::uint8_t> payload) {
+  Encoder out;
+  out.u32(magic);
+  out.u32(version);
+  out.u64(payload.size());
+  out.u32(crc32(payload));
+  out.bytes(payload);
+  return out.take();
+}
+
+FrameView unframe(std::span<const std::uint8_t> bytes, std::uint32_t magic,
+                  std::uint32_t max_version) {
+  Decoder in(bytes);
+  const std::uint32_t got_magic = in.u32();
+  if (got_magic != magic) {
+    throw CorruptDataError("bad magic: expected 0x" /* hex omitted */ +
+                               std::to_string(magic) + ", got " +
+                               std::to_string(got_magic),
+                           0);
+  }
+  const std::uint32_t version = in.u32();
+  if (version == 0 || version > max_version) {
+    throw CorruptDataError("unsupported version " + std::to_string(version),
+                           4);
+  }
+  const std::uint64_t length = in.u64();
+  const std::uint32_t checksum = in.u32();
+  // Only payload bytes remain past the header now.
+  if (length != in.remaining()) {
+    throw CorruptDataError("payload length mismatch: header says " +
+                               std::to_string(length) + ", file carries " +
+                               std::to_string(in.remaining()),
+                           8);
+  }
+  const std::span<const std::uint8_t> payload =
+      bytes.subspan(kFrameHeaderSize);
+  const std::uint32_t actual = crc32(payload);
+  if (actual != checksum) {
+    throw CorruptDataError("payload checksum mismatch", kFrameHeaderSize);
+  }
+  return {version, payload};
+}
+
+void writeFileAtomic(const std::string& path,
+                     std::span<const std::uint8_t> bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot create file: " + tmp);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      throw std::runtime_error("write failure on file: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("cannot rename " + tmp + " over " + path);
+  }
+}
+
+std::vector<std::uint8_t> readFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open file: " + path);
+  std::vector<std::uint8_t> bytes;
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  in.seekg(0, std::ios::beg);
+  bytes.resize(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  if (!in) throw std::runtime_error("read failure on file: " + path);
+  return bytes;
+}
+
+bool fileExists(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return in.good();
+}
+
+}  // namespace fchain::persist

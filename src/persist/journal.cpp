@@ -1,0 +1,228 @@
+#include "persist/journal.h"
+
+#include <algorithm>
+
+namespace fchain::persist {
+
+namespace {
+
+/// Journal file header: magic u32 | version u32 | epoch u64.
+constexpr std::size_t kJournalHeaderSize = 4 + 4 + 8;
+
+void writeHeader(std::ofstream& out, std::uint32_t magic,
+                 std::uint64_t epoch) {
+  Encoder header;
+  header.u32(magic);
+  header.u32(kJournalVersion);
+  header.u64(epoch);
+  out.write(reinterpret_cast<const char*>(header.buffer().data()),
+            static_cast<std::streamsize>(header.size()));
+}
+
+/// Frames one record: u32 payload length | u32 payload crc | payload.
+void writeRecord(std::ofstream& out, const Encoder& payload) {
+  Encoder framed;
+  framed.u32(static_cast<std::uint32_t>(payload.size()));
+  framed.u32(crc32(payload.buffer()));
+  framed.bytes(payload.buffer());
+  out.write(reinterpret_cast<const char*>(framed.buffer().data()),
+            static_cast<std::streamsize>(framed.size()));
+  out.flush();
+}
+
+std::uint64_t checkHeader(Decoder& in, std::uint32_t magic) {
+  const std::uint32_t got = in.u32();
+  if (got != magic) {
+    throw CorruptDataError("journal header: bad magic", 0);
+  }
+  const std::uint32_t version = in.u32();
+  if (version == 0 || version > kJournalVersion) {
+    throw CorruptDataError(
+        "journal header: unsupported version " + std::to_string(version), 4);
+  }
+  return in.u64();  // epoch
+}
+
+/// Walks the framed records, handing each valid payload to `visit`.
+/// Returns false when a torn tail was detected (and stops there).
+template <typename Visit>
+bool walkRecords(Decoder& in, std::size_t base_offset, Visit visit,
+                 std::size_t* bytes_consumed) {
+  while (!in.done()) {
+    *bytes_consumed = base_offset + in.offset();
+    if (in.remaining() < 8) return false;  // torn frame header
+    const std::uint32_t length = in.u32();
+    const std::uint32_t checksum = in.u32();
+    if (in.remaining() < length) return false;  // torn payload
+    std::vector<std::uint8_t> payload(static_cast<std::size_t>(length));
+    for (auto& byte : payload) byte = in.u8();
+    if (crc32(payload) != checksum) return false;  // torn / corrupt tail
+    visit(payload);
+  }
+  *bytes_consumed = base_offset + in.offset();
+  return true;
+}
+
+}  // namespace
+
+// --- Sample journal -------------------------------------------------------
+
+SampleJournalWriter::SampleJournalWriter(std::string path, std::uint64_t epoch,
+                                         bool truncate)
+    : path_(std::move(path)) {
+  const bool fresh = truncate || !fileExists(path_);
+  auto mode = std::ios::binary | (truncate ? std::ios::trunc : std::ios::app);
+  out_.open(path_, mode);
+  if (!out_) {
+    throw std::runtime_error("cannot open sample journal: " + path_);
+  }
+  if (fresh) {
+    writeHeader(out_, kSampleJournalMagic, epoch);
+    out_.flush();
+  }
+  if (!out_) {
+    throw std::runtime_error("write failure on sample journal: " + path_);
+  }
+}
+
+void SampleJournalWriter::append(const SampleRecord& record) {
+  Encoder payload;
+  payload.u32(record.component);
+  payload.i64(record.t);
+  for (double v : record.sample) payload.f64(v);
+  writeRecord(out_, payload);
+  if (!out_) {
+    throw std::runtime_error("write failure on sample journal: " + path_);
+  }
+  ++records_;
+}
+
+SampleJournalReplay readSampleJournal(const std::string& path) {
+  const std::vector<std::uint8_t> bytes = readFileBytes(path);
+  Decoder in(bytes);
+  SampleJournalReplay replay;
+  replay.epoch = checkHeader(in, kSampleJournalMagic);
+
+  Decoder body(std::span<const std::uint8_t>(bytes).subspan(in.offset()));
+  replay.clean = walkRecords(
+      body, kJournalHeaderSize,
+      [&](std::span<const std::uint8_t> payload) {
+        Decoder rec(payload);
+        SampleRecord record;
+        record.component = rec.u32();
+        record.t = rec.i64();
+        for (double& v : record.sample) v = rec.f64();
+        if (!rec.done()) rec.fail("sample record: trailing bytes");
+        replay.records.push_back(record);
+      },
+      &replay.bytes_consumed);
+  return replay;
+}
+
+// --- Incident journal -----------------------------------------------------
+
+namespace {
+
+constexpr std::uint8_t kIncidentStart = 0;
+constexpr std::uint8_t kIncidentDone = 1;
+
+struct IncidentScan {
+  std::vector<IncidentJournal::Pending> pending;
+  std::uint64_t max_id = 0;
+};
+
+IncidentScan scanIncidents(const std::string& path) {
+  const std::vector<std::uint8_t> bytes = readFileBytes(path);
+  Decoder in(bytes);
+  checkHeader(in, kIncidentJournalMagic);
+
+  IncidentScan scan;
+  Decoder body(std::span<const std::uint8_t>(bytes).subspan(in.offset()));
+  std::size_t consumed = 0;
+  walkRecords(
+      body, kJournalHeaderSize,
+      [&](std::span<const std::uint8_t> payload) {
+        Decoder rec(payload);
+        const std::uint8_t kind = rec.u8();
+        const std::uint64_t id = rec.u64();
+        scan.max_id = std::max(scan.max_id, id);
+        if (kind == kIncidentStart) {
+          IncidentJournal::Pending incident;
+          incident.id = id;
+          incident.violation_time = rec.i64();
+          const std::uint64_t count = rec.u64();
+          if (count > rec.remaining() / 4) {
+            rec.fail("incident record: component count exceeds payload");
+          }
+          incident.components.reserve(static_cast<std::size_t>(count));
+          for (std::uint64_t i = 0; i < count; ++i) {
+            incident.components.push_back(rec.u32());
+          }
+          scan.pending.push_back(std::move(incident));
+        } else if (kind == kIncidentDone) {
+          std::erase_if(scan.pending, [id](const auto& p) {
+            return p.id == id;
+          });
+        } else {
+          rec.fail("incident record: unknown kind");
+        }
+      },
+      &consumed);
+  return scan;
+}
+
+}  // namespace
+
+IncidentJournal::IncidentJournal(std::string path) : path_(std::move(path)) {
+  const bool fresh = !fileExists(path_);
+  if (!fresh) {
+    // Continue the id sequence across restarts.
+    next_id_ = scanIncidents(path_).max_id + 1;
+  }
+  out_.open(path_, std::ios::binary | std::ios::app);
+  if (!out_) {
+    throw std::runtime_error("cannot open incident journal: " + path_);
+  }
+  if (fresh) {
+    writeHeader(out_, kIncidentJournalMagic, 0);
+    out_.flush();
+  }
+  if (!out_) {
+    throw std::runtime_error("write failure on incident journal: " + path_);
+  }
+}
+
+std::uint64_t IncidentJournal::logStart(
+    const std::vector<ComponentId>& components, TimeSec violation_time) {
+  const std::uint64_t id = next_id_++;
+  Encoder payload;
+  payload.u8(kIncidentStart);
+  payload.u64(id);
+  payload.i64(violation_time);
+  payload.u64(components.size());
+  for (ComponentId component : components) payload.u32(component);
+  writeRecord(out_, payload);
+  if (!out_) {
+    throw std::runtime_error("write failure on incident journal: " + path_);
+  }
+  return id;
+}
+
+void IncidentJournal::logDone(std::uint64_t id) {
+  Encoder payload;
+  payload.u8(kIncidentDone);
+  payload.u64(id);
+  writeRecord(out_, payload);
+  if (!out_) {
+    throw std::runtime_error("write failure on incident journal: " + path_);
+  }
+}
+
+std::vector<IncidentJournal::Pending> IncidentJournal::pending(
+    const std::string& path) {
+  // No journal yet (fresh deployment) means nothing was in flight.
+  if (!fileExists(path)) return {};
+  return scanIncidents(path).pending;
+}
+
+}  // namespace fchain::persist

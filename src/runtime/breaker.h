@@ -1,0 +1,110 @@
+// Per-endpoint circuit breaker for watchdog trips.
+//
+// Health tracking (health.h) demotes endpoints that return failures — cheap
+// signals the transport hands back quickly. A watchdog trip is categorically
+// worse: the endpoint consumed the *entire* wall-time allowance and a
+// sacrificial thread (watchdog.h). Retrying such an endpoint costs the full
+// timeout every time, so after `trip_after` consecutive trips the breaker
+// opens and the master routes the endpoint's components straight to
+// degraded-mode coverage (PinpointResult::unanalyzed) without spending any
+// wall time on it. Every `probe_after` denials one probe is let through;
+// any call that *completes* — even with a failure status, since completing
+// quickly is exactly what a hung endpoint cannot do — closes the breaker.
+//
+// Thread-safety mirrors EndpointHealth: lock-free atomics, plus custom
+// copy operations because endpoints live in a vector.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+
+namespace fchain::runtime {
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(int trip_after = 2, int probe_after = 2)
+      : trip_after_(std::max(1, trip_after)),
+        probe_after_(std::max(1, probe_after)) {}
+
+  CircuitBreaker(const CircuitBreaker& other)
+      : trip_after_(other.trip_after_),
+        probe_after_(other.probe_after_),
+        consecutive_trips_(other.consecutive_trips_.load(
+            std::memory_order_relaxed)),
+        open_(other.open_.load(std::memory_order_relaxed)),
+        denials_(other.denials_.load(std::memory_order_relaxed)),
+        total_trips_(other.total_trips_.load(std::memory_order_relaxed)),
+        total_opens_(other.total_opens_.load(std::memory_order_relaxed)) {}
+
+  CircuitBreaker& operator=(const CircuitBreaker& other) {
+    trip_after_ = other.trip_after_;
+    probe_after_ = other.probe_after_;
+    consecutive_trips_.store(
+        other.consecutive_trips_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    open_.store(other.open_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    denials_.store(other.denials_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    total_trips_.store(other.total_trips_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    total_opens_.store(other.total_opens_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    return *this;
+  }
+
+  /// True when the caller may issue a request. While open, every
+  /// `probe_after`-th denial lets one probe through instead.
+  bool allowRequest() {
+    if (!open_.load(std::memory_order_relaxed)) return true;
+    const int denied = denials_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (denied >= probe_after_) {
+      denials_.store(0, std::memory_order_relaxed);
+      return true;  // half-open probe
+    }
+    return false;
+  }
+
+  /// Records a watchdog trip. Returns true when this trip opened the
+  /// breaker (for the caller's metrics).
+  bool recordTrip() {
+    total_trips_.fetch_add(1, std::memory_order_relaxed);
+    const int trips =
+        consecutive_trips_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (trips >= trip_after_ && !open_.exchange(true,
+                                                std::memory_order_relaxed)) {
+      denials_.store(0, std::memory_order_relaxed);
+      total_opens_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// Records that a call completed (any reply status): the endpoint is not
+  /// hanging, so the breaker closes.
+  void recordCompletion() {
+    consecutive_trips_.store(0, std::memory_order_relaxed);
+    open_.store(false, std::memory_order_relaxed);
+    denials_.store(0, std::memory_order_relaxed);
+  }
+
+  bool open() const { return open_.load(std::memory_order_relaxed); }
+  std::size_t totalTrips() const {
+    return total_trips_.load(std::memory_order_relaxed);
+  }
+  std::size_t totalOpens() const {
+    return total_opens_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  int trip_after_;
+  int probe_after_;
+  std::atomic<int> consecutive_trips_{0};
+  std::atomic<bool> open_{false};
+  std::atomic<int> denials_{0};
+  std::atomic<std::size_t> total_trips_{0};
+  std::atomic<std::size_t> total_opens_{0};
+};
+
+}  // namespace fchain::runtime

@@ -1,0 +1,80 @@
+// Test/chaos decorator: an endpoint that hangs instead of failing.
+//
+// FlakyEndpoint (flaky_endpoint.h) models a transport that *answers* badly;
+// this models the failure mode the watchdog exists for — a call that never
+// returns. While hung(), every request parks on a condition variable until
+// release(); the caller (a watchdog sacrificial thread in real use) is stuck
+// for exactly that long. inFlight() lets tests drain abandoned calls before
+// tearing down: release() then wait for inFlight() == 0.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "runtime/endpoint.h"
+
+namespace fchain::runtime {
+
+class HungEndpoint final : public SlaveEndpoint {
+ public:
+  explicit HungEndpoint(std::shared_ptr<SlaveEndpoint> inner,
+                        bool start_hung = false)
+      : inner_(std::move(inner)), hung_(start_hung) {}
+
+  /// Subsequent (and currently arriving) calls block until release().
+  void hang() {
+    std::lock_guard<std::mutex> g(m_);
+    hung_ = true;
+  }
+
+  /// Unblocks every parked call; new calls pass straight through.
+  void release() {
+    {
+      std::lock_guard<std::mutex> g(m_);
+      hung_ = false;
+    }
+    cv_.notify_all();
+  }
+
+  /// Calls currently parked inside the hang (teardown drain for tests).
+  int inFlight() const {
+    std::lock_guard<std::mutex> g(m_);
+    return in_flight_;
+  }
+
+  HostId host() const override { return inner_->host(); }
+
+  ComponentListReply listComponents() override {
+    maybeBlock();
+    return inner_->listComponents();
+  }
+
+  AnalyzeReply analyze(const AnalyzeRequest& request) override {
+    maybeBlock();
+    return inner_->analyze(request);
+  }
+
+  AnalyzeBatchReply analyzeBatch(const AnalyzeBatchRequest& request) override {
+    maybeBlock();
+    return inner_->analyzeBatch(request);
+  }
+
+ private:
+  void maybeBlock() {
+    std::unique_lock<std::mutex> g(m_);
+    if (!hung_) return;
+    ++in_flight_;
+    cv_.wait(g, [&] { return !hung_; });
+    --in_flight_;
+  }
+
+  std::shared_ptr<SlaveEndpoint> inner_;
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  bool hung_ = false;
+  int in_flight_ = 0;
+};
+
+}  // namespace fchain::runtime

@@ -218,6 +218,31 @@ bool TelemetryFaultInjector::slaveDown(HostId host, TimeSec now) const {
   return false;
 }
 
+bool CrashInjector::crashesAt(HostId host, TimeSec now) const {
+  for (const CrashSpec& spec : specs_) {
+    if (spec.host == host && spec.crash_time == now) return true;
+  }
+  return false;
+}
+
+bool CrashInjector::restartsAt(HostId host, TimeSec now) const {
+  for (const CrashSpec& spec : specs_) {
+    if (spec.host == host && spec.restart_time != 0 &&
+        spec.restart_time == now) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CrashInjector::down(HostId host, TimeSec now) const {
+  for (const CrashSpec& spec : specs_) {
+    if (spec.host != host || now < spec.crash_time) continue;
+    if (spec.restart_time == 0 || now < spec.restart_time) return true;
+  }
+  return false;
+}
+
 std::vector<ComponentId> groundTruth(
     const std::vector<faults::FaultSpec>& specs) {
   std::vector<ComponentId> truth;

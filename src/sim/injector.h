@@ -98,4 +98,44 @@ class TelemetryFaultInjector {
   std::vector<TelemetryFaultSpec> specs_;
 };
 
+// --- Slave process crashes ------------------------------------------------
+
+/// One slave-process crash/restart cycle. Unlike a SlaveOutage (the slave is
+/// alive but unreachable, state intact), a crash kills the process: all
+/// in-memory model state is gone and the replacement at `restart_time`
+/// starts from whatever was persisted (core::SlaveCheckpointer) — or from
+/// nothing.
+struct CrashSpec {
+  HostId host = 0;
+  TimeSec crash_time = 0;
+  /// When the replacement process comes up; 0 = never (down for the run).
+  TimeSec restart_time = 0;
+};
+
+/// Deterministic schedule of slave-process deaths for crash-recovery
+/// experiments. Stateless queries like TelemetryFaultInjector: the driver
+/// probes crashesAt()/restartsAt() each tick and kills/rebuilds its slaves
+/// accordingly.
+class CrashInjector {
+ public:
+  explicit CrashInjector(std::vector<CrashSpec> specs = {})
+      : specs_(std::move(specs)) {}
+
+  void add(CrashSpec spec) { specs_.push_back(spec); }
+  const std::vector<CrashSpec>& specs() const { return specs_; }
+
+  /// True when the slave on `host` dies exactly at `now`.
+  bool crashesAt(HostId host, TimeSec now) const;
+
+  /// True when a replacement for `host` comes up exactly at `now`.
+  bool restartsAt(HostId host, TimeSec now) const;
+
+  /// True when `host` has no live slave at `now`
+  /// (crash_time <= now < restart_time, or forever when never restarted).
+  bool down(HostId host, TimeSec now) const;
+
+ private:
+  std::vector<CrashSpec> specs_;
+};
+
 }  // namespace fchain::sim

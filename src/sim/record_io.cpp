@@ -7,12 +7,31 @@
 #include <stdexcept>
 
 #include "faults/fault.h"
+#include "persist/codec.h"
 
 namespace fchain::sim {
 
 namespace {
 
-constexpr char kMagic[] = "fchain-record-v1";
+/// v1: bare body, no integrity protection (still loadable). v2: the header
+/// line carries the body's byte length and CRC-32 (persist::crc32 — the
+/// same checksum the snapshot/journal codec uses), so a truncated or
+/// bit-rotted archive fails loudly with a byte offset instead of feeding
+/// garbage to the Markov models.
+constexpr char kMagicV1[] = "fchain-record-v1";
+constexpr char kMagicV2[] = "fchain-record-v2";
+
+/// Counts above this are a corrupt field, not a real workload (the largest
+/// legitimate records hold a few thousand components / samples).
+constexpr std::size_t kMaxCount = std::size_t{1} << 24;
+
+void checkCount(std::size_t count, const char* what) {
+  if (count > kMaxCount) {
+    throw std::runtime_error("record parse error: implausible " +
+                             std::string(what) + " count " +
+                             std::to_string(count));
+  }
+}
 
 std::string_view wireStyleName(WireStyle style) {
   return style == WireStyle::Streaming ? "streaming" : "request-reply";
@@ -50,11 +69,10 @@ double readFiniteValue(std::istream& in, const char* section) {
   return value;
 }
 
-}  // namespace
-
-void saveRecord(std::ostream& out, const RunRecord& record) {
+/// Writes everything after the header line (shared by the v2 writer; the
+/// format of the body itself is unchanged from v1).
+void writeBody(std::ostream& out, const RunRecord& record) {
   out.precision(12);
-  out << kMagic << "\n";
   out << "app " << record.app_spec.name << " "
       << wireStyleName(record.app_spec.wire_style) << " "
       << (record.app_spec.batch ? 1 : 0) << "\n";
@@ -107,20 +125,11 @@ void saveRecord(std::ostream& out, const RunRecord& record) {
   }
 }
 
-void saveRecord(const std::string& path, const RunRecord& record) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot create record file: " + path);
-  saveRecord(out, record);
-  if (!out) throw std::runtime_error("write failure on record file: " + path);
-}
-
-RunRecord loadRecord(std::istream& in) {
+/// Parses everything after the header line (shared by the v1 and v2 load
+/// paths).
+RunRecord parseBody(std::istream& in) {
   RunRecord record;
   std::string token;
-  in >> token;
-  if (token != kMagic) {
-    throw std::runtime_error("not an fchain record (bad magic)");
-  }
 
   expect(in, "app");
   std::string wire;
@@ -132,6 +141,7 @@ RunRecord loadRecord(std::istream& in) {
   expect(in, "components");
   std::size_t component_count = 0;
   in >> component_count;
+  checkCount(component_count, "component");
   record.app_spec.components.resize(component_count);
   for (auto& component : record.app_spec.components) {
     in >> component.name;
@@ -140,6 +150,7 @@ RunRecord loadRecord(std::istream& in) {
   expect(in, "edges");
   std::size_t edge_count = 0;
   in >> edge_count;
+  checkCount(edge_count, "edge");
   record.app_spec.edges.resize(edge_count);
   for (auto& edge : record.app_spec.edges) {
     in >> edge.from >> edge.to >> edge.weight >> edge.delay_sec;
@@ -152,6 +163,7 @@ RunRecord loadRecord(std::istream& in) {
   expect(in, "faults");
   std::size_t fault_count = 0;
   in >> fault_count;
+  checkCount(fault_count, "fault");
   record.faults.resize(fault_count);
   for (auto& fault : record.faults) {
     std::string type_name;
@@ -165,6 +177,7 @@ RunRecord loadRecord(std::istream& in) {
         fault.type = static_cast<faults::FaultType>(t);
       }
     }
+    checkCount(target_count, "fault target");
     fault.targets.resize(target_count);
     for (ComponentId& target : fault.targets) in >> target;
   }
@@ -172,17 +185,20 @@ RunRecord loadRecord(std::istream& in) {
   expect(in, "ground_truth");
   std::size_t truth_count = 0;
   in >> truth_count;
+  checkCount(truth_count, "ground-truth");
   record.ground_truth.resize(truth_count);
   for (ComponentId& id : record.ground_truth) in >> id;
 
   expect(in, "metrics");
   std::size_t series_count = 0;
   in >> series_count;
+  checkCount(series_count, "metric series");
   record.metrics.reserve(series_count);
   for (std::size_t s = 0; s < series_count; ++s) {
     TimeSec start = 0;
     std::size_t samples = 0;
     in >> start >> samples;
+    checkCount(samples, "metric sample");
     MetricSeries series(start);
     std::array<std::vector<double>, kMetricCount> columns;
     for (auto& column : columns) {
@@ -200,10 +216,12 @@ RunRecord loadRecord(std::istream& in) {
   expect(in, "edge_traffic");
   std::size_t traffic_count = 0;
   in >> traffic_count;
+  checkCount(traffic_count, "edge-traffic series");
   record.edge_traffic.resize(traffic_count);
   for (auto& traffic : record.edge_traffic) {
     std::size_t samples = 0;
     in >> samples;
+    checkCount(samples, "edge-traffic sample");
     traffic.resize(samples);
     for (double& value : traffic) {
       value = readFiniteValue(in, "edge_traffic");
@@ -212,6 +230,80 @@ RunRecord loadRecord(std::istream& in) {
 
   if (!in) throw std::runtime_error("record parse error: truncated file");
   return record;
+}
+
+}  // namespace
+
+void saveRecord(std::ostream& out, const RunRecord& record) {
+  // Render the body first so the header can declare its length and CRC.
+  std::ostringstream body_out;
+  writeBody(body_out, record);
+  const std::string body = body_out.str();
+  out << kMagicV2 << " " << body.size() << " "
+      << persist::crc32(body.data(), body.size()) << "\n"
+      << body;
+}
+
+void saveRecord(const std::string& path, const RunRecord& record) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot create record file: " + path);
+  saveRecord(out, record);
+  if (!out) throw std::runtime_error("write failure on record file: " + path);
+}
+
+RunRecord loadRecord(std::istream& in) {
+  std::string magic;
+  in >> magic;
+  if (magic == kMagicV1) {
+    // Legacy archive: no integrity header, parse the body as-is.
+    return parseBody(in);
+  }
+  if (magic != kMagicV2) {
+    throw std::runtime_error("not an fchain record (bad magic)");
+  }
+
+  std::size_t declared_length = 0;
+  std::uint32_t declared_crc = 0;
+  if (!(in >> declared_length >> declared_crc)) {
+    throw std::runtime_error("record parse error: damaged v2 header");
+  }
+  checkCount(declared_length, "body byte");
+  in.get();  // the newline terminating the header line
+  const std::streamoff body_offset = in.tellg();
+
+  std::string body(declared_length, '\0');
+  in.read(body.data(), static_cast<std::streamsize>(declared_length));
+  const std::size_t got = static_cast<std::size_t>(in.gcount());
+  if (got != declared_length) {
+    throw persist::CorruptDataError(
+        "record truncated: header declares " +
+            std::to_string(declared_length) + " body bytes, file carries " +
+            std::to_string(got),
+        static_cast<std::size_t>(body_offset) + got);
+  }
+  const std::uint32_t actual_crc = persist::crc32(body.data(), body.size());
+  if (actual_crc != declared_crc) {
+    throw persist::CorruptDataError(
+        "record checksum mismatch: header declares " +
+            std::to_string(declared_crc) + ", body hashes to " +
+            std::to_string(actual_crc),
+        static_cast<std::size_t>(body_offset));
+  }
+
+  std::istringstream body_in(body);
+  try {
+    return parseBody(body_in);
+  } catch (const persist::CorruptDataError&) {
+    throw;
+  } catch (const std::runtime_error& e) {
+    // Attach where in the (verified-intact) body the parse gave up — with a
+    // valid checksum this indicates a writer/reader bug, not bit rot.
+    const std::streamoff pos = body_in.tellg();
+    const std::size_t offset =
+        static_cast<std::size_t>(body_offset) +
+        (pos >= 0 ? static_cast<std::size_t>(pos) : body.size());
+    throw persist::CorruptDataError(e.what(), offset);
+  }
 }
 
 RunRecord loadRecord(const std::string& path) {

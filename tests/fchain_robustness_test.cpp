@@ -3,8 +3,11 @@
 // pinpointing with partial coverage, and the monitoring-fault injector.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <set>
+#include <thread>
 
 #include "fchain/fchain.h"
 #include "runtime/flaky_endpoint.h"
@@ -526,6 +529,77 @@ TEST(TelemetryInjector, SlaveOutageWindows) {
   EXPECT_TRUE(injector.slaveDown(1, 12));
   EXPECT_FALSE(injector.slaveDown(1, 15));
   EXPECT_FALSE(injector.slaveDown(0, 12));  // other hosts unaffected
+}
+
+TEST(RetryPolicy, JitterNeverEscapesTheCap) {
+  // The cap applies before jitter, so the worst case is max * (1 + frac);
+  // sweep attempts and salts to make sure no combination escapes it.
+  runtime::RetryPolicy policy;
+  policy.base_backoff_ms = 50.0;
+  policy.backoff_multiplier = 3.0;
+  policy.max_backoff_ms = 400.0;
+  policy.jitter_fraction = 0.25;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    for (std::uint64_t salt = 0; salt < 64; ++salt) {
+      const double delay = runtime::retryDelayMs(policy, attempt, salt);
+      EXPECT_GE(delay, 0.0);
+      EXPECT_LE(delay, 400.0 * 1.25)
+          << "attempt " << attempt << " salt " << salt;
+    }
+  }
+}
+
+TEST(RetryPolicy, SaltsDecorrelateButEachSaltIsStable) {
+  // The schedule must be a pure function of (policy, attempt, salt) — and
+  // different salts must actually spread (otherwise a fleet of masters
+  // retries in lockstep).
+  runtime::RetryPolicy policy;
+  policy.base_backoff_ms = 100.0;
+  policy.jitter_fraction = 0.2;
+  std::set<double> distinct;
+  for (std::uint64_t salt = 0; salt < 32; ++salt) {
+    const double first = runtime::retryDelayMs(policy, 1, salt);
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      EXPECT_DOUBLE_EQ(runtime::retryDelayMs(policy, 1, salt), first);
+    }
+    distinct.insert(first);
+  }
+  EXPECT_GT(distinct.size(), 16u);  // near-collision-free over 32 salts
+}
+
+// EndpointHealth is copied while worker threads record outcomes (endpoints
+// live in a vector that registration can grow). The copy must be race-free
+// (TSan-checked in CI) and land in a consistent state.
+TEST(EndpointHealth, CopyAndAssignWhileConcurrentlyRecording) {
+  runtime::EndpointHealth health(1, 3);
+  constexpr int kWrites = 100000;
+  std::thread success_writer([&] {
+    for (int i = 0; i < kWrites; ++i) health.recordSuccess();
+  });
+  std::thread failure_writer([&] {
+    for (int i = 0; i < kWrites; ++i) health.recordFailure();
+  });
+
+  for (int i = 0; i < 2000; ++i) {
+    runtime::EndpointHealth copy(health);      // copy-construct under fire
+    runtime::EndpointHealth assigned;
+    assigned = health;                         // copy-assign under fire
+    for (const auto* h : {&copy, &assigned}) {
+      // A copy is a snapshot: internally consistent even mid-bombardment.
+      const auto state = h->state();
+      EXPECT_TRUE(state == runtime::HealthState::Healthy ||
+                  state == runtime::HealthState::Degraded ||
+                  state == runtime::HealthState::Down);
+      EXPECT_GE(h->consecutiveFailures(), 0);
+      EXPECT_LE(static_cast<std::size_t>(h->consecutiveFailures()),
+                h->totalFailures() + 1);
+    }
+  }
+  success_writer.join();
+  failure_writer.join();
+  // Atomic counters lose nothing under contention.
+  EXPECT_EQ(health.totalSuccesses(), static_cast<std::size_t>(kWrites));
+  EXPECT_EQ(health.totalFailures(), static_cast<std::size_t>(kWrites));
 }
 
 TEST(TelemetryInjector, CorruptedSamplesEndUpQuarantinedBySlave) {

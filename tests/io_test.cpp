@@ -8,10 +8,23 @@
 #include "eval/exporter.h"
 #include "eval/runner.h"
 #include "fchain/fchain.h"
+#include "persist/codec.h"
 #include "sim/record_io.h"
 
 namespace fchain {
 namespace {
+
+/// Re-frames a (possibly hand-corrupted) record body under a fresh, valid
+/// v2 header. Corruption tests need this to get *past* the checksum gate
+/// and exercise the parse-level validation behind it.
+std::string reframeRecord(const std::string& text) {
+  const auto newline = text.find('\n');
+  EXPECT_NE(newline, std::string::npos);
+  const std::string body = text.substr(newline + 1);
+  return "fchain-record-v2 " + std::to_string(body.size()) + " " +
+         std::to_string(persist::crc32(body.data(), body.size())) + "\n" +
+         body;
+}
 
 const eval::TrialData& sampleTrial() {
   static const eval::TrialSet set = [] {
@@ -121,7 +134,9 @@ TEST(RecordIo, NonFiniteMetricValueRejectedOnLoad) {
     const auto pos = corrupted.find("1.25");
     ASSERT_NE(pos, std::string::npos);
     corrupted.replace(pos, 4, poison);
-    std::stringstream in(corrupted);
+    // Re-frame under a valid header: this simulates a *writer* that emitted
+    // garbage (checksum fine), which must still be rejected at parse level.
+    std::stringstream in(reframeRecord(corrupted));
     try {
       sim::loadRecord(in);
       FAIL() << "corrupted value '" << poison << "' was accepted";
@@ -142,8 +157,76 @@ TEST(RecordIo, NonFiniteEdgeTrafficRejectedOnLoad) {
   const auto pos = corrupted.find("4.5");
   ASSERT_NE(pos, std::string::npos);
   corrupted.replace(pos, 3, "nan");
-  std::stringstream in(corrupted);
+  std::stringstream in(reframeRecord(corrupted));
   EXPECT_THROW(sim::loadRecord(in), std::runtime_error);
+}
+
+// Bit rot *without* a matching header rewrite must die at the checksum
+// gate, and the error must carry the byte offset of the damage domain.
+TEST(RecordIo, ChecksumMismatchRejectedOnLoad) {
+  std::stringstream buffer;
+  sim::saveRecord(buffer, sampleTrial().record);
+  std::string text = buffer.str();
+  const auto pos = text.find("rubis");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos] = 'x';  // single flipped byte, header untouched
+  std::stringstream in(text);
+  try {
+    sim::loadRecord(in);
+    FAIL() << "bit-rotted record was accepted";
+  } catch (const persist::CorruptDataError& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos)
+        << e.what();
+    EXPECT_GT(e.offset(), 0u);
+  }
+}
+
+TEST(RecordIo, TruncatedRecordRejectedOnLoad) {
+  std::stringstream buffer;
+  sim::saveRecord(buffer, sampleTrial().record);
+  const std::string text = buffer.str();
+  std::stringstream in(text.substr(0, text.size() / 2));
+  try {
+    sim::loadRecord(in);
+    FAIL() << "truncated record was accepted";
+  } catch (const persist::CorruptDataError& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+        << e.what();
+    EXPECT_GT(e.offset(), 0u);
+  }
+}
+
+// Archives written before the integrity header must stay loadable.
+TEST(RecordIo, LegacyV1RecordStillLoads) {
+  std::stringstream buffer;
+  sim::saveRecord(buffer, sampleTrial().record);
+  const std::string text = buffer.str();
+  const auto newline = text.find('\n');
+  const std::string legacy = "fchain-record-v1\n" + text.substr(newline + 1);
+  std::stringstream in(legacy);
+  const auto loaded = sim::loadRecord(in);
+  EXPECT_EQ(loaded.ground_truth, sampleTrial().record.ground_truth);
+}
+
+// A corrupt count field (checksum valid, so a writer bug) must be rejected
+// before it can drive a multi-gigabyte allocation.
+TEST(RecordIo, ImplausibleCountRejectedOnLoad) {
+  sim::RunRecord tiny;
+  tiny.app_spec.name = "tiny";
+  std::stringstream clean;
+  sim::saveRecord(clean, tiny);
+  std::string corrupted = clean.str();
+  const auto pos = corrupted.find("components 0");
+  ASSERT_NE(pos, std::string::npos);
+  corrupted.replace(pos, 12, "components 999999999");
+  std::stringstream in(reframeRecord(corrupted));
+  try {
+    sim::loadRecord(in);
+    FAIL() << "implausible count was accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("implausible"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(Exporter, CurvesCsvShape) {
