@@ -21,9 +21,46 @@ std::string journalPathFor(const std::string& dir, HostId host) {
 SlaveCheckpointer::SlaveCheckpointer(FChainSlave& slave, std::string dir,
                                      CheckpointPolicy policy)
     : slave_(slave), dir_(std::move(dir)), policy_(policy) {
+  // Sample-time extent of whatever state is already persisted in dir_. The
+  // first checkpointNow() below replaces that state with the wrapped
+  // slave's; if the slave does not carry it (it was not built via
+  // recover()), the overwrite would destroy a crashed slave's history —
+  // refuse, loudly, unless the policy opts in.
+  TimeSec persisted_end = 0;
   if (persist::fileExists(snapshotPath())) {
+    const persist::SlaveSnapshot snap =
+        persist::loadSlaveSnapshot(snapshotPath());
     // Continue the epoch sequence of whatever generation is already there.
-    epoch_ = persist::loadSlaveSnapshot(snapshotPath()).epoch;
+    epoch_ = snap.epoch;
+    for (const persist::VmSnapshotState& vm : snap.vms) {
+      for (const persist::SeriesState& series : vm.series) {
+        persisted_end = std::max(
+            persisted_end,
+            series.start + static_cast<TimeSec>(series.values.size()));
+      }
+    }
+  }
+  if (persist::fileExists(journalPath())) {
+    const persist::SampleJournalReplay replay =
+        persist::readSampleJournal(journalPath());
+    for (const persist::SampleRecord& record : replay.records) {
+      persisted_end = std::max(persisted_end, record.t + 1);
+    }
+  }
+  // A slave rebuilt via recover() always carries samples when the persisted
+  // state does (it may trail persisted_end when replay deterministically
+  // *dropped* tail records — corrupt timestamps, over-wide gaps — so an
+  // exact-extent comparison would reject legitimate recoveries). A slave
+  // with an empty clock over sampled state is the unambiguous footgun.
+  if (persisted_end > 0 && sampleClock() == 0 &&
+      !policy_.discard_unrecovered_state) {
+    throw std::runtime_error(
+        "checkpoint dir " + dir_ + " holds learned state for host " +
+        std::to_string(slave_.host()) + " through t=" +
+        std::to_string(persisted_end) +
+        " but the wrapped slave is fresh; wrap "
+        "SlaveCheckpointer::recover()'s slave or set "
+        "CheckpointPolicy::discard_unrecovered_state to overwrite it");
   }
   checkpointNow();
 }

@@ -35,6 +35,14 @@ struct CheckpointPolicy {
   /// time): when an ingested timestamp is this far past the last checkpoint,
   /// the journal is collapsed into a fresh snapshot.
   TimeSec snapshot_interval_sec = 600;
+  /// Construction immediately checkpoints the wrapped slave, replacing any
+  /// snapshot + journal already in the directory. When that persisted state
+  /// extends further in sample time than the wrapped slave — i.e. the slave
+  /// was NOT rebuilt from it via recover() — the overwrite would permanently
+  /// destroy a crashed slave's learned history, so the constructor throws
+  /// instead. Set true to discard the old state deliberately (e.g. a
+  /// config change that invalidates it).
+  bool discard_unrecovered_state = false;
 };
 
 class SlaveCheckpointer {
@@ -42,7 +50,10 @@ class SlaveCheckpointer {
   /// Wraps a live slave (components already registered). Immediately writes
   /// a checkpoint, so `dir` always holds a consistent snapshot + journal
   /// pair from construction on. Epoch numbering continues from any snapshot
-  /// already in `dir`.
+  /// already in `dir`. Throws std::runtime_error when `dir` holds persisted
+  /// state the wrapped slave does not carry — wrap the result of recover()
+  /// (or set CheckpointPolicy::discard_unrecovered_state) instead of
+  /// silently destroying a crashed slave's learned history.
   SlaveCheckpointer(FChainSlave& slave, std::string dir,
                     CheckpointPolicy policy = {});
 

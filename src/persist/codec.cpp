@@ -3,7 +3,13 @@
 #include <array>
 #include <bit>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 namespace fchain::persist {
 
@@ -20,6 +26,18 @@ std::array<std::uint32_t, 256> makeCrcTable() {
   }
   return table;
 }
+
+#if defined(__unix__) || defined(__APPLE__)
+/// fsyncs a file or directory by path (POSIX allows fsync on a read-only
+/// descriptor). Returns false when the path cannot be opened or synced.
+bool syncPath(const char* path) {
+  const int fd = ::open(path, O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+#endif
 
 }  // namespace
 
@@ -160,10 +178,26 @@ void writeFileAtomic(const std::string& path,
       throw std::runtime_error("write failure on file: " + tmp);
     }
   }
+#if defined(__unix__) || defined(__APPLE__)
+  // Durability, not just atomicity: the data must reach the device before
+  // the rename can publish it, or a power loss could reorder the rename
+  // ahead of the writes and leave a torn file under the real name.
+  if (!syncPath(tmp.c_str())) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("cannot fsync file: " + tmp);
+  }
+#endif
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     throw std::runtime_error("cannot rename " + tmp + " over " + path);
   }
+#if defined(__unix__) || defined(__APPLE__)
+  // Persist the rename itself. Best-effort: some filesystems refuse
+  // directory fsync, and at worst the *old* complete file reappears after
+  // power loss — atomicity is never at risk.
+  const std::string dir = std::filesystem::path(path).parent_path().string();
+  (void)syncPath(dir.empty() ? "." : dir.c_str());
+#endif
 }
 
 std::vector<std::uint8_t> readFileBytes(const std::string& path) {

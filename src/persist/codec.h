@@ -120,9 +120,12 @@ FrameView unframe(std::span<const std::uint8_t> bytes, std::uint32_t magic,
 
 // --- File I/O -------------------------------------------------------------
 
-/// Writes `path` atomically: the bytes land in `path + ".tmp"` first and are
-/// renamed over the target only after a successful flush, so a crash mid-
-/// write leaves either the old file or the new one — never a torn hybrid.
+/// Writes `path` atomically and durably: the bytes land in `path + ".tmp"`,
+/// are fsync'd to the device, and only then renamed over the target (with a
+/// best-effort directory fsync after), so a crash — process death, kernel
+/// panic, or power loss — leaves either the old file or the new one, never
+/// a torn hybrid. On non-POSIX platforms the fsyncs are skipped and the
+/// guarantee is scoped to process-level crashes.
 void writeFileAtomic(const std::string& path,
                      std::span<const std::uint8_t> bytes);
 

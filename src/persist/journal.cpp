@@ -1,6 +1,7 @@
 #include "persist/journal.h"
 
 #include <algorithm>
+#include <filesystem>
 
 namespace fchain::persist {
 
@@ -63,6 +64,26 @@ bool walkRecords(Decoder& in, std::size_t base_offset, Visit visit,
   return true;
 }
 
+/// Repairs a journal about to be reopened for append: drops a torn tail
+/// record (the crash-mid-append signature) by truncating the file to its
+/// clean prefix. Appending *behind* a torn frame would hide every later
+/// record from all future scans. Returns false when the file is shorter
+/// than a full header (a crash during creation) and must be recreated;
+/// throws CorruptDataError when the header itself is damaged.
+bool repairTailForAppend(const std::string& path, std::uint32_t magic) {
+  const std::vector<std::uint8_t> bytes = readFileBytes(path);
+  if (bytes.size() < kJournalHeaderSize) return false;
+  Decoder in(bytes);
+  checkHeader(in, magic);
+  Decoder body(std::span<const std::uint8_t>(bytes).subspan(in.offset()));
+  std::size_t consumed = 0;
+  const bool clean = walkRecords(
+      body, kJournalHeaderSize, [](std::span<const std::uint8_t>) {},
+      &consumed);
+  if (!clean) std::filesystem::resize_file(path, consumed);
+  return true;
+}
+
 }  // namespace
 
 // --- Sample journal -------------------------------------------------------
@@ -70,8 +91,12 @@ bool walkRecords(Decoder& in, std::size_t base_offset, Visit visit,
 SampleJournalWriter::SampleJournalWriter(std::string path, std::uint64_t epoch,
                                          bool truncate)
     : path_(std::move(path)) {
-  const bool fresh = truncate || !fileExists(path_);
-  auto mode = std::ios::binary | (truncate ? std::ios::trunc : std::ios::app);
+  bool fresh = true;
+  if (!truncate && fileExists(path_) &&
+      repairTailForAppend(path_, kSampleJournalMagic)) {
+    fresh = false;
+  }
+  auto mode = std::ios::binary | (fresh ? std::ios::trunc : std::ios::app);
   out_.open(path_, mode);
   if (!out_) {
     throw std::runtime_error("cannot open sample journal: " + path_);
@@ -174,12 +199,16 @@ IncidentScan scanIncidents(const std::string& path) {
 }  // namespace
 
 IncidentJournal::IncidentJournal(std::string path) : path_(std::move(path)) {
-  const bool fresh = !fileExists(path_);
-  if (!fresh) {
-    // Continue the id sequence across restarts.
+  bool fresh = true;
+  if (fileExists(path_) &&
+      repairTailForAppend(path_, kIncidentJournalMagic)) {
+    // Continue the id sequence across restarts (the torn tail, if any, was
+    // just truncated away, so the scan sees the whole surviving journal).
     next_id_ = scanIncidents(path_).max_id + 1;
+    fresh = false;
   }
-  out_.open(path_, std::ios::binary | std::ios::app);
+  auto mode = std::ios::binary | (fresh ? std::ios::trunc : std::ios::app);
+  out_.open(path_, mode);
   if (!out_) {
     throw std::runtime_error("cannot open incident journal: " + path_);
   }
@@ -194,6 +223,7 @@ IncidentJournal::IncidentJournal(std::string path) : path_(std::move(path)) {
 
 std::uint64_t IncidentJournal::logStart(
     const std::vector<ComponentId>& components, TimeSec violation_time) {
+  const std::lock_guard<std::mutex> lock(mu_);
   const std::uint64_t id = next_id_++;
   Encoder payload;
   payload.u8(kIncidentStart);
@@ -209,6 +239,7 @@ std::uint64_t IncidentJournal::logStart(
 }
 
 void IncidentJournal::logDone(std::uint64_t id) {
+  const std::lock_guard<std::mutex> lock(mu_);
   Encoder payload;
   payload.u8(kIncidentDone);
   payload.u64(id);

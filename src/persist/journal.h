@@ -2,9 +2,19 @@
 //
 // Both use the same record framing — u32 payload length, u32 CRC-32, payload
 // — so a crash mid-append leaves at worst one torn record at the tail, which
-// replay detects by checksum and drops cleanly (`clean = false`). A damaged
-// *header* is a different story: the whole file is untrustworthy and read
-// throws CorruptDataError with the byte offset.
+// replay detects by checksum and drops cleanly (`clean = false`). Reopening
+// a journal for append first *truncates* any torn tail (appending behind a
+// corrupt frame would hide every later record from all future scans); a file
+// cut short inside the header (a crash during creation) is recreated from
+// scratch. A damaged *header* on a full-length file is a different story:
+// the whole file is untrustworthy and both read and reopen throw
+// CorruptDataError with the byte offset.
+//
+// Durability scope: append() flushes each record to the OS, so a record
+// survives the *process* dying; fsync-per-record would dominate ingest cost,
+// so power loss or a kernel crash may still drop the tail — which replay
+// then treats exactly like a torn record. Snapshots (see codec.h
+// writeFileAtomic) are fsync'd and survive power loss once written.
 //
 // The sample journal records the raw samples a slave ingested since its last
 // snapshot. Recovery = restore the snapshot, then replay the journal through
@@ -21,6 +31,7 @@
 #include <array>
 #include <cstdint>
 #include <fstream>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -47,8 +58,10 @@ inline constexpr std::uint32_t kJournalVersion = 1;
 class SampleJournalWriter {
  public:
   /// Opens the journal. `truncate` starts a fresh journal (after a snapshot);
-  /// otherwise appends to an existing one. A fresh/empty file gets a header
-  /// carrying `epoch` — the snapshot generation this journal follows.
+  /// otherwise appends to an existing one, first truncating any torn tail
+  /// record left by a crash mid-append (see the header comment). A
+  /// fresh/empty file gets a header carrying `epoch` — the snapshot
+  /// generation this journal follows.
   SampleJournalWriter(std::string path, std::uint64_t epoch, bool truncate);
 
   /// Appends one record and flushes (the journal is the crash-safety net;
@@ -80,10 +93,15 @@ SampleJournalReplay readSampleJournal(const std::string& path);
 
 // --- Incident journal -----------------------------------------------------
 
+/// logStart/logDone are internally synchronized: FChainMaster::localize is
+/// documented as safe for concurrent calls, and an attached journal must not
+/// weaken that (unsynchronized appends would interleave record bytes and a
+/// racy id counter would hand out duplicate incident ids).
 class IncidentJournal {
  public:
-  /// Opens (appending) or creates the journal. Incident ids continue from
-  /// the highest id already recorded in the file.
+  /// Opens (appending) or creates the journal. A torn tail record left by a
+  /// crash mid-append is truncated away first (see the header comment).
+  /// Incident ids continue from the highest id already recorded in the file.
   explicit IncidentJournal(std::string path);
 
   /// Records a localization's input before work starts; returns its id.
@@ -107,6 +125,7 @@ class IncidentJournal {
 
  private:
   std::string path_;
+  std::mutex mu_;  ///< guards out_ and next_id_ (see class comment)
   std::ofstream out_;
   std::uint64_t next_id_ = 1;
 };

@@ -5,7 +5,11 @@
 // returns. While hung(), every request parks on a condition variable until
 // release(); the caller (a watchdog sacrificial thread in real use) is stuck
 // for exactly that long. inFlight() lets tests drain abandoned calls before
-// tearing down: release() then wait for inFlight() == 0.
+// tearing down: release() then wait for inFlight() == 0. The count covers
+// the *whole* decorated call — a released thread is still in flight while it
+// executes the inner endpoint's work, so a drained endpoint's slave is safe
+// to destroy (counting only the parked window would let teardown race the
+// abandoned thread's analysis: a use-after-free).
 #pragma once
 
 #include <condition_variable>
@@ -38,7 +42,8 @@ class HungEndpoint final : public SlaveEndpoint {
     cv_.notify_all();
   }
 
-  /// Calls currently parked inside the hang (teardown drain for tests).
+  /// Calls currently inside the endpoint — parked in the hang or executing
+  /// the inner call (teardown drain for tests, see the header comment).
   int inFlight() const {
     std::lock_guard<std::mutex> g(m_);
     return in_flight_;
@@ -47,27 +52,42 @@ class HungEndpoint final : public SlaveEndpoint {
   HostId host() const override { return inner_->host(); }
 
   ComponentListReply listComponents() override {
+    const InFlightGuard guard(*this);
     maybeBlock();
     return inner_->listComponents();
   }
 
   AnalyzeReply analyze(const AnalyzeRequest& request) override {
+    const InFlightGuard guard(*this);
     maybeBlock();
     return inner_->analyze(request);
   }
 
   AnalyzeBatchReply analyzeBatch(const AnalyzeBatchRequest& request) override {
+    const InFlightGuard guard(*this);
     maybeBlock();
     return inner_->analyzeBatch(request);
   }
 
  private:
+  /// Scopes in_flight_ over the whole decorated call, inner work included.
+  struct InFlightGuard {
+    explicit InFlightGuard(HungEndpoint& endpoint) : endpoint_(endpoint) {
+      std::lock_guard<std::mutex> g(endpoint_.m_);
+      ++endpoint_.in_flight_;
+    }
+    ~InFlightGuard() {
+      std::lock_guard<std::mutex> g(endpoint_.m_);
+      --endpoint_.in_flight_;
+    }
+    InFlightGuard(const InFlightGuard&) = delete;
+    InFlightGuard& operator=(const InFlightGuard&) = delete;
+    HungEndpoint& endpoint_;
+  };
+
   void maybeBlock() {
     std::unique_lock<std::mutex> g(m_);
-    if (!hung_) return;
-    ++in_flight_;
     cv_.wait(g, [&] { return !hung_; });
-    --in_flight_;
   }
 
   std::shared_ptr<SlaveEndpoint> inner_;

@@ -358,12 +358,46 @@ TEST(Checkpointer, AutoCheckpointCollapsesJournalAndAdvancesEpoch) {
   EXPECT_GT(checkpointer.epoch(), first_epoch + 1);
   // The journal only holds samples since the last collapse, not all 350.
   EXPECT_LT(checkpointer.journaledSinceSnapshot(), 150u);
-  // Epoch numbering continues when a new checkpointer re-attaches.
+  // Epoch numbering continues when a checkpointer re-attaches through the
+  // proper recover()-first workflow.
   const std::uint64_t before = checkpointer.epoch();
-  FChainSlave other(0);
-  other.addComponent(0, 0);
-  SlaveCheckpointer reattached(other, dir, policy);
+  auto recovered = SlaveCheckpointer::recover(dir, 0);
+  SlaveCheckpointer reattached(recovered.slave, dir, policy);
   EXPECT_GT(reattached.epoch(), before);
+}
+
+TEST(Checkpointer, RefusesToOverwritePersistedStateWithFreshSlave) {
+  const std::string dir = tempDir("refuse_overwrite");
+  {
+    FChainSlave slave(0);
+    slave.addComponent(0, 0);
+    SlaveCheckpointer checkpointer(slave, dir);
+    std::array<double, kMetricCount> sample{};
+    for (TimeSec t = 0; t < 20; ++t) {
+      sample.fill(0.5);
+      checkpointer.ingestAt(0, t, sample);
+    }
+  }  // "crash": the persisted snapshot + journal survive the process
+
+  // Wrapping a fresh slave would overwrite hours of learned state with an
+  // empty snapshot and truncate the journal — it must throw, not truncate.
+  FChainSlave fresh(0);
+  fresh.addComponent(0, 0);
+  EXPECT_THROW(SlaveCheckpointer(fresh, dir), std::runtime_error);
+  // The refusal left the persisted state untouched and recoverable.
+  auto recovered = SlaveCheckpointer::recover(dir, 0);
+  const auto* series = recovered.slave.seriesOf(0);
+  ASSERT_NE(series, nullptr);
+  EXPECT_EQ(series->of(MetricKind::CpuUsage).size(), 20u);
+
+  // recover()-first re-attaches cleanly; explicit discard is the opt-out.
+  SlaveCheckpointer reattached(recovered.slave, dir);
+  CheckpointPolicy discard;
+  discard.discard_unrecovered_state = true;
+  FChainSlave fresh2(0);
+  fresh2.addComponent(0, 0);
+  SlaveCheckpointer discarded(fresh2, dir, discard);
+  EXPECT_EQ(SlaveCheckpointer::recover(dir, 0).replayed, 0u);
 }
 
 // --- Watchdog, deadline, breaker ------------------------------------------

@@ -8,6 +8,7 @@
 #include <fstream>
 #include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "persist/codec.h"
@@ -328,6 +329,17 @@ TEST(SampleJournal, AppendModeContinuesExistingFile) {
   std::remove(path.c_str());
 }
 
+/// Simulates a crash mid-append: chops `bytes` off the end of the file.
+void chopTail(const std::string& path, std::size_t bytes) {
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(),
+            static_cast<std::streamsize>(contents.size() - bytes));
+}
+
 TEST(SampleJournal, TornTailDroppedNotFatal) {
   const std::string path = tempPath("persist_journal_torn.journal");
   std::remove(path.c_str());
@@ -336,20 +348,54 @@ TEST(SampleJournal, TornTailDroppedNotFatal) {
     writer.append(makeRecord(0, 100, 1.0));
     writer.append(makeRecord(0, 101, 2.0));
   }
-  // Simulate a crash mid-append: chop bytes off the last record.
-  std::ifstream in(path, std::ios::binary);
-  std::string contents((std::istreambuf_iterator<char>(in)),
-                       std::istreambuf_iterator<char>());
-  in.close();
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  out.write(contents.data(),
-            static_cast<std::streamsize>(contents.size() - 5));
-  out.close();
+  chopTail(path, 5);
 
   const auto replay = readSampleJournal(path);
   EXPECT_FALSE(replay.clean);
   ASSERT_EQ(replay.records.size(), 1u);  // valid prefix survives
   EXPECT_EQ(replay.records[0].t, 100);
+  std::remove(path.c_str());
+}
+
+TEST(SampleJournal, ReopenAfterTornTailTruncatesBeforeAppending) {
+  const std::string path = tempPath("persist_journal_torn_reopen.journal");
+  std::remove(path.c_str());
+  {
+    SampleJournalWriter writer(path, 3, /*truncate=*/true);
+    writer.append(makeRecord(0, 100, 1.0));
+    writer.append(makeRecord(0, 101, 2.0));
+  }
+  chopTail(path, 5);  // crash mid-append tears the t=101 record
+  {
+    // Restart mid-epoch: the writer must drop the torn record, or every
+    // record it appends lands behind a corrupt frame and is lost to replay.
+    SampleJournalWriter writer(path, 3, /*truncate=*/false);
+    writer.append(makeRecord(0, 102, 3.0));
+  }
+  const auto replay = readSampleJournal(path);
+  EXPECT_TRUE(replay.clean);
+  ASSERT_EQ(replay.records.size(), 2u);
+  EXPECT_EQ(replay.records[0].t, 100);
+  EXPECT_EQ(replay.records[1].t, 102);
+  std::remove(path.c_str());
+}
+
+TEST(SampleJournal, ReopenAfterCrashDuringCreationStartsFresh) {
+  const std::string path = tempPath("persist_journal_short.journal");
+  std::remove(path.c_str());
+  {
+    // Crash mid-header: the file exists but is shorter than a header.
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write("FCJL", 4);
+  }
+  {
+    SampleJournalWriter writer(path, 9, /*truncate=*/false);
+    writer.append(makeRecord(0, 50, 1.0));
+  }
+  const auto replay = readSampleJournal(path);
+  EXPECT_EQ(replay.epoch, 9u);
+  EXPECT_TRUE(replay.clean);
+  ASSERT_EQ(replay.records.size(), 1u);
   std::remove(path.c_str());
 }
 
@@ -410,6 +456,82 @@ TEST(IncidentJournal, IdsContinueAcrossReopen) {
 TEST(IncidentJournal, PendingOnMissingFileIsEmpty) {
   EXPECT_TRUE(IncidentJournal::pending(tempPath("never_written.journal"))
                   .empty());
+}
+
+TEST(IncidentJournal, ReopenAfterTornTailKeepsLaterRecordsVisible) {
+  const std::string path = tempPath("persist_incidents_torn.journal");
+  std::remove(path.c_str());
+  std::uint64_t a = 0;
+  {
+    IncidentJournal journal(path);
+    a = journal.logStart({0}, 100);
+    journal.logStart({1}, 200);  // torn by the "crash" below
+  }
+  chopTail(path, 3);
+
+  // Reopening must truncate the torn start record; appending behind it
+  // would hide the done-marker and the new incident from every future scan
+  // (incident a re-run forever, incident c lost from crash tolerance).
+  std::uint64_t c = 0;
+  {
+    IncidentJournal journal(path);
+    journal.logDone(a);
+    c = journal.logStart({2}, 300);
+  }
+  const auto pending = IncidentJournal::pending(path);
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0].id, c);
+  EXPECT_EQ(pending[0].components, (std::vector<ComponentId>{2}));
+  EXPECT_EQ(pending[0].violation_time, 300);
+  std::remove(path.c_str());
+}
+
+TEST(IncidentJournal, ReopenAfterCrashDuringCreationStartsFresh) {
+  const std::string path = tempPath("persist_incidents_short.journal");
+  std::remove(path.c_str());
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write("FCIJ", 4);  // crash mid-header
+  }
+  IncidentJournal journal(path);
+  const auto id = journal.logStart({4}, 700);
+  const auto pending = IncidentJournal::pending(path);
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0].id, id);
+  std::remove(path.c_str());
+}
+
+TEST(IncidentJournal, ConcurrentLogCallsNeitherCorruptNorReuseIds) {
+  // FChainMaster::localize is documented safe for concurrent calls and
+  // drives logStart/logDone; interleaved record bytes or a racy id counter
+  // would corrupt the journal. Runs under the TSan CI job.
+  const std::string path = tempPath("persist_incidents_threads.journal");
+  std::remove(path.c_str());
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25;
+  {
+    IncidentJournal journal(path);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kThreads; ++i) {
+      threads.emplace_back([&journal, i] {
+        for (int k = 0; k < kPerThread; ++k) {
+          const auto id = journal.logStart(
+              {static_cast<ComponentId>(i)}, 1000 + k);
+          journal.logDone(id);
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  // Every record framed intact (a torn/corrupt record would stop the scan
+  // early and strand incidents as pending)...
+  EXPECT_TRUE(IncidentJournal::pending(path).empty());
+  // ...and all 100 ids were distinct: the reopened sequence continues past
+  // the highest one.
+  IncidentJournal reopened(path);
+  EXPECT_EQ(reopened.logStart({0}, 2000),
+            static_cast<std::uint64_t>(kThreads * kPerThread) + 1);
+  std::remove(path.c_str());
 }
 
 }  // namespace
