@@ -1,0 +1,273 @@
+// Online-monitoring overhead benchmark: what the always-on runtime costs.
+// Two parts:
+//
+//   1. Steady-state ingest — a healthy three-app fleet (RUBiS + System S +
+//      Hadoop, 20 components) streamed through OnlineMonitor::ingest /
+//      observe / pump. Reports wall-clock samples/sec through the full path
+//      (ring retention + slave ingest RPC + SLO bookkeeping) and the ring's
+//      peak occupancy against its byte-capped capacity.
+//
+//   2. Trigger latency — repeated RUBiS CpuHog incidents; for each, the
+//      wall time from the SLO latch to the finished pinpoint (the
+//      `online.trigger_latency_ms` histogram) plus the sample-time
+//      detection delay from fault injection to the latch.
+//
+// Besides the plain-text tables the bench writes every number — the
+// monitor's full metric registry plus the bench-level aggregates — as JSON
+// to bench_online_throughput.json, so CI can archive and diff runs.
+//
+// Exit status is a gate, not just a report: nonzero when the ring ever
+// exceeds its configured capacity or when no incident triggers.
+//
+// Usage: bench_online_throughput [steady_ticks] [trials] [base_seed]
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "bench_util.h"
+#include "online/monitor.h"
+#include "sim/apps.h"
+#include "sim/injector.h"
+#include "sim/stream.h"
+
+namespace {
+
+using namespace fchain;
+
+double msSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct FleetApp {
+  sim::ScenarioConfig config;
+  ComponentId offset = 0;
+  online::SloSpec slo;
+};
+
+/// The soak fleet minus the faults: RUBiS (4), System S (7), Hadoop (9).
+std::vector<FleetApp> healthyFleet(std::size_t ticks, std::uint64_t seed) {
+  std::vector<FleetApp> fleet;
+  ComponentId offset = 0;
+  for (const sim::AppKind kind :
+       {sim::AppKind::Rubis, sim::AppKind::SystemS, sim::AppKind::Hadoop}) {
+    FleetApp app;
+    app.config.kind = kind;
+    app.config.seed = mixSeed(seed, 0x0a11, fleet.size());
+    app.config.duration_sec = ticks;
+    app.offset = offset;
+    if (kind == sim::AppKind::Hadoop) {
+      app.slo.kind = online::SloSpec::Kind::Progress;
+    } else {
+      app.slo.kind = online::SloSpec::Kind::Latency;
+      app.slo.latency_threshold_sec = sim::sloLatencyThreshold(kind);
+      app.slo.sustain_sec = app.config.slo_sustain_sec;
+    }
+    offset += static_cast<ComponentId>(
+        sim::makeAppSpec(kind).components.size());
+    fleet.push_back(std::move(app));
+  }
+  return fleet;
+}
+
+struct SteadyStateResult {
+  double samples_per_sec = 0.0;
+  double wall_ms = 0.0;
+  std::uint64_t samples = 0;
+  std::size_t ring_peak = 0;
+  std::size_t ring_capacity = 0;
+  bool ring_overflow = false;
+};
+
+SteadyStateResult benchSteadyState(std::size_t ticks, std::uint64_t seed) {
+  online::OnlineMonitorConfig config;
+  config.worker_threads = 0;
+  config.max_ring_bytes = 768 * 1024;
+  online::OnlineMonitor monitor(std::move(config));
+
+  auto fleet = healthyFleet(ticks, seed);
+  std::vector<std::unique_ptr<sim::StreamingSource>> sources;
+  std::vector<std::unique_ptr<core::FChainSlave>> slaves;
+  std::vector<std::size_t> app_index;
+  for (std::size_t a = 0; a < fleet.size(); ++a) {
+    sources.push_back(std::make_unique<sim::StreamingSource>(fleet[a].config,
+                                                             fleet[a].offset));
+    auto slave = std::make_unique<core::FChainSlave>(static_cast<HostId>(a));
+    for (ComponentId id : sources.back()->componentIds()) {
+      slave->addComponent(id, 0);
+    }
+    monitor.addSlave(slave.get());
+    slaves.push_back(std::move(slave));
+    app_index.push_back(monitor.addApplication(
+        {sources.back()->kind() == sim::AppKind::Rubis    ? "rubis"
+         : sources.back()->kind() == sim::AppKind::SystemS ? "streams"
+                                                           : "batch",
+         sources.back()->componentIds(), fleet[a].slo}));
+  }
+
+  SteadyStateResult result;
+  result.ring_capacity = monitor.ringCapacity();
+  const sim::StreamingSource::SampleSink sink =
+      [&](const sim::StreamSample& sample) { monitor.ingest(sample); };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t tick = 0; tick < ticks; ++tick) {
+    for (std::size_t a = 0; a < fleet.size(); ++a) {
+      const sim::StreamTick st = sources[a]->step(sink);
+      monitor.observe(app_index[a], st);
+    }
+    monitor.pump();
+    if (monitor.ringOccupancy() > monitor.ringCapacity()) {
+      result.ring_overflow = true;
+    }
+  }
+  result.wall_ms = msSince(t0);
+
+  const auto snapshot = monitor.metrics().snapshot();
+  result.samples = snapshot.counters.at("online.ingest_samples");
+  result.ring_peak =
+      static_cast<std::size_t>(snapshot.gauges.at("online.ring_peak"));
+  result.samples_per_sec =
+      static_cast<double>(result.samples) / (result.wall_ms / 1000.0);
+  return result;
+}
+
+struct TriggerResult {
+  std::size_t triggered = 0;
+  std::size_t trials = 0;
+  double mean_latency_ms = 0.0;      ///< latch -> pinpoint, wall clock
+  double mean_detection_sec = 0.0;   ///< fault start -> latch, sample time
+  /// Registry dump of the last trial's monitor (it carries the
+  /// online.trigger_latency_ms histogram CI archives).
+  std::string last_metrics_json;
+};
+
+TriggerResult benchTriggerLatency(std::size_t trials, std::uint64_t seed) {
+  constexpr TimeSec kFaultStart = 2000;
+  TriggerResult result;
+  result.trials = trials;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    sim::ScenarioConfig config;
+    config.kind = sim::AppKind::Rubis;
+    config.seed = mixSeed(seed, 0x7419, trial);
+    faults::FaultSpec fault;
+    fault.type = faults::FaultType::CpuHog;
+    fault.targets = {3};
+    fault.start_time = kFaultStart;
+    fault.intensity = 1.35;
+    config.faults = {fault};
+
+    online::OnlineMonitorConfig monitor_config;
+    monitor_config.max_ring_bytes = 768 * 1024;
+    online::OnlineMonitor monitor(std::move(monitor_config));
+    sim::StreamingSource source(config);
+    core::FChainSlave slave(0);
+    for (ComponentId id : source.componentIds()) slave.addComponent(id, 0);
+    monitor.addSlave(&slave);
+    online::SloSpec slo;
+    slo.latency_threshold_sec = sim::sloLatencyThreshold(config.kind);
+    slo.sustain_sec = config.slo_sustain_sec;
+    const std::size_t app =
+        monitor.addApplication({"rubis", source.componentIds(), slo});
+
+    const sim::StreamingSource::SampleSink sink =
+        [&](const sim::StreamSample& sample) { monitor.ingest(sample); };
+    while (monitor.incidents().empty() && source.now() < 3600) {
+      const sim::StreamTick tick = source.step(sink);
+      monitor.observe(app, tick);
+      monitor.pump();
+    }
+    if (monitor.incidents().empty()) continue;
+    const online::OnlineIncident& incident = monitor.incidents().front();
+    ++result.triggered;
+    result.mean_latency_ms += incident.localize_wall_ms;
+    result.mean_detection_sec +=
+        static_cast<double>(incident.violation_time - kFaultStart);
+    if (trial + 1 == trials) {
+      std::ostringstream json;
+      monitor.metrics().writeJson(json);
+      result.last_metrics_json = json.str();
+    }
+  }
+  if (result.triggered > 0) {
+    result.mean_latency_ms /= static_cast<double>(result.triggered);
+    result.mean_detection_sec /= static_cast<double>(result.triggered);
+  }
+  return result;
+}
+
+void writeJsonReport(const SteadyStateResult& steady,
+                     const TriggerResult& trigger) {
+  std::ofstream out("bench_online_throughput.json",
+                    std::ios::binary | std::ios::trunc);
+  out << "{\n  \"steady_state\": {\n";
+  out << "    \"samples\": " << steady.samples << ",\n";
+  out << "    \"wall_ms\": " << steady.wall_ms << ",\n";
+  out << "    \"ingest_samples_per_sec\": " << steady.samples_per_sec << ",\n";
+  out << "    \"ring_peak\": " << steady.ring_peak << ",\n";
+  out << "    \"ring_capacity\": " << steady.ring_capacity << ",\n";
+  out << "    \"ring_overflow\": " << (steady.ring_overflow ? "true" : "false")
+      << "\n  },\n";
+  out << "  \"trigger\": {\n";
+  out << "    \"trials\": " << trigger.trials << ",\n";
+  out << "    \"triggered\": " << trigger.triggered << ",\n";
+  out << "    \"mean_trigger_latency_ms\": " << trigger.mean_latency_ms
+      << ",\n";
+  out << "    \"mean_detection_delay_sec\": " << trigger.mean_detection_sec
+      << "\n  },\n";
+  out << "  \"last_trial_metrics\": " << trigger.last_metrics_json << "\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t steady_ticks = 3600;
+  std::size_t trials = 5;
+  std::uint64_t seed = 42;
+  if (argc > 1) steady_ticks = std::strtoull(argv[1], nullptr, 10);
+  if (argc > 2) trials = std::strtoull(argv[2], nullptr, 10);
+  if (argc > 3) seed = std::strtoull(argv[3], nullptr, 10);
+
+  std::printf("Online monitoring overhead\n");
+  std::printf("(%zu steady-state ticks, %zu trigger trials, base seed %llu)\n\n",
+              steady_ticks, trials, static_cast<unsigned long long>(seed));
+
+  const SteadyStateResult steady = benchSteadyState(steady_ticks, seed);
+  std::printf("Part 1: steady-state ingest (3 apps, 20 components, healthy)\n");
+  std::printf("  %-28s %10.0f samples/s\n", "ingest throughput",
+              steady.samples_per_sec);
+  std::printf("  %-28s %10llu samples in %.1f ms\n", "streamed",
+              static_cast<unsigned long long>(steady.samples), steady.wall_ms);
+  std::printf("  %-28s %10zu / %zu samples%s\n\n", "ring peak / capacity",
+              steady.ring_peak, steady.ring_capacity,
+              steady.ring_overflow ? "  ** OVERFLOW **" : "");
+
+  const TriggerResult trigger = benchTriggerLatency(trials, seed);
+  std::printf("Part 2: violation -> pinpoint (RUBiS CpuHog on db)\n");
+  std::printf("  %-28s %10zu / %zu trials\n", "auto-triggered",
+              trigger.triggered, trigger.trials);
+  std::printf("  %-28s %10.2f ms (wall, latch -> pinpoint)\n",
+              "mean trigger latency", trigger.mean_latency_ms);
+  std::printf("  %-28s %10.1f s (sample time, fault -> latch)\n",
+              "mean detection delay", trigger.mean_detection_sec);
+
+  writeJsonReport(steady, trigger);
+  std::printf("\nwrote bench_online_throughput.json\n");
+  benchutil::maybeDumpTrace("bench_online_throughput");
+
+  if (steady.ring_overflow) {
+    std::printf("FAIL: ring exceeded its capacity\n");
+    return 1;
+  }
+  if (trigger.triggered == 0) {
+    std::printf("FAIL: no trial auto-triggered a localization\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,258 @@
+#include "online/monitor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "obs/trace.h"
+
+namespace fchain::online {
+
+namespace {
+
+TimeSec deriveRetention(const OnlineMonitorConfig& config) {
+  if (config.retention_sec > 0) return config.retention_sec;
+  const core::FChainConfig& f = config.fchain;
+  // Everything an incident analysis can reach backward into: the look-back
+  // window itself, the predictor's error-history floor before it, the burst
+  // half-window on both sides of a change point, the concurrency window,
+  // plus a little slack for the selector's +1 clamps.
+  return f.lookback_sec + f.history_error_window_sec +
+         2 * f.burst_half_window_sec + f.concurrency_threshold_sec + 8;
+}
+
+}  // namespace
+
+OnlineMonitor::OnlineMonitor(OnlineMonitorConfig config)
+    : config_(std::move(config)),
+      retention_sec_(deriveRetention(config_)),
+      master_(config_.fchain, config_.retry),
+      ring_(static_cast<std::size_t>(retention_sec_)) {
+  master_.setWorkerThreads(config_.worker_threads);
+}
+
+void OnlineMonitor::recomputeRingBudget() {
+  std::size_t per_component = static_cast<std::size_t>(retention_sec_);
+  const std::size_t n = ring_.componentCount();
+  if (config_.max_ring_bytes > 0 && n > 0) {
+    const std::size_t budget =
+        config_.max_ring_bytes / (TelemetryRing::kBytesPerSample * n);
+    per_component = std::max<std::size_t>(1, std::min(per_component, budget));
+  }
+  ring_.setCapacityPerComponent(per_component);
+}
+
+void OnlineMonitor::addSlave(core::FChainSlave* slave) {
+  addEndpoint(std::make_shared<runtime::LocalEndpoint>(slave),
+              slave->components());
+}
+
+void OnlineMonitor::addEndpoint(
+    std::shared_ptr<runtime::SlaveEndpoint> endpoint,
+    const std::vector<ComponentId>& components) {
+  master_.registerEndpoint(endpoint, components);  // throws on dup claims
+  const std::size_t index = transports_.size();
+  transports_.push_back({std::move(endpoint)});
+  for (ComponentId id : components) {
+    ingest_routes_[id] = index;
+    ring_.addComponent(id);
+  }
+  recomputeRingBudget();
+}
+
+std::size_t OnlineMonitor::addApplication(AppSpec spec) {
+  if (spec.components.empty()) {
+    throw std::invalid_argument("OnlineMonitor: application with no components");
+  }
+  AppState state{
+      std::move(spec),
+      sim::LatencySloMonitor(0.0, 0),  // placeholder, rebuilt below
+      sim::ProgressSloMonitor(),
+      false,
+      0,
+      0.0,
+  };
+  state.latency = sim::LatencySloMonitor(state.spec.slo.latency_threshold_sec,
+                                         state.spec.slo.sustain_sec);
+  state.progress = sim::ProgressSloMonitor(state.spec.slo.progress_window_sec,
+                                           state.spec.slo.progress_min_delta);
+  apps_.push_back(std::move(state));
+  return apps_.size() - 1;
+}
+
+void OnlineMonitor::setDependencies(netdep::DependencyGraph graph) {
+  default_deps_ = graph;
+  master_.setDependencies(std::move(graph));
+}
+
+void OnlineMonitor::setDependencies(std::size_t app,
+                                    netdep::DependencyGraph graph) {
+  AppState& state = apps_.at(app);
+  state.deps = std::move(graph);
+  state.has_deps = true;
+}
+
+void OnlineMonitor::setWatchdog(runtime::WatchdogConfig config) {
+  master_.setWatchdog(config);
+}
+
+void OnlineMonitor::setIncidentJournal(persist::IncidentJournal* journal) {
+  master_.setIncidentJournal(journal);
+}
+
+void OnlineMonitor::ingest(ComponentId id, TimeSec t,
+                           const std::array<double, kMetricCount>& sample) {
+  clock_ = std::max(clock_, t);
+  const std::size_t evictions_before = ring_.evictions();
+  if (!ring_.push(id, t, sample)) {
+    // Unroutable component: nothing owns it, nothing retains it.
+    metric_ingest_failures_.add();
+    return;
+  }
+  metric_ingest_samples_.add();
+  metric_ring_evictions_.add(ring_.evictions() - evictions_before);
+  metric_ring_occupancy_.set(static_cast<double>(ring_.occupancy()));
+  if (static_cast<double>(ring_.occupancy()) > metric_ring_peak_.value()) {
+    metric_ring_peak_.set(static_cast<double>(ring_.occupancy()));
+  }
+
+  runtime::IngestRequest request;
+  request.component = id;
+  request.t = t;
+  request.sample = sample;
+  request.deadline_ms = config_.ingest_deadline_ms;
+  // Fire-and-forget: no retries (header contract). The slave's gap-fill
+  // repairs a lost second on the next arrival.
+  const runtime::IngestReply reply =
+      transports_[ingest_routes_.at(id)].endpoint->ingest(request);
+  if (reply.status != runtime::EndpointStatus::Ok) {
+    metric_ingest_failures_.add();
+  }
+}
+
+bool OnlineMonitor::updateRearm(AppState& state, double good_signal) {
+  if (!state.handled) return false;
+  const SloSpec& slo = state.spec.slo;
+  if (slo.kind == SloSpec::Kind::Latency) {
+    if (good_signal <= slo.latency_threshold_sec) {
+      if (++state.good_streak >= config_.rearm_good_sec) {
+        state.latency.reset();
+        state.handled = false;
+        state.good_streak = 0;
+      }
+    } else {
+      state.good_streak = 0;
+    }
+  } else {
+    if (good_signal - state.progress_anchor >=
+        slo.progress_min_delta *
+            static_cast<double>(config_.rearm_good_sec)) {
+      state.progress.reset();
+      state.handled = false;
+      state.good_streak = 0;
+    }
+  }
+  return true;
+}
+
+bool OnlineMonitor::observeLatency(std::size_t app, TimeSec t,
+                                   double latency_sec) {
+  AppState& state = apps_.at(app);
+  clock_ = std::max(clock_, t);
+  if (updateRearm(state, latency_sec)) return false;
+  const auto violation = state.latency.observe(t, latency_sec);
+  if (!violation.has_value()) return false;
+  return latch(app, *violation);
+}
+
+bool OnlineMonitor::observeProgress(std::size_t app, TimeSec t,
+                                    double progress) {
+  AppState& state = apps_.at(app);
+  clock_ = std::max(clock_, t);
+  if (updateRearm(state, progress)) return false;
+  const auto violation = state.progress.observe(t, progress);
+  if (!violation.has_value()) return false;
+  state.progress_anchor = progress;
+  return latch(app, *violation);
+}
+
+bool OnlineMonitor::observe(std::size_t app, const sim::StreamTick& tick) {
+  return apps_.at(app).spec.slo.kind == SloSpec::Kind::Latency
+             ? observeLatency(app, tick.t, tick.latency_sec)
+             : observeProgress(app, tick.t, tick.progress);
+}
+
+bool OnlineMonitor::cooldownExpired() const {
+  return !fired_once_ || clock_ - last_fire_clock_ >= config_.cooldown_sec;
+}
+
+bool OnlineMonitor::latch(std::size_t app, TimeSec tv) {
+  AppState& state = apps_[app];
+  state.handled = true;
+  state.good_streak = 0;
+  metric_slo_latches_.add();
+  if (pending_.empty() && cooldownExpired()) {
+    fire(app, tv);
+    return true;
+  }
+  if (pending_.size() < config_.max_pending_incidents) {
+    pending_.push_back({app, tv});
+    metric_incidents_queued_.add();
+  } else {
+    metric_incidents_dropped_.add();
+  }
+  return false;
+}
+
+void OnlineMonitor::fire(std::size_t app, TimeSec tv) {
+  FCHAIN_SPAN_VAR(span, "online.incident");
+  span.arg("app", static_cast<std::int64_t>(app));
+  span.arg("tv", static_cast<std::int64_t>(tv));
+  const AppState& state = apps_[app];
+  const auto wall_start = std::chrono::steady_clock::now();
+  OnlineIncident incident;
+  incident.app = app;
+  incident.app_name = state.spec.name;
+  incident.violation_time = tv;
+  incident.triggered_at = clock_;
+  incident.queued_delay_sec = clock_ - tv;
+  // Dependency knowledge is per-application (see setDependencies): install
+  // this app's graph — or the cluster default — for the fan-out. Fires are
+  // serialized through latch()/pump(), so the swap cannot race a localize.
+  master_.setDependencies(state.has_deps ? state.deps : default_deps_);
+  incident.result = master_.localize(state.spec.components, tv);
+  incident.localize_wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
+  metric_triggers_.add();
+  metric_trigger_latency_ms_.observe(incident.localize_wall_ms);
+  fired_once_ = true;
+  last_fire_clock_ = clock_;
+  incidents_.push_back(incident);
+  if (callback_) callback_(incidents_.back());
+}
+
+std::size_t OnlineMonitor::pump() {
+  std::size_t fired = 0;
+  while (!pending_.empty() && cooldownExpired()) {
+    const PendingTrigger next = pending_.front();
+    pending_.pop_front();
+    fire(next.app, next.tv);
+    ++fired;
+  }
+  return fired;
+}
+
+std::size_t OnlineMonitor::drain() {
+  std::size_t fired = 0;
+  while (!pending_.empty()) {
+    const PendingTrigger next = pending_.front();
+    pending_.pop_front();
+    fire(next.app, next.tv);
+    ++fired;
+  }
+  return fired;
+}
+
+}  // namespace fchain::online

@@ -1,0 +1,86 @@
+#include "online/ring.h"
+
+namespace fchain::online {
+
+void TelemetryRing::addComponent(ComponentId id) { rings_.try_emplace(id); }
+
+void TelemetryRing::setCapacityPerComponent(std::size_t capacity) {
+  capacity_ = capacity;
+  for (auto& [id, window] : rings_) trim(window);
+}
+
+void TelemetryRing::trim(Window& w) {
+  while (w.samples.size() > capacity_) {
+    w.samples.pop_front();
+    ++w.start;
+    --occupancy_;
+    ++evictions_;
+  }
+}
+
+bool TelemetryRing::push(ComponentId id, TimeSec t,
+                         const std::array<double, kMetricCount>& sample) {
+  const auto it = rings_.find(id);
+  if (it == rings_.end()) return false;
+  Window& w = it->second;
+  if (capacity_ == 0) return true;  // zero budget: accept and retain nothing
+
+  if (w.samples.empty()) {
+    w.start = t;
+    w.samples.push_back(sample);
+    ++occupancy_;
+    return true;
+  }
+
+  const TimeSec end = w.start + static_cast<TimeSec>(w.samples.size());
+  if (t < w.start) return true;  // older than the window: already shed
+  if (t < end) {                 // duplicate: latest value wins, in place
+    w.samples[static_cast<std::size_t>(t - w.start)] = sample;
+    return true;
+  }
+  const TimeSec gap = t - end;
+  if (gap >= static_cast<TimeSec>(capacity_)) {
+    // The fill alone would flush the whole window; restart at t instead of
+    // synthesizing capacity_ throwaway samples.
+    evictions_ += w.samples.size();
+    occupancy_ -= w.samples.size();
+    w.samples.clear();
+    w.start = t;
+    w.samples.push_back(sample);
+    ++occupancy_;
+    return true;
+  }
+  const std::array<double, kMetricCount>& last = w.samples.back();
+  for (TimeSec g = 0; g < gap; ++g) {
+    w.samples.push_back(last);
+    ++occupancy_;
+  }
+  w.samples.push_back(sample);
+  ++occupancy_;
+  trim(w);
+  return true;
+}
+
+std::optional<TimeSec> TelemetryRing::startTime(ComponentId id) const {
+  const auto it = rings_.find(id);
+  if (it == rings_.end() || it->second.samples.empty()) return std::nullopt;
+  return it->second.start;
+}
+
+std::optional<TimeSec> TelemetryRing::endTime(ComponentId id) const {
+  const auto it = rings_.find(id);
+  if (it == rings_.end() || it->second.samples.empty()) return std::nullopt;
+  return it->second.start + static_cast<TimeSec>(it->second.samples.size());
+}
+
+std::optional<std::array<double, kMetricCount>> TelemetryRing::at(
+    ComponentId id, TimeSec t) const {
+  const auto it = rings_.find(id);
+  if (it == rings_.end() || it->second.samples.empty()) return std::nullopt;
+  const Window& w = it->second;
+  const TimeSec end = w.start + static_cast<TimeSec>(w.samples.size());
+  if (t < w.start || t >= end) return std::nullopt;
+  return w.samples[static_cast<std::size_t>(t - w.start)];
+}
+
+}  // namespace fchain::online

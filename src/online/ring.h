@@ -1,0 +1,87 @@
+// Bounded retention of recent raw telemetry (online monitoring runtime).
+//
+// The offline pipeline keeps every sample of a run; an always-on monitor
+// cannot — hours of multi-application traffic at 1 Hz x 6 metrics would grow
+// without bound. TelemetryRing keeps, per component, only the trailing
+// window an incident analysis could still need (look-back W + the burst
+// half-window Q + the predictor's error-history window; see
+// OnlineMonitorConfig::retention_sec) under a hard total sample budget.
+// Older samples scroll out; evictions are counted so the monitor can report
+// how much history was shed.
+//
+// The ring is the *master-side* record of what streamed through the monitor
+// (incident forensics, equivalence checks); the authoritative analysis state
+// lives in the slaves, which receive every sample via the ingest RPC.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "common/types.h"
+
+namespace fchain::online {
+
+class TelemetryRing {
+ public:
+  /// Estimated footprint of one retained sample (the six metric values; the
+  /// deque block overhead is not counted — callers sizing a byte budget
+  /// should treat this as a floor, not an exact allocator measurement).
+  static constexpr std::size_t kBytesPerSample =
+      sizeof(std::array<double, kMetricCount>);
+
+  explicit TelemetryRing(std::size_t capacity_per_component)
+      : capacity_(capacity_per_component) {}
+
+  void addComponent(ComponentId id);
+  bool knows(ComponentId id) const { return rings_.contains(id); }
+  std::size_t componentCount() const { return rings_.size(); }
+
+  /// Shrinks (or grows) the per-component budget; windows over the new
+  /// budget are trimmed immediately, counting evictions.
+  void setCapacityPerComponent(std::size_t capacity);
+
+  /// Stores one sample. Contiguity is maintained the same way the slave's
+  /// series is: a gap is filled with the last retained value, a duplicate
+  /// timestamp overwrites in place, a timestamp older than the retained
+  /// window is dropped. A gap larger than the whole window restarts the
+  /// window at `t` (everything older would scroll out anyway). Returns
+  /// false for an unknown component.
+  bool push(ComponentId id, TimeSec t,
+            const std::array<double, kMetricCount>& sample);
+
+  std::size_t capacityPerComponent() const { return capacity_; }
+  /// Total sample budget across all components.
+  std::size_t capacity() const { return capacity_ * rings_.size(); }
+  /// Samples currently retained across all components.
+  std::size_t occupancy() const { return occupancy_; }
+  /// Samples that have scrolled out of a window since construction.
+  std::size_t evictions() const { return evictions_; }
+  std::size_t approxBytes() const { return occupancy_ * kBytesPerSample; }
+
+  /// Oldest retained timestamp of `id` (nullopt: unknown or empty).
+  std::optional<TimeSec> startTime(ComponentId id) const;
+  /// One past the newest retained timestamp of `id`.
+  std::optional<TimeSec> endTime(ComponentId id) const;
+  /// Retained values of `id` at time `t` (nullopt: outside the window).
+  std::optional<std::array<double, kMetricCount>> at(ComponentId id,
+                                                     TimeSec t) const;
+
+ private:
+  struct Window {
+    TimeSec start = 0;  ///< timestamp of samples.front()
+    std::deque<std::array<double, kMetricCount>> samples;
+  };
+
+  /// Pops from the front of `w` until it fits the budget.
+  void trim(Window& w);
+
+  std::size_t capacity_;
+  std::map<ComponentId, Window> rings_;
+  std::size_t occupancy_ = 0;
+  std::size_t evictions_ = 0;
+};
+
+}  // namespace fchain::online

@@ -21,6 +21,7 @@
 // symbols is header-only so it compiles into its including library.
 #pragma once
 
+#include <array>
 #include <optional>
 #include <string_view>
 #include <vector>
@@ -93,6 +94,25 @@ struct ComponentListReply {
   std::vector<ComponentId> components;
 };
 
+/// Streaming-ingest RPC (online monitoring runtime): one second of samples
+/// for one component, pushed master-side -> slave-side. Unlike the analysis
+/// RPCs this is fire-and-forget with no retries — a lost sample is repaired
+/// by the slave's gap-fill on the next arrival, and re-sending a stale
+/// second would only hit the duplicate path.
+struct IngestRequest {
+  ComponentId component = kNoComponent;
+  TimeSec t = 0;
+  std::array<double, kMetricCount> sample{};
+  /// Per-request deadline in (simulated) milliseconds; 0 disables it.
+  double deadline_ms = 0.0;
+};
+
+struct IngestReply {
+  EndpointStatus status = EndpointStatus::Unavailable;
+  /// Simulated service latency of this request.
+  double latency_ms = 0.0;
+};
+
 /// Transport-level handle to one FChain slave. Implementations must be
 /// deterministic for reproducible experiments (seeded, no wall clock).
 class SlaveEndpoint {
@@ -132,6 +152,14 @@ class SlaveEndpoint {
     }
     return reply;
   }
+
+  /// Pushes one second of samples to the slave (online monitoring runtime).
+  /// The default rejects the request so analysis-only transports predating
+  /// the streaming protocol stay valid implementations.
+  virtual IngestReply ingest(const IngestRequest& request) {
+    (void)request;
+    return {EndpointStatus::Unavailable, 0.0};
+  }
 };
 
 /// In-process endpoint: wraps a raw FChainSlave pointer and always succeeds
@@ -160,6 +188,11 @@ class LocalEndpoint final : public SlaveEndpoint {
     reply.findings =
         slave_->analyzeBatch(request.components, request.violation_time);
     return reply;
+  }
+
+  IngestReply ingest(const IngestRequest& request) override {
+    slave_->ingestAt(request.component, request.t, request.sample);
+    return {EndpointStatus::Ok, 0.0};
   }
 
   const core::FChainSlave* slave() const { return slave_; }

@@ -45,6 +45,9 @@ class FlakyEndpoint final : public SlaveEndpoint {
   /// one FlakyEndpoint (the master's per-endpoint mutex does); the counter
   /// itself is not atomic.
   AnalyzeBatchReply analyzeBatch(const AnalyzeBatchRequest& request) override;
+  /// One fate roll per sample; outage windows match against the sample's own
+  /// timestamp (streaming has no violation_time yet).
+  IngestReply ingest(const IngestRequest& request) override;
 
   /// Hard kill switch (e.g. driven by sim::TelemetryFaultInjector's slave
   /// outage windows): while set, every request fails Unavailable.

@@ -69,6 +69,12 @@ class HungEndpoint final : public SlaveEndpoint {
     return inner_->analyzeBatch(request);
   }
 
+  IngestReply ingest(const IngestRequest& request) override {
+    const InFlightGuard guard(*this);
+    maybeBlock();
+    return inner_->ingest(request);
+  }
+
  private:
   /// Scopes in_flight_ over the whole decorated call, inner work included.
   struct InFlightGuard {

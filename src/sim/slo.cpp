@@ -21,6 +21,7 @@ std::optional<TimeSec> ProgressSloMonitor::observe(TimeSec t,
     if (!started_) return std::nullopt;
   }
   history_.push_back(progress);
+  if (history_.size() > window_ + 1) history_.pop_front();
   if (history_.size() > window_) {
     const double old = history_[history_.size() - window_ - 1];
     if (progress - old < min_delta_) violation_ = t;

@@ -10,15 +10,17 @@
 #pragma once
 
 #include <cstddef>
+#include <deque>
 #include <optional>
-#include <vector>
 
 #include "common/types.h"
 
 namespace fchain::sim {
 
 /// Latches the first time `latency > threshold` holds for `sustain`
-/// consecutive seconds.
+/// consecutive seconds. A value exactly at the threshold is within the SLO
+/// (the contract is "exceeds"), and a single in-SLO sample resets the
+/// sustain streak.
 class LatencySloMonitor {
  public:
   LatencySloMonitor(double threshold_sec, std::size_t sustain_sec)
@@ -28,6 +30,17 @@ class LatencySloMonitor {
   std::optional<TimeSec> observe(TimeSec t, double latency_sec);
 
   std::optional<TimeSec> violationTime() const { return violation_; }
+
+  double threshold() const { return threshold_; }
+
+  /// Re-arms a latched monitor: clears the violation and the sustain streak
+  /// so the next sustained violation latches afresh. The online monitoring
+  /// runtime calls this once an incident has been handled and the signal
+  /// has recovered.
+  void reset() {
+    above_ = 0;
+    violation_.reset();
+  }
 
  private:
   double threshold_;
@@ -51,10 +64,24 @@ class ProgressSloMonitor {
 
   std::optional<TimeSec> violationTime() const { return violation_; }
 
+  double minDelta() const { return min_delta_; }
+
+  /// Re-arms a latched monitor. The trailing window restarts empty (the
+  /// next violation needs a fresh window of stalled samples) but the job
+  /// stays "started": re-arming mid-job must not wait for progress to leave
+  /// zero again.
+  void reset() {
+    history_.clear();
+    violation_.reset();
+  }
+
  private:
   std::size_t window_;
   double min_delta_;
-  std::vector<double> history_;  // progress samples since the job started
+  /// Trailing progress samples; bounded at window_ + 1 entries — the online
+  /// monitoring runtime keeps one of these alive for hours, so the history
+  /// must not grow with job length.
+  std::deque<double> history_;
   bool started_ = false;
   std::optional<TimeSec> violation_;
 };

@@ -1,0 +1,37 @@
+#include "sim/stream.h"
+
+namespace fchain::sim {
+
+std::vector<ComponentId> StreamingSource::componentIds() const {
+  std::vector<ComponentId> ids;
+  ids.reserve(componentCount());
+  for (ComponentId id = 0; id < componentCount(); ++id) {
+    ids.push_back(id_offset_ + id);
+  }
+  return ids;
+}
+
+StreamTick StreamingSource::step(const SampleSink& sink) {
+  sim_.step();
+  const TimeSec t = sim_.now() - 1;  // time of the samples just produced
+  if (sink) {
+    for (ComponentId id = 0; id < componentCount(); ++id) {
+      StreamSample sample;
+      sample.component = id_offset_ + id;
+      sample.t = t;
+      for (MetricKind kind : kAllMetrics) {
+        sample.values[metricIndex(kind)] =
+            sim_.app().metricsOf(id).of(kind).at(t);
+      }
+      sink(sample);
+    }
+  }
+  StreamTick tick;
+  tick.t = t;
+  tick.batch = sim_.batch();
+  tick.latency_sec = sim_.app().latencySeconds();
+  tick.progress = sim_.app().progress();
+  return tick;
+}
+
+}  // namespace fchain::sim

@@ -30,6 +30,7 @@
 #include "fchain/recovery.h"
 #include "netdep/dependency.h"
 #include "persist/codec.h"
+#include "pinpoint_render.h"
 #include "persist/journal.h"
 #include "persist/snapshot.h"
 #include "runtime/hung_endpoint.h"
@@ -44,40 +45,6 @@ std::string tempDir(const std::string& name) {
   std::filesystem::remove_all(dir);
   std::filesystem::create_directories(dir);
   return dir;
-}
-
-// --- Rendering (mirrors golden_localization_test.cpp) ---------------------
-
-std::string renderPinpoint(const PinpointResult& result, TimeSec tv) {
-  std::ostringstream out;
-  out << "violation_time: " << tv << "\n";
-  char coverage[32];
-  std::snprintf(coverage, sizeof(coverage), "%.4f", result.coverage);
-  out << "coverage: " << coverage << "\n";
-  out << "external_factor: "
-      << (result.external_factor
-              ? std::string(trendName(result.external_trend))
-              : std::string("none"))
-      << "\n";
-  out << "pinpointed:";
-  for (ComponentId id : result.pinpointed) out << " " << id;
-  if (result.pinpointed.empty()) out << " (none)";
-  out << "\n";
-  out << "unanalyzed:";
-  for (ComponentId id : result.unanalyzed) out << " " << id;
-  if (result.unanalyzed.empty()) out << " (none)";
-  out << "\n";
-  out << "chain:\n";
-  for (const ComponentFinding& finding : result.chain) {
-    out << "  component " << finding.component << " onset=" << finding.onset
-        << " trend=" << trendName(finding.trend) << "\n";
-    for (const MetricFinding& metric : finding.metrics) {
-      out << "    " << metricName(metric.metric) << " onset=" << metric.onset
-          << " change_point=" << metric.change_point
-          << " trend=" << trendName(metric.trend) << "\n";
-    }
-  }
-  return out.str();
 }
 
 /// Reads a golden pinned by golden_localization_test.cpp (read-only here:

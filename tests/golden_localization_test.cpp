@@ -26,45 +26,12 @@
 
 #include "fchain/fchain.h"
 #include "netdep/dependency.h"
+#include "pinpoint_render.h"
 #include "runtime/flaky_endpoint.h"
 #include "sim/simulator.h"
 
 namespace fchain::core {
 namespace {
-
-// --- Rendering ------------------------------------------------------------
-
-std::string renderPinpoint(const PinpointResult& result, TimeSec tv) {
-  std::ostringstream out;
-  out << "violation_time: " << tv << "\n";
-  char coverage[32];
-  std::snprintf(coverage, sizeof(coverage), "%.4f", result.coverage);
-  out << "coverage: " << coverage << "\n";
-  out << "external_factor: "
-      << (result.external_factor
-              ? std::string(trendName(result.external_trend))
-              : std::string("none"))
-      << "\n";
-  out << "pinpointed:";
-  for (ComponentId id : result.pinpointed) out << " " << id;
-  if (result.pinpointed.empty()) out << " (none)";
-  out << "\n";
-  out << "unanalyzed:";
-  for (ComponentId id : result.unanalyzed) out << " " << id;
-  if (result.unanalyzed.empty()) out << " (none)";
-  out << "\n";
-  out << "chain:\n";
-  for (const ComponentFinding& finding : result.chain) {
-    out << "  component " << finding.component << " onset=" << finding.onset
-        << " trend=" << trendName(finding.trend) << "\n";
-    for (const MetricFinding& metric : finding.metrics) {
-      out << "    " << metricName(metric.metric) << " onset=" << metric.onset
-          << " change_point=" << metric.change_point
-          << " trend=" << trendName(metric.trend) << "\n";
-    }
-  }
-  return out.str();
-}
 
 // --- Incident construction ------------------------------------------------
 

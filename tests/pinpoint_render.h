@@ -1,0 +1,53 @@
+// Shared golden-file rendering of a PinpointResult.
+//
+// Every suite that compares localization output against the checked-in
+// goldens in tests/golden/ must render the result to the *same bytes*; this
+// header is the single definition (it used to be byte-copied into each
+// suite). The rendering deliberately excludes raw prediction-error doubles:
+// onsets, change points, trends, and the pinpointed/unanalyzed sets are
+// integer results of the deterministic pipeline and stable across
+// platforms, while 17-digit doubles would make the goldens brittle under
+// legitimate FP-contraction differences.
+#pragma once
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "fchain/pinpoint.h"
+
+namespace fchain::core {
+
+inline std::string renderPinpoint(const PinpointResult& result, TimeSec tv) {
+  std::ostringstream out;
+  out << "violation_time: " << tv << "\n";
+  char coverage[32];
+  std::snprintf(coverage, sizeof(coverage), "%.4f", result.coverage);
+  out << "coverage: " << coverage << "\n";
+  out << "external_factor: "
+      << (result.external_factor
+              ? std::string(trendName(result.external_trend))
+              : std::string("none"))
+      << "\n";
+  out << "pinpointed:";
+  for (ComponentId id : result.pinpointed) out << " " << id;
+  if (result.pinpointed.empty()) out << " (none)";
+  out << "\n";
+  out << "unanalyzed:";
+  for (ComponentId id : result.unanalyzed) out << " " << id;
+  if (result.unanalyzed.empty()) out << " (none)";
+  out << "\n";
+  out << "chain:\n";
+  for (const ComponentFinding& finding : result.chain) {
+    out << "  component " << finding.component << " onset=" << finding.onset
+        << " trend=" << trendName(finding.trend) << "\n";
+    for (const MetricFinding& metric : finding.metrics) {
+      out << "    " << metricName(metric.metric) << " onset=" << metric.onset
+          << " change_point=" << metric.change_point
+          << " trend=" << trendName(metric.trend) << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace fchain::core

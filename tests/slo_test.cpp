@@ -88,5 +88,113 @@ TEST(ProgressSlo, SlowCreepBelowThresholdCountsAsStall) {
   EXPECT_TRUE(tv.has_value());
 }
 
+// --- Edge-case properties (online-monitoring satellite) --------------------
+
+TEST(LatencySlo, ValueExactlyAtThresholdIsWithinSlo) {
+  // The contract is "exceeds": equality never contributes to the streak.
+  LatencySloMonitor monitor(0.1, 2);
+  for (TimeSec t = 0; t < 100; ++t) {
+    EXPECT_FALSE(monitor.observe(t, 0.1).has_value()) << "t=" << t;
+  }
+  // And an equality sample *resets* a partial streak like any good sample.
+  monitor.observe(100, 0.2);
+  monitor.observe(101, 0.1);
+  monitor.observe(102, 0.2);
+  EXPECT_FALSE(monitor.violationTime().has_value());
+  const auto tv = monitor.observe(103, 0.2);
+  ASSERT_TRUE(tv.has_value());
+  EXPECT_EQ(*tv, 103);
+}
+
+TEST(LatencySlo, SingleGoodSampleAnywhereInTheStreakResets) {
+  // Property: sustain-1 bad samples, one good, sustain-1 bad never latches,
+  // for every position of the good sample.
+  constexpr std::size_t kSustain = 5;
+  for (std::size_t bad_prefix = 0; bad_prefix < kSustain; ++bad_prefix) {
+    LatencySloMonitor monitor(0.1, kSustain);
+    TimeSec t = 0;
+    for (std::size_t i = 0; i < bad_prefix; ++i) monitor.observe(t++, 0.2);
+    monitor.observe(t++, 0.05);
+    for (std::size_t i = 0; i + 1 < kSustain; ++i) monitor.observe(t++, 0.2);
+    EXPECT_FALSE(monitor.violationTime().has_value())
+        << "good sample after " << bad_prefix << " bad samples";
+  }
+}
+
+TEST(LatencySlo, ResetRearmsAndLatchesTheNextSustainedViolation) {
+  LatencySloMonitor monitor(0.1, 3);
+  monitor.observe(0, 0.2);
+  monitor.observe(1, 0.2);
+  ASSERT_TRUE(monitor.observe(2, 0.2).has_value());
+  // Latched: further samples (good or bad) cannot move the latch.
+  monitor.observe(3, 0.01);
+  monitor.observe(4, 0.9);
+  EXPECT_EQ(*monitor.violationTime(), 2);
+
+  monitor.reset();
+  EXPECT_FALSE(monitor.violationTime().has_value());
+  // The streak restarts from zero: two bad samples are not enough even
+  // though bad samples immediately preceded the reset.
+  monitor.observe(5, 0.2);
+  EXPECT_FALSE(monitor.observe(6, 0.2).has_value());
+  const auto tv = monitor.observe(7, 0.2);
+  ASSERT_TRUE(tv.has_value());
+  EXPECT_EQ(*tv, 7);
+}
+
+TEST(ProgressSlo, BurstClumpsKeepPassingAfterReset) {
+  // Re-arming mid-job must tolerate the same burst structure as a fresh
+  // monitor: the window restarts empty, so the first clump after reset must
+  // not be compared against pre-reset history.
+  ProgressSloMonitor monitor(10, 0.01);
+  double progress = 0.01;
+  TimeSec t = 0;
+  for (; t < 60; ++t) {
+    if (t % 4 == 0) progress += 0.04;
+    ASSERT_FALSE(monitor.observe(t, progress).has_value()) << "t=" << t;
+  }
+  monitor.reset();
+  for (; t < 120; ++t) {
+    if (t % 4 == 0) progress += 0.04;
+    EXPECT_FALSE(monitor.observe(t, progress).has_value()) << "t=" << t;
+  }
+}
+
+TEST(ProgressSlo, ResetKeepsTheJobStarted) {
+  // After reset the monitor must not wait for progress to leave zero again:
+  // a stall right after re-arm latches within window+1 samples even though
+  // progress never moves post-reset.
+  ProgressSloMonitor monitor(5, 0.01);
+  double progress = 0.0;
+  TimeSec t = 0;
+  for (; t < 10; ++t) monitor.observe(t, progress += 0.05);
+  monitor.reset();
+  std::optional<TimeSec> tv;
+  for (; t < 30 && !tv.has_value(); ++t) tv = monitor.observe(t, progress);
+  ASSERT_TRUE(tv.has_value());
+  EXPECT_LE(*tv, 16);
+}
+
+TEST(ProgressSlo, LatchedMonitorIgnoresRecoveryUntilReset) {
+  ProgressSloMonitor monitor(5, 0.01);
+  double progress = 0.2;
+  TimeSec t = 0;
+  for (; t < 5; ++t) monitor.observe(t, progress += 0.05);
+  std::optional<TimeSec> tv;
+  for (; t < 20 && !tv.has_value(); ++t) tv = monitor.observe(t, progress);
+  ASSERT_TRUE(tv.has_value());
+  const TimeSec latched = *tv;
+  // Progress resumes, but the latch must hold until an explicit reset.
+  for (; t < 40; ++t) {
+    monitor.observe(t, progress += 0.05);
+    EXPECT_EQ(monitor.violationTime(), latched);
+  }
+}
+
+TEST(LatencySlo, ThresholdAccessorReportsTheConfiguredValue) {
+  EXPECT_DOUBLE_EQ(LatencySloMonitor(0.02, 30).threshold(), 0.02);
+  EXPECT_DOUBLE_EQ(ProgressSloMonitor(30, 5e-4).minDelta(), 5e-4);
+}
+
 }  // namespace
 }  // namespace fchain::sim
