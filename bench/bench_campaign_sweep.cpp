@@ -1,0 +1,34 @@
+// bench_campaign_sweep: the full fault-space sweep (>= 1000 episodes) with
+// the accuracy-vs-intensity frontier printed as plain text — the campaign
+// analogue of the per-figure accuracy benches. Expect minutes of runtime;
+// use examples/campaign_sweep for the capped CI smoke variant.
+//
+// Usage: bench_campaign_sweep [seed] [max_episodes]
+//        (defaults: seed 1, full sweep)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "campaign/report.h"
+#include "eval/frontier.h"
+
+using namespace fchain;
+
+int main(int argc, char** argv) {
+  campaign::CampaignConfig config;
+  config.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1;
+  config.max_episodes =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 0;
+
+  const auto result = campaign::runCampaign(
+      config, [](std::size_t done, std::size_t total,
+                 const campaign::EpisodeRecord&) {
+        if (done % 50 == 0 || done == total) {
+          std::printf("  %zu/%zu episodes\n", done, total);
+          std::fflush(stdout);
+        }
+      });
+
+  std::fputs(eval::frontierMarkdown(result.report).c_str(), stdout);
+  return 0;
+}

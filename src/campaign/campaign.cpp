@@ -1,0 +1,225 @@
+#include "campaign/campaign.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace fchain::campaign {
+
+namespace {
+
+using faults::FaultSpec;
+using faults::FaultType;
+
+/// The resource-metric fault types every component can host.
+constexpr FaultType kResourceFaults[] = {
+    FaultType::MemLeak,      FaultType::CpuHog,  FaultType::InfiniteLoop,
+    FaultType::NetHog,       FaultType::DiskHog, FaultType::Bottleneck,
+};
+
+constexpr sim::AppKind kApps[] = {sim::AppKind::Rubis, sim::AppKind::SystemS,
+                                  sim::AppKind::Hadoop};
+
+constexpr OverlayKind kOverlays[] = {
+    OverlayKind::TelemetryDrop, OverlayKind::TelemetryCorrupt,
+    OverlayKind::SlaveOutage, OverlayKind::SlaveCrash};
+
+/// Components with at least one out-edge — the only valid call-level fault
+/// targets (a sink makes no outbound calls).
+std::vector<ComponentId> callers(const sim::ApplicationSpec& spec) {
+  std::vector<bool> has_out(spec.components.size(), false);
+  for (const sim::EdgeSpec& e : spec.edges) has_out[e.from] = true;
+  std::vector<ComponentId> out;
+  for (ComponentId id = 0; id < has_out.size(); ++id) {
+    if (has_out[id]) out.push_back(id);
+  }
+  return out;
+}
+
+/// Injection instant: late enough for >= 1150 s of healthy model learning,
+/// jittered per episode so the whole sweep never shares one diurnal phase.
+TimeSec drawStart(std::uint64_t episode_seed) {
+  Rng rng(mixSeed(episode_seed, 0x57a7ull));
+  return static_cast<TimeSec>(rng.intIn(1150, 1450));
+}
+
+FaultSpec fault(FaultType type, std::vector<ComponentId> targets,
+                TimeSec start, double intensity) {
+  FaultSpec spec;
+  spec.type = type;
+  spec.targets = std::move(targets);
+  spec.start_time = start;
+  spec.intensity = intensity;
+  return spec;
+}
+
+/// Co-timed fault-pair templates per application (type + single target
+/// each). Mirrors the paper's concurrent-fault cases plus call-level mixes.
+struct PairTemplate {
+  FaultType first_type;
+  ComponentId first_target;
+  FaultType second_type;
+  ComponentId second_target;
+};
+
+std::vector<PairTemplate> pairTemplates(sim::AppKind kind) {
+  switch (kind) {
+    case sim::AppKind::Rubis:
+      return {{FaultType::MemLeak, 3, FaultType::CpuHog, 0},
+              {FaultType::CpuHog, 1, FaultType::CpuHog, 2},
+              {FaultType::CallLatency, 0, FaultType::MemLeak, 3}};
+    case sim::AppKind::SystemS:
+      return {{FaultType::MemLeak, 1, FaultType::MemLeak, 2},
+              {FaultType::CpuHog, 1, FaultType::CpuHog, 4},
+              {FaultType::CallFailure, 0, FaultType::CpuHog, 5}};
+    case sim::AppKind::Hadoop:
+      return {{FaultType::MemLeak, 0, FaultType::MemLeak, 1},
+              {FaultType::InfiniteLoop, 0, FaultType::CpuHog, 1},
+              {FaultType::CallLatency, 0, FaultType::DiskHog, 1}};
+  }
+  return {};
+}
+
+/// Representative single fault per application for the overlay sweep (the
+/// best-understood resource episodes: RUBiS CpuHog@db, System S CpuHog@PE3,
+/// Hadoop InfiniteLoop@map1).
+FaultSpec overlayBaseFault(sim::AppKind kind, TimeSec start,
+                           double intensity) {
+  switch (kind) {
+    case sim::AppKind::Rubis:
+      return fault(FaultType::CpuHog, {3}, start, intensity);
+    case sim::AppKind::SystemS:
+      return fault(FaultType::CpuHog, {2}, start, intensity);
+    case sim::AppKind::Hadoop:
+      return fault(FaultType::InfiniteLoop, {0}, start, intensity);
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string_view overlayKindName(OverlayKind kind) {
+  switch (kind) {
+    case OverlayKind::None: return "none";
+    case OverlayKind::TelemetryDrop: return "telemetry_drop";
+    case OverlayKind::TelemetryCorrupt: return "telemetry_corrupt";
+    case OverlayKind::SlaveOutage: return "slave_outage";
+    case OverlayKind::SlaveCrash: return "slave_crash";
+  }
+  return "unknown";
+}
+
+bool EpisodeSpec::externalFault() const {
+  for (const faults::FaultSpec& f : faults) {
+    if (faults::isExternalFactor(f.type)) return true;
+  }
+  return false;
+}
+
+std::string EpisodeSpec::faultLabel() const {
+  std::string label;
+  for (const faults::FaultSpec& f : faults) {
+    if (!label.empty()) label += '+';
+    label += faults::faultTypeName(f.type);
+  }
+  return label;
+}
+
+std::vector<EpisodeSpec> enumerateEpisodes(const CampaignConfig& config) {
+  std::vector<EpisodeSpec> episodes;
+  std::size_t next_id = 0;
+
+  // Appends one episode with its id/seed/start already resolved. The seed
+  // derives from (campaign seed, enumeration id), so it is stable under the
+  // shuffle and under max_episodes truncation.
+  auto push = [&](sim::AppKind app, std::vector<FaultSpec> fault_list,
+                  OverlayKind overlay, double intensity,
+                  std::size_t duration) {
+    EpisodeSpec spec;
+    spec.id = next_id++;
+    spec.app = app;
+    spec.overlay = overlay;
+    spec.intensity = intensity;
+    spec.duration_sec = duration;
+    spec.seed = mixSeed(config.seed, 0xe91ull, spec.id);
+    const TimeSec start = drawStart(spec.seed);
+    for (FaultSpec& f : fault_list) f.start_time = start;  // co-timed
+    spec.faults = std::move(fault_list);
+    episodes.push_back(std::move(spec));
+  };
+
+  for (sim::AppKind app : kApps) {
+    const sim::ApplicationSpec app_spec = sim::makeAppSpec(app);
+    const std::size_t n = app_spec.components.size();
+    const std::vector<ComponentId> call_targets = callers(app_spec);
+
+    for (double intensity : config.intensities) {
+      for (std::size_t duration : config.durations) {
+        // Single resource faults: every fault type on every component.
+        for (FaultType type : kResourceFaults) {
+          for (ComponentId id = 0; id < n; ++id) {
+            push(app, {fault(type, {id}, 0, intensity)}, OverlayKind::None,
+                 intensity, duration);
+          }
+        }
+        // Call-level faults: every component that makes outbound calls.
+        for (FaultType type :
+             {FaultType::CallLatency, FaultType::CallFailure}) {
+          for (ComponentId id : call_targets) {
+            push(app, {fault(type, {id}, 0, intensity)}, OverlayKind::None,
+                 intensity, duration);
+          }
+        }
+        // Load-balance software bugs: RUBiS-only (JBAS-1442 / mod_jk are
+        // RUBiS bugs; other topologies have no calibrated equivalent).
+        if (app == sim::AppKind::Rubis) {
+          for (FaultType type : {FaultType::OffloadBug, FaultType::LBBug}) {
+            push(app, {fault(type, {1, 2}, 0, intensity)}, OverlayKind::None,
+                 intensity, duration);
+          }
+        }
+        // External factors: surge needs an external workload (not Hadoop).
+        if (app != sim::AppKind::Hadoop) {
+          push(app, {fault(FaultType::WorkloadSurge, {}, 0, intensity)},
+               OverlayKind::None, intensity, duration);
+        }
+        push(app, {fault(FaultType::SharedSlowdown, {}, 0, intensity)},
+             OverlayKind::None, intensity, duration);
+
+        // Co-timed fault pairs (anomaly-propagation coverage).
+        if (config.include_pairs) {
+          for (const PairTemplate& pair : pairTemplates(app)) {
+            push(app,
+                 {fault(pair.first_type, {pair.first_target}, 0, intensity),
+                  fault(pair.second_type, {pair.second_target}, 0,
+                        intensity)},
+                 OverlayKind::None, intensity, duration);
+          }
+        }
+        // Monitoring-plane overlays on the representative resource fault.
+        if (config.include_overlays) {
+          for (OverlayKind overlay : kOverlays) {
+            push(app, {overlayBaseFault(app, 0, intensity)}, overlay,
+                 intensity, duration);
+          }
+        }
+      }
+    }
+  }
+
+  // Seed-determined run order (Fisher-Yates); different seeds give
+  // different orders, same seed always the same one.
+  Rng shuffle_rng(mixSeed(config.seed, 0x5affe11ull));
+  for (std::size_t i = episodes.size(); i > 1; --i) {
+    std::swap(episodes[i - 1],
+              episodes[shuffle_rng.below(static_cast<std::uint64_t>(i))]);
+  }
+  if (config.max_episodes > 0 && episodes.size() > config.max_episodes) {
+    episodes.resize(config.max_episodes);
+  }
+  return episodes;
+}
+
+}  // namespace fchain::campaign

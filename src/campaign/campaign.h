@@ -1,0 +1,90 @@
+// Fault-injection campaign: deterministic enumeration of the fault space.
+//
+// FChain's evaluation so far samples the fault space by hand (the paper's
+// thirteen cases). The campaign layer instead *sweeps* it — FaultType x
+// component x intensity x duration, plus co-timed fault pairs and
+// telemetry-loss / slave-crash overlays — and runs every episode through the
+// real online pipeline (sim::StreamingSource -> online::OnlineMonitor ->
+// FChainMaster::localize), classifying each outcome against the injected
+// ground truth. This is the "fault injection analytics" methodology
+// (Cotroneo et al.): systematic sweeps + outcome clustering is how real
+// failure modes and localizer blind spots are discovered, not hand-picked
+// episodes.
+//
+// Determinism contract: everything — episode enumeration, the shuffled run
+// order, per-episode simulator noise, fault start instants, overlay loss
+// patterns — derives from CampaignConfig::seed. Two runs with the same seed
+// produce byte-identical reports; a different seed yields a different
+// episode order (tests/campaign_test.cpp pins both).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "faults/fault.h"
+#include "sim/apps.h"
+
+namespace fchain::campaign {
+
+/// Monitoring-plane disturbance layered on top of an episode's application
+/// fault (sim::TelemetryFaultInjector / sim::CrashInjector schedules derived
+/// from the episode seed; see episode.cpp for the window geometry).
+enum class OverlayKind : std::uint8_t {
+  None,
+  TelemetryDrop,     ///< sample-drop burst around the fault window
+  TelemetryCorrupt,  ///< NaN/inf/garbage readings around the fault window
+  SlaveOutage,       ///< slave unreachable (state intact) across the trigger
+  SlaveCrash,        ///< slave process killed + restarted from nothing
+};
+
+std::string_view overlayKindName(OverlayKind kind);
+
+/// One fully-determined campaign episode. Everything the runner needs is in
+/// here; no further random draws happen at run time.
+struct EpisodeSpec {
+  /// Stable enumeration id (pre-shuffle); seeds and cluster exemplars key
+  /// on it so the shuffled run order never changes per-episode behaviour.
+  std::size_t id = 0;
+  sim::AppKind app = sim::AppKind::Rubis;
+  /// One fault, or two co-timed faults (the pair sweep). Start times are
+  /// already drawn (from the episode seed) at enumeration time.
+  std::vector<faults::FaultSpec> faults;
+  OverlayKind overlay = OverlayKind::None;
+  /// The sweep's severity knob (mirrors faults[*].intensity); the frontier
+  /// report buckets accuracy by (fault label, intensity).
+  double intensity = 1.0;
+  std::size_t duration_sec = 2400;
+  /// Drives simulator noise and any overlay loss pattern.
+  std::uint64_t seed = 0;
+
+  /// True when any injected fault is an external factor (empty truth set).
+  bool externalFault() const;
+  /// "MemLeak" for singles, "MemLeak+CpuHog" for co-timed pairs — the
+  /// frontier's fault label.
+  std::string faultLabel() const;
+};
+
+struct CampaignConfig {
+  std::uint64_t seed = 1;
+  /// Severity sweep; 1.0 is each fault's calibrated default.
+  std::vector<double> intensities = {0.5, 1.0, 1.7};
+  /// Run lengths (fault start is drawn in [1150, 1450], so every duration
+  /// leaves the models >= 1150 s of healthy learning).
+  std::vector<std::size_t> durations = {2400, 3000};
+  bool include_pairs = true;
+  bool include_overlays = true;
+  /// Truncate the shuffled episode list (0 = run everything). The CI smoke
+  /// sweep uses a small cap; truncation happens *after* the shuffle so a
+  /// capped sweep still samples the whole space uniformly.
+  std::size_t max_episodes = 0;
+};
+
+/// Enumerates the full fault space for `config`, already shuffled into the
+/// seed-determined run order and truncated to max_episodes. Episode ids and
+/// seeds are assigned in enumeration order, so they are invariant under the
+/// shuffle and under max_episodes.
+std::vector<EpisodeSpec> enumerateEpisodes(const CampaignConfig& config);
+
+}  // namespace fchain::campaign

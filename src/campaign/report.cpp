@@ -1,0 +1,138 @@
+#include "campaign/report.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace fchain::campaign {
+
+namespace {
+
+bool isSingleResourceEpisode(const EpisodeRecord& record) {
+  const EpisodeSpec& spec = record.spec;
+  if (spec.faults.size() != 1 || spec.overlay != OverlayKind::None) {
+    return false;
+  }
+  const faults::FaultType type = spec.faults.front().type;
+  return !faults::isExternalFactor(type) && !faults::isCallLevel(type);
+}
+
+std::string describe(const EpisodeRecord& record) {
+  std::ostringstream out;
+  out << "ep#" << record.spec.id << ' '
+      << sim::appKindName(record.spec.app) << ' ' << record.spec.faultLabel()
+      << " i=" << record.spec.intensity << " truth=[";
+  for (std::size_t i = 0; i < record.truth.size(); ++i) {
+    out << (i ? " " : "") << record.truth[i];
+  }
+  out << "] pinpointed=[";
+  for (std::size_t i = 0; i < record.incident.pinpointed.size(); ++i) {
+    out << (i ? " " : "") << record.incident.pinpointed[i];
+  }
+  out << ']';
+  return out.str();
+}
+
+std::string signatureOf(const EpisodeRecord& record) {
+  std::string sig(sim::appKindName(record.spec.app));
+  sig += '|';
+  sig += record.spec.faultLabel();
+  sig += '|';
+  sig += overlayKindName(record.spec.overlay);
+  sig += '|';
+  sig += eval::outcomeName(record.outcome);
+  sig += '|';
+  sig += record.relation;
+  return sig;
+}
+
+}  // namespace
+
+eval::FrontierReport buildFrontierReport(
+    const CampaignConfig& config,
+    const std::vector<EpisodeRecord>& episodes) {
+  eval::FrontierReport report;
+  report.seed = config.seed;
+  report.episode_count = episodes.size();
+
+  // Cells keyed by (fault label, intensity); std::map gives the sorted
+  // order the report contract promises.
+  std::map<std::pair<std::string, double>, eval::OutcomeCounts> cells;
+  struct Cluster {
+    std::size_t count = 0;
+    std::size_t example_id = 0;
+    std::string example;
+  };
+  std::map<std::string, Cluster> clusters;
+
+  std::size_t single_resource = 0, single_resource_localized = 0;
+  for (const EpisodeRecord& record : episodes) {
+    report.totals.add(record.outcome);
+    cells[{record.spec.faultLabel(), record.spec.intensity}].add(
+        record.outcome);
+    if (isSingleResourceEpisode(record)) {
+      ++single_resource;
+      if (record.outcome == eval::Outcome::Localized) {
+        ++single_resource_localized;
+      }
+    }
+    if (record.outcome != eval::Outcome::Localized &&
+        record.outcome != eval::Outcome::ExternalCauseCorrect) {
+      Cluster& cluster = clusters[signatureOf(record)];
+      // Exemplar = lowest enumeration id, independent of run order.
+      if (cluster.count == 0 || record.spec.id < cluster.example_id) {
+        cluster.example_id = record.spec.id;
+        cluster.example = describe(record);
+      }
+      ++cluster.count;
+    }
+  }
+
+  report.single_fault_resource_localized_rate =
+      single_resource == 0
+          ? 0.0
+          : static_cast<double>(single_resource_localized) /
+                static_cast<double>(single_resource);
+
+  for (auto& [key, counts] : cells) {
+    report.cells.push_back({key.first, key.second, counts});
+  }
+  for (auto& [signature, cluster] : clusters) {
+    report.clusters.push_back(
+        {signature, cluster.count, std::move(cluster.example)});
+  }
+  std::stable_sort(report.clusters.begin(), report.clusters.end(),
+                   [](const eval::FailureCluster& a,
+                      const eval::FailureCluster& b) {
+                     if (a.count != b.count) return a.count > b.count;
+                     return a.signature < b.signature;
+                   });
+  return report;
+}
+
+CampaignResult runCampaign(const CampaignConfig& config,
+                           const ProgressFn& progress) {
+  CampaignResult result;
+  const std::vector<EpisodeSpec> episodes = enumerateEpisodes(config);
+
+  // One discovery run per application kind present in the sweep.
+  std::map<sim::AppKind, netdep::DependencyGraph> deps;
+  for (const EpisodeSpec& spec : episodes) {
+    if (!deps.contains(spec.app)) {
+      deps.emplace(spec.app, discoverAppDependencies(spec.app, config.seed));
+    }
+  }
+
+  result.episodes.reserve(episodes.size());
+  for (std::size_t i = 0; i < episodes.size(); ++i) {
+    result.episodes.push_back(
+        runEpisode(episodes[i], deps.at(episodes[i].app)));
+    if (progress) progress(i + 1, episodes.size(), result.episodes.back());
+  }
+  result.report = buildFrontierReport(config, result.episodes);
+  return result;
+}
+
+}  // namespace fchain::campaign

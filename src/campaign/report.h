@@ -1,0 +1,41 @@
+// Campaign aggregation: classified episodes -> accuracy-frontier report.
+//
+// Clustering is deterministic: every non-correct episode gets a signature
+// `app|fault-label|overlay|outcome|set-relation`, clusters count members and
+// keep the lowest-id episode as the exemplar, and ordering is by count
+// descending then signature — so the report bytes depend only on the
+// episode data, never on run order or wall clock.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "campaign/episode.h"
+#include "eval/frontier.h"
+
+namespace fchain::campaign {
+
+/// Builds the frontier report (cells keyed by fault label x intensity,
+/// failure-mode clusters, smoke-gate scalar) from classified episodes.
+eval::FrontierReport buildFrontierReport(
+    const CampaignConfig& config, const std::vector<EpisodeRecord>& episodes);
+
+struct CampaignResult {
+  /// In run (shuffled) order.
+  std::vector<EpisodeRecord> episodes;
+  eval::FrontierReport report;
+};
+
+/// Progress hook, invoked after each episode (done counts from 1).
+using ProgressFn = std::function<void(std::size_t done, std::size_t total,
+                                      const EpisodeRecord& record)>;
+
+/// Enumerates, runs, classifies, and aggregates the whole campaign.
+/// Dependency graphs are discovered once per application kind (from a
+/// healthy seeded run) and shared across that kind's episodes, mirroring
+/// production's offline discovery.
+CampaignResult runCampaign(const CampaignConfig& config,
+                           const ProgressFn& progress = {});
+
+}  // namespace fchain::campaign

@@ -1,5 +1,8 @@
 #include "faults/fault.h"
 
+#include <stdexcept>
+#include <string>
+
 namespace fchain::faults {
 
 std::string_view faultTypeName(FaultType type) {
@@ -24,8 +27,29 @@ std::string_view faultTypeName(FaultType type) {
       return "WorkloadSurge";
     case FaultType::SharedSlowdown:
       return "SharedSlowdown";
+    case FaultType::CallLatency:
+      return "CallLatency";
+    case FaultType::CallFailure:
+      return "CallFailure";
   }
   return "unknown";
+}
+
+FaultType faultTypeFromName(std::string_view name) {
+  for (FaultType type : kAllFaultTypes) {
+    if (faultTypeName(type) == name) return type;
+  }
+  throw std::invalid_argument("unknown fault type name: " +
+                              std::string(name));
+}
+
+bool isExternalFactor(FaultType type) {
+  return type == FaultType::WorkloadSurge ||
+         type == FaultType::SharedSlowdown;
+}
+
+bool isCallLevel(FaultType type) {
+  return type == FaultType::CallLatency || type == FaultType::CallFailure;
 }
 
 }  // namespace fchain::faults

@@ -19,6 +19,7 @@
 // propagation. DESIGN.md discusses this interpretation.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string_view>
 #include <vector>
@@ -37,10 +38,37 @@ enum class FaultType : std::uint8_t {
   OffloadBug,    ///< RUBiS JBAS-1442: remote EJB lookup binds locally
   LBBug,         ///< RUBiS mod_jk bug: uneven request dispatch
   WorkloadSurge, ///< external factor: client workload jumps (no faulty comp.)
-  SharedSlowdown ///< external factor: shared service (NFS) degrades
+  SharedSlowdown,///< external factor: shared service (NFS) degrades
+  // Call-level faults: perturb the component's *inter-component RPC path*
+  // rather than a resource metric (the call-latency / call-failure
+  // categories of the anolis fault taxonomy). Targets must have out-edges.
+  CallLatency,   ///< every outbound call gains fixed RPC-stack latency
+  CallFailure,   ///< a fraction of outbound calls fail and are retried
+};
+
+/// All injectable fault types, in enum order (campaign sweeps iterate this).
+inline constexpr std::array<FaultType, 12> kAllFaultTypes = {
+    FaultType::MemLeak,       FaultType::CpuHog,
+    FaultType::InfiniteLoop,  FaultType::NetHog,
+    FaultType::DiskHog,       FaultType::Bottleneck,
+    FaultType::OffloadBug,    FaultType::LBBug,
+    FaultType::WorkloadSurge, FaultType::SharedSlowdown,
+    FaultType::CallLatency,   FaultType::CallFailure,
 };
 
 std::string_view faultTypeName(FaultType type);
+
+/// Inverse of faultTypeName (campaign configs / reports parse fault types by
+/// name). Throws std::invalid_argument on an unknown name.
+FaultType faultTypeFromName(std::string_view name);
+
+/// True for the external factors (workload surge, shared-service slowdown):
+/// no component is at fault and the expected verdict is external-cause.
+bool isExternalFactor(FaultType type);
+
+/// True for the call-level faults, which must target components that make
+/// outbound calls (out-edges) to have any effect.
+bool isCallLevel(FaultType type);
 
 struct FaultSpec {
   FaultType type = FaultType::MemLeak;

@@ -220,7 +220,11 @@ void OnlineMonitor::fire(std::size_t app, TimeSec tv) {
   // this app's graph — or the cluster default — for the fan-out. Fires are
   // serialized through latch()/pump(), so the swap cannot race a localize.
   master_.setDependencies(state.has_deps ? state.deps : default_deps_);
+  const core::MasterRuntimeStats before = master_.runtimeStats();
   incident.result = master_.localize(state.spec.components, tv);
+  const core::MasterRuntimeStats after = master_.runtimeStats();
+  incident.watchdog_trips_delta = after.watchdog_trips - before.watchdog_trips;
+  incident.deadline_skips_delta = after.deadline_skips - before.deadline_skips;
   incident.localize_wall_ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - wall_start)

@@ -127,6 +127,14 @@ struct OnlineIncident {
   TimeSec triggered_at = 0;    ///< sample clock when localize actually ran
   TimeSec queued_delay_sec = 0;  ///< triggered_at - violation_time
   double localize_wall_ms = 0.0;
+  /// Supervision deltas across *this* localization (0 when the watchdog is
+  /// off): endpoint calls abandoned on timeout and components shed by the
+  /// localize deadline. Unlike localize_wall_ms these are deterministic
+  /// under a deterministic transport, so offline analytics (the fault
+  /// campaign's timed-out classification) can key on them without
+  /// reintroducing wall-clock noise into reports.
+  std::size_t watchdog_trips_delta = 0;
+  std::size_t deadline_skips_delta = 0;
   core::PinpointResult result;
 };
 

@@ -107,6 +107,15 @@ double Application::capacityThroughput(ComponentId id) const {
     const double disk_cap = effectiveDiskCapacity(cspec, state.fault);
     throughput = std::min(throughput, disk_cap / disk_per_unit);
   }
+  // CallLatency: with only call_slots concurrent outstanding RPCs and every
+  // call blocked for call_latency_extra_sec, the caller's worker threads cap
+  // sustainable throughput at slots/latency regardless of CPU headroom.
+  if (state.fault.call_latency_extra_sec > 0.0 &&
+      state.fault.call_slots > 0.0 && !out_edges_[id].empty()) {
+    throughput = std::min(
+        throughput,
+        state.fault.call_slots / state.fault.call_latency_extra_sec);
+  }
   if (state.fault.infinite_loop) throughput = 0.0;
   return throughput;
 }
@@ -251,12 +260,42 @@ void Application::step() {
 
     // Emit (visible downstream next tick).
     state.emitted = 0.0;
+    // CallFailure: a fraction of outbound calls fail before reaching the
+    // callee and will be retried by the caller (re-queued below).
+    const double fail_rate =
+        out_edges_[i].empty()
+            ? 0.0
+            : std::clamp(state.fault.call_failure_rate, 0.0, 0.99);
+    // CallLatency: whole seconds of extra RPC delay hold emissions in the
+    // transfer pipeline for extra ticks (the fractional part contributes to
+    // the latency estimate instead).
+    const auto extra_ticks =
+        static_cast<std::size_t>(state.fault.call_latency_extra_sec);
     for (std::size_t e : out_edges_[i]) {
       const EdgeSpec& edge = spec_.edges[e];
-      const double units = processed * cspec.amplification * edge.weight;
-      staged_[e].back() += units;
+      const double units =
+          processed * (1.0 - fail_rate) * cspec.amplification * edge.weight;
+      // The pipeline keeps its length across deliveries, so the slot for the
+      // nominal transfer delay is fixed at delay_sec - 1 even after a
+      // call-latency fault has grown the vector.
+      const std::size_t slot =
+          std::max<std::size_t>(1, edge.delay_sec) - 1 + extra_ticks;
+      if (slot >= staged_[e].size()) staged_[e].resize(slot + 1, 0.0);
+      staged_[e][slot] += units;
       edge_traffic_[e] += units;
       state.emitted += units;
+    }
+    if (fail_rate > 0.0 && processed > kEps) {
+      // Retry: the failed units re-enter the caller's input and are served
+      // again, so effective cost per delivered unit grows by 1/(1-rate).
+      const double retried = processed * fail_rate;
+      if (cspec.self_work_total > 0.0) {
+        state.self_work_remaining += retried;
+      } else {
+        const double share =
+            retried / static_cast<double>(state.in_queues.size());
+        for (double& q : state.in_queues) q += share;
+      }
     }
     if (out_edges_[i].empty()) {
       completed_total_ += processed;  // sink: work leaves the system
@@ -282,6 +321,9 @@ void Application::step() {
     const double slowdown =
         cspec.cpu_capacity / std::max(0.05 * cspec.cpu_capacity, eff_capacity);
     double delay = cspec.cpu_demand * slowdown;
+    // CallLatency: the injected RPC-stack delay sits directly on the
+    // request path of every outbound call.
+    if (!out_edges_[id].empty()) delay += state.fault.call_latency_extra_sec;
     if (queue > kEps) {
       delay += queue / std::max(state.processed, 0.5);
     }

@@ -83,6 +83,18 @@ struct FaultState {
   double disk_contention = 0.0;    ///< current fraction of disk bw stolen
   double disk_contention_target = 0.0;  ///< DiskHog ramps toward this
   double disk_contention_ramp = 0.0;    ///< fraction gained per second
+  // Call-level faults (perturb the component's outbound RPC path, not a
+  // resource metric). CallLatency: every outbound call gains
+  // `call_latency_extra_sec` of RPC-stack delay; with only `call_slots`
+  // concurrent outstanding calls, throughput is additionally capped at
+  // slots/latency (blocked caller threads), so queues build at the caller
+  // while downstream components starve. CallFailure: `call_failure_rate` of
+  // the caller's outbound calls fail and are re-queued for retry — the unit
+  // is processed again, so effective service cost per delivered unit grows
+  // by 1/(1-rate).
+  double call_latency_extra_sec = 0.0;
+  double call_slots = 0.0;
+  double call_failure_rate = 0.0;
   double scale_cpu = 1.0;          ///< online-validation CPU scaling
   double scale_mem = 1.0;          ///< online-validation memory scaling
   double scale_disk = 1.0;         ///< online-validation disk scaling

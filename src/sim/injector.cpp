@@ -112,6 +112,30 @@ void inject(Application& app, const FaultSpec& spec) {
       // point of the diurnal cycle.
       app.setWorkloadMultiplier(3.0 * spec.intensity);
       break;
+    case FaultType::CallLatency:
+      for (ComponentId id : spec.targets) {
+        const ComponentSpec& cspec = app.spec().components[id];
+        FaultState& fault = app.faultStateOf(id);
+        // A degraded RPC stack (retransmitting NIC, slow DNS, saturated
+        // connection pool) adds a fixed delay to every outbound call. The
+        // caller's finite RPC-thread pool then caps throughput at
+        // slots/latency, so the cap tightens as intensity grows while the
+        // per-call delay pushes directly on the latency SLO.
+        fault.call_latency_extra_sec = 0.15 * spec.intensity;
+        const double nominal =
+            cspec.cpu_capacity / std::max(1e-9, cspec.cpu_demand);
+        fault.call_slots = 0.0525 * nominal;
+      }
+      break;
+    case FaultType::CallFailure:
+      for (ComponentId id : spec.targets) {
+        // A flaky downstream link: this fraction of the caller's outbound
+        // calls fail and are retried, inflating effective service cost by
+        // 1/(1-rate) until queues build at the caller.
+        app.faultStateOf(id).call_failure_rate =
+            std::min(0.9, 0.35 * spec.intensity);
+      }
+      break;
     case FaultType::SharedSlowdown:
       // A shared backing store (NFS) degrades: every component's disk slows
       // at once — instantly, the way a failing-over filer behaves — so the

@@ -2,6 +2,8 @@
 // knobs it models, at exactly its start time.
 #include <gtest/gtest.h>
 
+#include <array>
+
 #include "common/rng.h"
 #include "sim/apps.h"
 #include "sim/injector.h"
@@ -164,6 +166,163 @@ TEST(Injector, GroundTruthUnionsAndDeduplicates) {
   };
   EXPECT_EQ(groundTruth(specs), (std::vector<ComponentId>{1, 2}));
   EXPECT_TRUE(groundTruth({}).empty());
+}
+
+TEST(Injector, CallLatencySetsRpcKnobsOnTheCaller) {
+  Application app = rubis();
+  FaultInjector injector({spec(faults::FaultType::CallLatency, {0}, 0, 2.0)});
+  injector.apply(app, 0);
+  const auto& fault = app.faultStateOf(0);
+  EXPECT_NEAR(fault.call_latency_extra_sec, 0.3, 1e-9);
+  EXPECT_GT(fault.call_slots, 0.0);
+  EXPECT_DOUBLE_EQ(app.faultStateOf(1).call_latency_extra_sec, 0.0);
+}
+
+TEST(Injector, CallLatencyDelaysTheRequestPath) {
+  Application healthy = rubis();
+  Application faulty = rubis();
+  FaultInjector injector({spec(faults::FaultType::CallLatency, {0}, 0)});
+  injector.apply(faulty, 0);
+  for (int t = 0; t < 60; ++t) {
+    healthy.step();
+    faulty.step();
+  }
+  // The injected RPC delay (0.15 s at intensity 1) sits directly on the
+  // end-to-end path, far above the healthy sub-50ms baseline.
+  EXPECT_GT(faulty.latencySeconds(), healthy.latencySeconds() + 0.1);
+}
+
+TEST(Injector, CallLatencyOnASinkHasNoThroughputEffect) {
+  // db has no out-edges: nothing to call, so the slot cap must not bind.
+  Application healthy = rubis();
+  Application faulty = rubis();
+  FaultInjector injector({spec(faults::FaultType::CallLatency, {3}, 0, 3.0)});
+  injector.apply(faulty, 0);
+  for (int t = 0; t < 60; ++t) {
+    healthy.step();
+    faulty.step();
+  }
+  EXPECT_NEAR(faulty.stateOf(3).processed, healthy.stateOf(3).processed,
+              1e-9);
+}
+
+TEST(Injector, CallFailureRetriesGrowTheCallerQueue) {
+  Application healthy = rubis();
+  Application faulty = rubis();
+  FaultInjector injector({spec(faults::FaultType::CallFailure, {1}, 0, 2.0)});
+  injector.apply(faulty, 0);
+  EXPECT_NEAR(faulty.faultStateOf(1).call_failure_rate, 0.7, 1e-9);
+  for (int t = 0; t < 120; ++t) {
+    healthy.step();
+    faulty.step();
+  }
+  // Failed calls re-queue at the caller (service cost x1/(1-rate)), so its
+  // backlog grows well past the healthy app's; the callee sees *less*
+  // traffic, not more.
+  EXPECT_GT(faulty.stateOf(1).totalQueue(),
+            healthy.stateOf(1).totalQueue() + 50.0);
+  EXPECT_LT(faulty.stateOf(1).emitted, healthy.stateOf(1).emitted);
+}
+
+TEST(TelemetryInjector, CoTimedWindowsOnTheSameVmUnion) {
+  // Two drop bursts overlap on the same component: a sample is lost when
+  // either window's coin comes up, and the pattern stays stateless — the
+  // same (id, t) always answers the same regardless of query order.
+  TelemetryFaultSpec a;
+  a.type = TelemetryFaultType::SampleDropBurst;
+  a.start_time = 100;
+  a.duration_sec = 50;
+  a.targets = {2};
+  a.rate = 1.0;
+  TelemetryFaultSpec b = a;
+  b.start_time = 130;  // overlaps [130, 150)
+  b.duration_sec = 50;
+  TelemetryFaultInjector both({a, b});
+  TelemetryFaultInjector only_a({a});
+  TelemetryFaultInjector only_b({b});
+  for (TimeSec t = 90; t < 200; ++t) {
+    EXPECT_EQ(both.sampleDropped(2, t),
+              only_a.sampleDropped(2, t) || only_b.sampleDropped(2, t))
+        << "t=" << t;
+    EXPECT_FALSE(both.sampleDropped(1, t)) << "untargeted VM, t=" << t;
+  }
+  // Inside the overlap both specs are active; with rate 1.0 the union drops
+  // every sample there.
+  EXPECT_TRUE(both.sampleDropped(2, 140));
+  // Partial rates stay deterministic across repeated queries.
+  a.rate = 0.5;
+  b.rate = 0.5;
+  TelemetryFaultInjector partial({a, b});
+  for (TimeSec t = 130; t < 150; ++t) {
+    EXPECT_EQ(partial.sampleDropped(2, t), partial.sampleDropped(2, t));
+  }
+}
+
+TEST(TelemetryInjector, DropAndCorruptionWindowsCompose) {
+  // A drop burst and a corruption window co-timed on the same VM: the two
+  // fault types answer independently (a sample can be both dropped by the
+  // transport model and — had it arrived — corrupt).
+  TelemetryFaultSpec drop;
+  drop.type = TelemetryFaultType::SampleDropBurst;
+  drop.start_time = 100;
+  drop.duration_sec = 100;
+  drop.targets = {0};
+  drop.rate = 1.0;
+  TelemetryFaultSpec corrupt = drop;
+  corrupt.type = TelemetryFaultType::ValueCorruption;
+  TelemetryFaultInjector injector({drop, corrupt});
+  EXPECT_TRUE(injector.sampleDropped(0, 150));
+  std::array<double, kMetricCount> sample{};
+  sample.fill(1.0);
+  EXPECT_TRUE(injector.corruptSample(0, 150, sample));
+  // Outside the windows neither fires.
+  EXPECT_FALSE(injector.sampleDropped(0, 250));
+  sample.fill(1.0);
+  EXPECT_FALSE(injector.corruptSample(0, 250, sample));
+  EXPECT_DOUBLE_EQ(sample[0], 1.0);
+}
+
+TEST(CrashInjector, CrashInsideATelemetryLossBurst) {
+  // A slave crash landing inside a telemetry-loss burst: during the burst
+  // the (live) slave merely sees gaps; once the crash hits, the host is
+  // down until restart — and the restart can happen while the loss window
+  // is still open.
+  TelemetryFaultSpec burst;
+  burst.type = TelemetryFaultType::SampleDropBurst;
+  burst.start_time = 200;
+  burst.duration_sec = 300;  // [200, 500)
+  burst.rate = 1.0;
+  TelemetryFaultInjector telemetry({burst});
+  CrashInjector crashes({{/*host=*/0, /*crash=*/300, /*restart=*/400}});
+
+  EXPECT_TRUE(telemetry.sampleDropped(0, 250));
+  EXPECT_FALSE(crashes.down(0, 250));  // burst active, slave still alive
+  EXPECT_TRUE(crashes.crashesAt(0, 300));
+  EXPECT_TRUE(crashes.down(0, 350));
+  EXPECT_TRUE(telemetry.sampleDropped(0, 350));  // both at once
+  EXPECT_TRUE(crashes.restartsAt(0, 400));
+  EXPECT_FALSE(crashes.down(0, 400));  // restarted inside the open burst
+  EXPECT_TRUE(telemetry.sampleDropped(0, 450));
+  EXPECT_FALSE(telemetry.sampleDropped(0, 500));  // burst closes
+}
+
+TEST(CrashInjector, OutageWindowAroundCrashStaysConsistent) {
+  // A SlaveOutage window and a crash/restart cycle on the same host must be
+  // queryable independently: outage = unreachable-but-alive, crash = dead.
+  TelemetryFaultSpec outage;
+  outage.type = TelemetryFaultType::SlaveOutage;
+  outage.start_time = 100;
+  outage.duration_sec = 100;  // [100, 200)
+  outage.hosts = {0};
+  TelemetryFaultInjector telemetry({outage});
+  CrashInjector crashes({{/*host=*/0, /*crash=*/150, /*restart=*/0}});
+  EXPECT_TRUE(telemetry.slaveDown(0, 120));
+  EXPECT_FALSE(crashes.down(0, 120));
+  EXPECT_TRUE(telemetry.slaveDown(0, 160));
+  EXPECT_TRUE(crashes.down(0, 160));
+  EXPECT_FALSE(telemetry.slaveDown(0, 220));
+  EXPECT_TRUE(crashes.down(0, 220));  // restart_time 0: down for the run
+  EXPECT_FALSE(telemetry.slaveDown(1, 120));  // other hosts unaffected
 }
 
 TEST(Injector, MultipleFaultsAtDifferentTimes) {
