@@ -27,20 +27,48 @@ double variance(std::span<const double> xs) {
 
 double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
 
-double percentile(std::span<const double> xs, double p) {
-  if (xs.empty()) throw std::invalid_argument("percentile of empty span");
-  std::vector<double> sorted(xs.begin(), xs.end());
-  std::sort(sorted.begin(), sorted.end());
+namespace {
+
+/// Shared rank/interpolation logic over an already-sorted buffer.
+double percentileSorted(std::span<const double> sorted, double p) {
   if (sorted.size() == 1) return sorted[0];
   const double rank =
       std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
   const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = rank - static_cast<double>(lo);
+  // frac == 0 covers both exact ranks and the p = 100 endpoint (rank lands
+  // on the last element). Returning sorted[lo] directly keeps the result
+  // exact and avoids `inf * 0 = NaN` when an extreme element is infinite.
+  if (frac == 0.0) return sorted[lo];
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
+void checkPercentileArgs(bool empty, double p) {
+  if (empty) throw std::invalid_argument("percentile of empty span");
+  if (std::isnan(p)) throw std::invalid_argument("percentile rank is NaN");
+}
+
+}  // namespace
+
+double percentile(std::span<const double> xs, double p) {
+  checkPercentileArgs(xs.empty(), p);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  return percentileSorted(sorted, p);
+}
+
+double percentileInPlace(std::span<double> xs, double p) {
+  checkPercentileArgs(xs.empty(), p);
+  std::sort(xs.begin(), xs.end());
+  return percentileSorted(xs, p);
+}
+
 double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double medianInPlace(std::span<double> xs) {
+  return percentileInPlace(xs, 50.0);
+}
 
 double medianAbsDeviation(std::span<const double> xs) {
   if (xs.empty()) return 0.0;
@@ -49,6 +77,19 @@ double medianAbsDeviation(std::span<const double> xs) {
   deviations.reserve(xs.size());
   for (double x : xs) deviations.push_back(std::fabs(x - m));
   return median(deviations);
+}
+
+double medianAbsDeviation(std::span<const double> xs,
+                          std::vector<double>& work,
+                          std::vector<double>& deviations) {
+  if (xs.empty()) return 0.0;
+  work.assign(xs.begin(), xs.end());
+  const double m = medianInPlace(work);
+  deviations.resize(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    deviations[i] = std::fabs(xs[i] - m);
+  }
+  return medianInPlace(deviations);
 }
 
 double minValue(std::span<const double> xs) {

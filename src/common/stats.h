@@ -16,13 +16,36 @@ double variance(std::span<const double> xs);
 
 double stddev(std::span<const double> xs);
 
-/// Linear-interpolated percentile, p in [0, 100]. Precondition: !xs.empty().
+/// Linear-interpolated percentile, p in [0, 100] (out-of-range p is clamped;
+/// a NaN p throws std::invalid_argument — there is no meaningful rank for
+/// it). Boundary semantics: p = 0 returns the minimum and p = 100 the
+/// maximum exactly, with no interpolation arithmetic that could overflow or
+/// produce NaN on infinite extremes. Precondition: !xs.empty() (throws
+/// std::invalid_argument otherwise — an empty window has no order
+/// statistics, and silently returning 0 would hand callers a fake
+/// threshold).
 double percentile(std::span<const double> xs, double p);
+
+/// percentile() over a caller-owned buffer that is sorted in place — the
+/// zero-allocation variant the signal hot path uses. The span's element
+/// order is clobbered.
+double percentileInPlace(std::span<double> xs, double p);
 
 double median(std::span<const double> xs);
 
+/// median() over a caller-owned buffer, sorted in place (zero-allocation).
+double medianInPlace(std::span<double> xs);
+
 /// Median absolute deviation (robust scale estimate).
 double medianAbsDeviation(std::span<const double> xs);
+
+/// medianAbsDeviation() using caller-provided work buffers so the hot path
+/// never allocates once the buffers reach steady-state capacity. `work` and
+/// `deviations` must be distinct vectors, and distinct from the storage
+/// backing `xs`; their contents are clobbered.
+double medianAbsDeviation(std::span<const double> xs,
+                          std::vector<double>& work,
+                          std::vector<double>& deviations);
 
 double minValue(std::span<const double> xs);
 double maxValue(std::span<const double> xs);

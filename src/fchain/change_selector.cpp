@@ -6,6 +6,8 @@
 
 #include "common/stats.h"
 #include "obs/trace.h"
+#include "signal/burst.h"
+#include "signal/scratch.h"
 #include "signal/smoothing.h"
 
 namespace fchain::core {
@@ -48,16 +50,18 @@ bool changePersists(std::span<const double> window,
 /// Jitter-adaptive smoothing width: the ratio of first-difference spread to
 /// overall spread distinguishes sample-to-sample noise (ratio near sqrt(2)
 /// for white noise) from smooth structure (ratio near 0).
-std::size_t adaptiveSmoothHalf(std::span<const double> window) {
+std::size_t adaptiveSmoothHalf(std::span<const double> window,
+                               signal::SignalScratch& scratch) {
   if (window.size() < 8) return 0;
-  std::vector<double> diffs;
-  diffs.reserve(window.size() - 1);
+  std::vector<double>& diffs = scratch.diffs(window.size() - 1);
   for (std::size_t i = 1; i < window.size(); ++i) {
-    diffs.push_back(window[i] - window[i - 1]);
+    diffs[i - 1] = window[i] - window[i - 1];
   }
-  const double diff_mad = fchain::medianAbsDeviation(diffs);
+  const double diff_mad =
+      fchain::medianAbsDeviation(diffs, scratch.statsA(), scratch.statsB());
   const double level_mad =
-      std::max(1e-9, fchain::medianAbsDeviation(window));
+      std::max(1e-9, fchain::medianAbsDeviation(window, scratch.statsA(),
+                                                scratch.statsB()));
   const double jitter = diff_mad / level_mad;
   if (jitter >= 0.8) return 3;  // noise-dominated: smooth hard
   if (jitter >= 0.3) return 2;
@@ -72,6 +76,10 @@ std::optional<MetricFinding> AbnormalChangeSelector::analyzeMetric(
     TimeSec violation_time) const {
   FCHAIN_SPAN_VAR(span, "selector.metric");
   span.arg("metric", static_cast<std::int64_t>(metricIndex(kind)));
+  // All buffers for this metric come from the calling thread's arena; every
+  // lane is consumed before the next kernel overwrites it (see the lane
+  // assignments in scratch.h).
+  signal::SignalScratch& scratch = signal::threadScratch();
   const TimeSec window_start =
       std::max(series.startTime(), violation_time - config_.lookback_sec);
   const TimeSec window_end = std::min(series.endTime(), violation_time + 1);
@@ -80,19 +88,26 @@ std::optional<MetricFinding> AbnormalChangeSelector::analyzeMetric(
 
   // 1. Smooth + detect change points.
   const std::size_t smooth_half = config_.adaptive_smoothing
-                                      ? adaptiveSmoothHalf(raw)
+                                      ? adaptiveSmoothHalf(raw, scratch)
                                       : config_.smooth_half_window;
-  const auto smoothed = signal::movingAverage(raw, smooth_half);
-  const auto points = signal::detectChangePoints(smoothed, config_.cusum);
+  const std::vector<double>& smoothed = signal::movingAverageInto(
+      raw, smooth_half, scratch.smoothed(raw.size()));
+  const std::vector<signal::ChangePoint>& points =
+      signal::detectChangePointsInto(smoothed, config_.cusum, scratch,
+                                     scratch.points());
   if (points.empty()) return std::nullopt;
 
   // 2. Keep change-magnitude outliers.
-  const auto outliers = signal::outlierChangePoints(points, config_.outlier);
+  const std::vector<signal::ChangePoint>& outliers =
+      signal::outlierChangePointsInto(points, config_.outlier, scratch,
+                                      scratch.outliers());
   if (outliers.empty()) return std::nullopt;
 
   // Robust scale of the window (used by the Fixed-Filtering variant).
   const double window_scale =
-      std::max(1e-9, fchain::medianAbsDeviation(raw) * 1.4826);
+      std::max(1e-9, fchain::medianAbsDeviation(raw, scratch.statsA(),
+                                                scratch.statsB()) *
+                         1.4826);
 
   // Historical-error floor: what the predictor typically gets wrong on this
   // metric during normal operation, sampled before the look-back window so
@@ -109,7 +124,7 @@ std::optional<MetricFinding> AbnormalChangeSelector::analyzeMetric(
     if (history.size() >= 100) {
       const auto radius =
           static_cast<std::ptrdiff_t>(config_.smooth_half_window + 1);
-      std::vector<double> block_max(history.size());
+      std::vector<double>& block_max = scratch.blockMax(history.size());
       for (std::ptrdiff_t i = 0;
            i < static_cast<std::ptrdiff_t>(history.size()); ++i) {
         double peak = 0.0;
@@ -123,7 +138,7 @@ std::optional<MetricFinding> AbnormalChangeSelector::analyzeMetric(
       }
       const double window_adjusted_pct =
           100.0 * (1.0 - 2.0 / static_cast<double>(raw.size()));
-      error_floor = fchain::percentile(
+      error_floor = fchain::percentileInPlace(
           block_max,
           std::max(config_.history_error_percentile, window_adjusted_pct));
     }
@@ -164,7 +179,7 @@ std::optional<MetricFinding> AbnormalChangeSelector::analyzeMetric(
       expected =
           config_.error_margin *
           std::max(error_floor, signal::expectedPredictionError(
-                                    burst_window, config_.burst));
+                                    burst_window, config_.burst, scratch));
     }
     if (observed > expected) {
       const double ratio = observed / std::max(1e-12, expected);
@@ -190,8 +205,8 @@ std::optional<MetricFinding> AbnormalChangeSelector::analyzeMetric(
   }
   std::size_t onset_pos = selected_pos;
   if (config_.use_rollback) {
-    onset_pos =
-        signal::rollbackOnset(smoothed, points, selected_pos, config_.rollback);
+    onset_pos = signal::rollbackOnset(smoothed, points, selected_pos,
+                                      config_.rollback, scratch);
   }
 
   MetricFinding finding;
@@ -219,6 +234,9 @@ std::optional<ComponentFinding> AbnormalChangeSelector::analyzeComponent(
       finding.metrics.push_back(*metric_finding);
     }
   }
+  // Publish any arena growth this component's analysis caused; in steady
+  // state this is a no-op and the grow counter stops moving.
+  signal::threadScratch().accountGrowth();
   if (finding.metrics.empty()) return std::nullopt;
 
   // The component's abnormal change starts when its first metric does.

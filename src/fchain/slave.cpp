@@ -1,5 +1,6 @@
 #include "fchain/slave.h"
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
 
@@ -12,33 +13,57 @@ FChainSlave::~FChainSlave() = default;
 FChainSlave::FChainSlave(FChainSlave&&) noexcept = default;
 FChainSlave& FChainSlave::operator=(FChainSlave&&) noexcept = default;
 
+namespace {
+
+/// First entry with entry.id >= id in the id-sorted fleet vector.
+template <typename Vec>
+auto lowerBoundVm(Vec& vms, ComponentId id) {
+  return std::lower_bound(
+      vms.begin(), vms.end(), id,
+      [](const auto& entry, ComponentId target) { return entry.id < target; });
+}
+
+}  // namespace
+
+FChainSlave::VmState* FChainSlave::findVm(ComponentId id) {
+  const auto it = lowerBoundVm(vms_, id);
+  return it != vms_.end() && it->id == id ? &it->state : nullptr;
+}
+
+const FChainSlave::VmState* FChainSlave::findVm(ComponentId id) const {
+  const auto it = lowerBoundVm(vms_, id);
+  return it != vms_.end() && it->id == id ? &it->state : nullptr;
+}
+
 void FChainSlave::addComponent(ComponentId id, TimeSec start_time) {
-  vms_.emplace(id,
-               VmState{MetricSeries(start_time),
-                       NormalFluctuationModel(
-                           start_time, selector_.config().predictor),
-                       IngestStats{}});
+  const auto it = lowerBoundVm(vms_, id);
+  if (it != vms_.end() && it->id == id) return;  // already registered
+  vms_.insert(it,
+              VmEntry{id, VmState{MetricSeries(start_time),
+                                  NormalFluctuationModel(
+                                      start_time, selector_.config().predictor),
+                                  IngestStats{}}});
 }
 
 std::vector<ComponentId> FChainSlave::components() const {
   std::vector<ComponentId> ids;
   ids.reserve(vms_.size());
-  for (const auto& [id, vm] : vms_) ids.push_back(id);
+  for (const VmEntry& entry : vms_) ids.push_back(entry.id);
   return ids;
 }
 
 void FChainSlave::ingest(ComponentId id,
                          const std::array<double, kMetricCount>& sample) {
-  const auto it = vms_.find(id);
-  if (it == vms_.end()) return;
-  ingestAt(id, it->second.series.endTime(), sample);
+  const VmState* vm = findVm(id);
+  if (vm == nullptr) return;
+  ingestAt(id, vm->series.endTime(), sample);
 }
 
 void FChainSlave::ingestAt(ComponentId id, TimeSec t,
                            const std::array<double, kMetricCount>& sample) {
-  const auto it = vms_.find(id);
-  if (it == vms_.end()) return;
-  VmState& vm = it->second;
+  VmState* vm_ptr = findVm(id);
+  if (vm_ptr == nullptr) return;
+  VmState& vm = *vm_ptr;
   const FChainConfig& config = selector_.config();
 
   const TimeSec start = vm.series.of(MetricKind::CpuUsage).startTime();
@@ -110,22 +135,22 @@ void FChainSlave::ingestAt(ComponentId id, TimeSec t,
 }
 
 const IngestStats* FChainSlave::ingestStatsOf(ComponentId id) const {
-  const auto it = vms_.find(id);
-  return it == vms_.end() ? nullptr : &it->second.stats;
+  const VmState* vm = findVm(id);
+  return vm == nullptr ? nullptr : &vm->stats;
 }
 
 const MetricSeries* FChainSlave::seriesOf(ComponentId id) const {
-  const auto it = vms_.find(id);
-  return it == vms_.end() ? nullptr : &it->second.series;
+  const VmState* vm = findVm(id);
+  return vm == nullptr ? nullptr : &vm->series;
 }
 
 std::optional<ComponentFinding> FChainSlave::analyze(
     ComponentId id, TimeSec violation_time) const {
   FCHAIN_SPAN_VAR(span, "slave.analyze_vm");
   span.arg("component", static_cast<std::int64_t>(id));
-  const auto it = vms_.find(id);
-  if (it == vms_.end()) return std::nullopt;
-  return selector_.analyzeComponent(id, it->second.series, it->second.model,
+  const VmState* vm = findVm(id);
+  if (vm == nullptr) return std::nullopt;
+  return selector_.analyzeComponent(id, vm->series, vm->model,
                                     violation_time);
 }
 

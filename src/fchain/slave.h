@@ -13,7 +13,6 @@
 #pragma once
 
 #include <array>
-#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -48,7 +47,7 @@ class FChainSlave {
   /// to FChainMaster: the master snapshots the component list then.
   void addComponent(ComponentId id, TimeSec start_time);
 
-  bool monitors(ComponentId id) const { return vms_.contains(id); }
+  bool monitors(ComponentId id) const { return findVm(id) != nullptr; }
   std::vector<ComponentId> components() const;
 
   /// Feeds one second of samples for one local VM at the series' endTime().
@@ -112,9 +111,25 @@ class FChainSlave {
     IngestStats stats;
   };
 
+  /// One monitored VM. The fleet lives in a flat vector sorted by id rather
+  /// than a node-per-VM map: the per-second ingest path and the analyze
+  /// fan-out walk VMs constantly, and a contiguous id-sorted array gives
+  /// them a binary-search lookup over one cache-resident id sequence and a
+  /// linear scan for iteration. Id order is also the snapshot order, so
+  /// serialized state stays byte-identical to the old map layout. (The six
+  /// metric streams inside MetricSeries are already
+  /// structure-of-arrays: one dense TimeSeries per metric.)
+  struct VmEntry {
+    ComponentId id;
+    VmState state;
+  };
+
+  VmState* findVm(ComponentId id);
+  const VmState* findVm(ComponentId id) const;
+
   HostId host_;
   AbnormalChangeSelector selector_;
-  std::map<ComponentId, VmState> vms_;
+  std::vector<VmEntry> vms_;                   ///< sorted by id
   std::unique_ptr<runtime::WorkerPool> pool_;  ///< null = serial analysis
 };
 

@@ -12,9 +12,11 @@ persist::SlaveSnapshot FChainSlave::snapshot(std::uint64_t epoch) const {
   snap.host = host_;
   snap.epoch = epoch;
   snap.vms.reserve(vms_.size());
-  for (const auto& [id, vm] : vms_) {
+  // vms_ is id-sorted, so snapshot order matches the old map layout exactly.
+  for (const VmEntry& entry : vms_) {
+    const VmState& vm = entry.state;
     persist::VmSnapshotState out;
-    out.component = id;
+    out.component = entry.id;
     for (std::size_t m = 0; m < kMetricCount; ++m) {
       const TimeSeries& series = vm.series.of(kAllMetrics[m]);
       out.series[m].start = series.startTime();
@@ -40,7 +42,7 @@ FChainSlave FChainSlave::fromSnapshot(const persist::SlaveSnapshot& snapshot,
     // Register through the normal path first, then overwrite the learned
     // state field by field with the persisted bits.
     slave.addComponent(vm.component, vm.series[0].start);
-    VmState& state = slave.vms_.at(vm.component);
+    VmState& state = *slave.findVm(vm.component);
     for (std::size_t m = 0; m < kMetricCount; ++m) {
       state.series.of(kAllMetrics[m]) =
           TimeSeries(vm.series[m].start, vm.series[m].values);

@@ -2,25 +2,35 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/stats.h"
 #include "obs/trace.h"
 #include "signal/fft.h"
+#include "signal/scratch.h"
 
 namespace fchain::signal {
 
-std::vector<double> burstSignal(std::span<const double> xs,
-                                const BurstConfig& config) {
+std::vector<double>& burstSignalInto(std::span<const double> xs,
+                                     const BurstConfig& config,
+                                     SignalScratch& scratch) {
   const std::size_t n = xs.size();
-  if (n < 2) return std::vector<double>(n, 0.0);
+  std::vector<double>& out = scratch.burst(n);
+  if (n < 2) {
+    std::fill(out.begin(), out.end(), 0.0);
+    return out;
+  }
 
   // Remove the mean before padding so zero-padding does not fabricate an
-  // artificial step (which would leak energy into every frequency).
+  // artificial step (which would leak energy into every frequency). The
+  // centered window lives in the burst lane, which then receives the
+  // synthesized burst signal back from the inverse transform.
   const double m = fchain::mean(xs);
-  std::vector<double> centered(xs.begin(), xs.end());
-  for (double& x : centered) x -= m;
+  for (std::size_t i = 0; i < n; ++i) out[i] = xs[i] - m;
 
-  auto spectrum = fftReal(centered);
+  const FftPlan& plan = scratch.plan(nextPow2(n));
+  std::vector<std::complex<double>>& spectrum = scratch.spectrum();
+  fftRealInto(out, plan, spectrum);
   const std::size_t len = spectrum.size();
   // Real-signal spectrum is conjugate-symmetric: bins i and len-i carry the
   // same physical frequency min(i, len-i) in [0, len/2]. "Top 90 % of
@@ -32,17 +42,34 @@ std::vector<double> burstSignal(std::span<const double> xs,
     const double freq = static_cast<double>(std::min(i, len - i));
     if (freq < cutoff || i == 0) spectrum[i] = 0.0;
   }
-  return ifftToReal(std::move(spectrum), n);
+  ifftRealInto(spectrum, plan, out);
+  return out;
+}
+
+std::vector<double> burstSignal(std::span<const double> xs,
+                                const BurstConfig& config) {
+  return burstSignalInto(xs, config, threadScratch());
+}
+
+double expectedPredictionError(std::span<const double> xs,
+                               const BurstConfig& config,
+                               SignalScratch& scratch) {
+  FCHAIN_SPAN_VAR(span, "signal.burst_threshold");
+  span.arg("n", static_cast<std::int64_t>(xs.size()));
+  if (xs.size() < std::max<std::size_t>(config.min_window, 2)) {
+    // Cold start: too few samples to estimate burstiness. +inf means "no
+    // threshold yet" — no prediction error can look abnormal until the
+    // window fills (the old 0.0 return meant the opposite).
+    return std::numeric_limits<double>::infinity();
+  }
+  std::vector<double>& burst = burstSignalInto(xs, config, scratch);
+  for (double& b : burst) b = std::fabs(b);
+  return fchain::percentileInPlace(burst, config.magnitude_percentile);
 }
 
 double expectedPredictionError(std::span<const double> xs,
                                const BurstConfig& config) {
-  FCHAIN_SPAN_VAR(span, "signal.burst_threshold");
-  span.arg("n", static_cast<std::int64_t>(xs.size()));
-  if (xs.size() < 2) return 0.0;
-  auto burst = burstSignal(xs, config);
-  for (double& b : burst) b = std::fabs(b);
-  return fchain::percentile(burst, config.magnitude_percentile);
+  return expectedPredictionError(xs, config, threadScratch());
 }
 
 }  // namespace fchain::signal

@@ -14,22 +14,44 @@
 
 namespace fchain::signal {
 
+class SignalScratch;
+
 struct BurstConfig {
   /// Fraction of the frequency spectrum counted as high frequency, from the
   /// top (paper: "top k (e.g., 90%) frequencies").
   double high_freq_fraction = 0.9;
   /// Percentile of |burst| used as the expected prediction error.
   double magnitude_percentile = 90.0;
+  /// Windows shorter than this have no meaningful spectrum to estimate
+  /// burstiness from. expectedPredictionError() returns +inf for them — the
+  /// explicit cold-start semantic: "no threshold yet", so nothing is judged
+  /// abnormal until enough samples exist. (The old behaviour returned 0.0
+  /// for n < 2, i.e. *every* nonzero error looked abnormal during cold
+  /// start.) Must be >= 2; the online pipeline's windows are >= 21 samples,
+  /// so steady-state behaviour is unaffected.
+  std::size_t min_window = 8;
 };
 
 /// Synthesizes the burst (high-frequency) component of `xs`.
-/// The result has the same length as `xs`.
+/// The result has the same length as `xs`; all zeros for n < 2.
 std::vector<double> burstSignal(std::span<const double> xs,
                                 const BurstConfig& config = {});
 
+/// Zero-allocation variant: synthesizes into `scratch`'s burst lane and
+/// returns it (valid until the next kernel call on the same scratch).
+std::vector<double>& burstSignalInto(std::span<const double> xs,
+                                     const BurstConfig& config,
+                                     SignalScratch& scratch);
+
 /// Expected prediction error for a window: the configured percentile of the
-/// absolute burst signal. Returns 0 for windows shorter than 2 samples.
+/// absolute burst signal. Returns +inf for windows shorter than
+/// config.min_window (cold start — see BurstConfig::min_window).
 double expectedPredictionError(std::span<const double> xs,
                                const BurstConfig& config = {});
+
+/// Zero-allocation variant of expectedPredictionError().
+double expectedPredictionError(std::span<const double> xs,
+                               const BurstConfig& config,
+                               SignalScratch& scratch);
 
 }  // namespace fchain::signal

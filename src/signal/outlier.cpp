@@ -3,23 +3,35 @@
 #include <cmath>
 
 #include "common/stats.h"
+#include "signal/scratch.h"
 
 namespace fchain::signal {
 
-std::vector<ChangePoint> outlierChangePoints(
-    std::span<const ChangePoint> points, const OutlierConfig& config) {
-  std::vector<ChangePoint> out;
+std::vector<ChangePoint>& outlierChangePointsInto(
+    std::span<const ChangePoint> points, const OutlierConfig& config,
+    SignalScratch& scratch, std::vector<ChangePoint>& out) {
+  out.clear();
   if (points.size() < 3) {
     out.assign(points.begin(), points.end());
     return out;
   }
 
-  std::vector<double> magnitudes;
-  magnitudes.reserve(points.size());
-  for (const auto& p : points) magnitudes.push_back(std::fabs(p.shift));
-
-  const double med = fchain::median(magnitudes);
-  const double mad = fchain::medianAbsDeviation(magnitudes);
+  // The magnitudes are only consumed through their order statistics, so they
+  // go straight into the stats lanes: statsA is sorted for the median, then
+  // statsB holds |magnitude - median| for the MAD. Sorting first does not
+  // change either multiset, so this matches the allocating path bit for bit.
+  std::vector<double>& magnitudes = scratch.statsA();
+  magnitudes.resize(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    magnitudes[i] = std::fabs(points[i].shift);
+  }
+  const double med = fchain::medianInPlace(magnitudes);
+  std::vector<double>& deviations = scratch.statsB();
+  deviations.resize(magnitudes.size());
+  for (std::size_t i = 0; i < magnitudes.size(); ++i) {
+    deviations[i] = std::fabs(magnitudes[i] - med);
+  }
+  const double mad = fchain::medianInPlace(deviations);
   // 1.4826 scales MAD to the stddev of a normal distribution.
   const double robust_sigma = 1.4826 * mad;
 
@@ -34,6 +46,13 @@ std::vector<ChangePoint> outlierChangePoints(
     }
     if (is_outlier) out.push_back(p);
   }
+  return out;
+}
+
+std::vector<ChangePoint> outlierChangePoints(
+    std::span<const ChangePoint> points, const OutlierConfig& config) {
+  std::vector<ChangePoint> out;
+  outlierChangePointsInto(points, config, threadScratch(), out);
   return out;
 }
 

@@ -14,6 +14,8 @@
 
 namespace fchain::signal {
 
+class SignalScratch;
+
 struct OutlierConfig {
   /// Robust z-score (|shift - median| / (1.4826 * MAD)) above which a change
   /// point counts as an outlier.
@@ -27,5 +29,13 @@ struct OutlierConfig {
 /// With fewer than 3 points every point is kept (no basis for comparison).
 std::vector<ChangePoint> outlierChangePoints(
     std::span<const ChangePoint> points, const OutlierConfig& config = {});
+
+/// Zero-allocation variant: filters into `out` (cleared first), using
+/// `scratch`'s stats lanes for the median/MAD work buffers. `out` may be
+/// scratch.outliers() but must not alias the storage behind `points`.
+/// Returns `out` for convenience.
+std::vector<ChangePoint>& outlierChangePointsInto(
+    std::span<const ChangePoint> points, const OutlierConfig& config,
+    SignalScratch& scratch, std::vector<ChangePoint>& out);
 
 }  // namespace fchain::signal

@@ -17,6 +17,13 @@ namespace fchain::signal {
 /// half == 0 returns the input unchanged.
 std::vector<double> movingAverage(std::span<const double> xs, std::size_t half);
 
+/// Zero-allocation variant: writes into `out` (resized to xs.size(); no
+/// allocation once its capacity is reached). `out` must not alias `xs`.
+/// Returns `out` for convenience.
+std::vector<double>& movingAverageInto(std::span<const double> xs,
+                                       std::size_t half,
+                                       std::vector<double>& out);
+
 /// Exponentially weighted moving average with smoothing factor alpha in
 /// (0, 1]; alpha == 1 returns the input unchanged.
 std::vector<double> ewma(std::span<const double> xs, double alpha);

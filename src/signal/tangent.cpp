@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/stats.h"
+#include "signal/scratch.h"
 
 namespace fchain::signal {
 
@@ -18,11 +19,13 @@ double tangentAt(std::span<const double> xs, std::size_t index,
 
 std::size_t rollbackOnset(std::span<const double> xs,
                           std::span<const ChangePoint> points,
-                          std::size_t selected,
-                          const RollbackConfig& config) {
+                          std::size_t selected, const RollbackConfig& config,
+                          SignalScratch& scratch) {
   if (points.empty() || selected >= points.size()) return selected;
 
-  double scale = fchain::medianAbsDeviation(xs) * 1.4826;
+  double scale = fchain::medianAbsDeviation(xs, scratch.statsA(),
+                                            scratch.statsB()) *
+                 1.4826;
   if (scale < 1e-9) scale = std::max(1e-9, fchain::stddev(xs));
 
   // Rolling back is only meaningful while we stay inside the same
@@ -44,6 +47,13 @@ std::size_t rollbackOnset(std::span<const double> xs,
     --current;
   }
   return current;
+}
+
+std::size_t rollbackOnset(std::span<const double> xs,
+                          std::span<const ChangePoint> points,
+                          std::size_t selected,
+                          const RollbackConfig& config) {
+  return rollbackOnset(xs, points, selected, config, threadScratch());
 }
 
 }  // namespace fchain::signal

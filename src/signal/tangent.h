@@ -14,6 +14,8 @@
 
 namespace fchain::signal {
 
+class SignalScratch;
+
 struct RollbackConfig {
   /// Two tangents a and b count as "close" when
   ///   |a - b| < relative_epsilon * max(|a|, |b|) + scale_floor * sigma,
@@ -38,5 +40,12 @@ std::size_t rollbackOnset(std::span<const double> xs,
                           std::span<const ChangePoint> points,
                           std::size_t selected,
                           const RollbackConfig& config = {});
+
+/// Zero-allocation variant: uses `scratch`'s stats lanes for the robust
+/// scale estimate. `xs` must not be backed by a stats lane of `scratch`.
+std::size_t rollbackOnset(std::span<const double> xs,
+                          std::span<const ChangePoint> points,
+                          std::size_t selected, const RollbackConfig& config,
+                          SignalScratch& scratch);
 
 }  // namespace fchain::signal

@@ -4,8 +4,10 @@
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <new>
 #include <numbers>
+#include <span>
 
 #include "common/rng.h"
 #include "obs/trace.h"
@@ -187,8 +189,23 @@ TEST(Burst, BurstierSignalGetsHigherThreshold) {
 }
 
 TEST(Burst, TinyWindowsAreSafe) {
-  EXPECT_DOUBLE_EQ(expectedPredictionError(std::vector<double>{}), 0.0);
-  EXPECT_DOUBLE_EQ(expectedPredictionError(std::vector<double>{1.0}), 0.0);
+  // Cold-start semantic: a window shorter than min_window has no spectrum
+  // to estimate burstiness from, so the expected error is +inf ("no
+  // threshold yet" — nothing can look abnormal), not 0.0 (which made
+  // *every* nonzero error look abnormal).
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(expectedPredictionError(std::vector<double>{}), inf);
+  EXPECT_EQ(expectedPredictionError(std::vector<double>{1.0}), inf);
+  BurstConfig config;
+  std::vector<double> window;
+  for (std::size_t i = 0; i < config.min_window; ++i) {
+    window.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  }
+  // One below the minimum: still cold. At the minimum: finite threshold.
+  EXPECT_EQ(expectedPredictionError(
+                std::span<const double>(window).subspan(1), config),
+            inf);
+  EXPECT_TRUE(std::isfinite(expectedPredictionError(window, config)));
   const auto burst = burstSignal(std::vector<double>{1.0});
   ASSERT_EQ(burst.size(), 1u);
   EXPECT_DOUBLE_EQ(burst[0], 0.0);

@@ -4,6 +4,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <span>
+#include <stdexcept>
 
 #include "common/rng.h"
 #include "common/stats.h"
@@ -20,6 +23,89 @@ class StatsProperty : public ::testing::TestWithParam<std::uint64_t> {
     return xs;
   }
 };
+
+// --- Percentile boundary contract (exhaustive edge cases) ------------------
+
+TEST(PercentileBoundary, EmptyInputThrows) {
+  EXPECT_THROW(percentile(std::span<const double>{}, 50.0),
+               std::invalid_argument);
+  EXPECT_THROW(percentileInPlace(std::span<double>{}, 50.0),
+               std::invalid_argument);
+  EXPECT_THROW(median(std::span<const double>{}), std::invalid_argument);
+}
+
+TEST(PercentileBoundary, NanRankThrowsInsteadOfUndefinedCast) {
+  // A NaN p used to be cast straight to size_t (undefined behaviour and a
+  // garbage rank). It must throw for every input size.
+  const std::vector<double> one{3.0};
+  const std::vector<double> many{1.0, 2.0, 3.0, 4.0};
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(percentile(many, nan), std::invalid_argument);
+  EXPECT_THROW(percentile(one, nan), std::invalid_argument);
+  std::vector<double> buf = many;
+  EXPECT_THROW(percentileInPlace(buf, nan), std::invalid_argument);
+}
+
+TEST(PercentileBoundary, SingleElementReturnsItForEveryRank) {
+  const std::vector<double> xs{42.5};
+  for (double p : {0.0, 0.001, 50.0, 99.999, 100.0}) {
+    EXPECT_DOUBLE_EQ(percentile(xs, p), 42.5) << "p=" << p;
+  }
+}
+
+TEST(PercentileBoundary, EndpointsAreExactMinAndMax) {
+  const std::vector<double> xs{7.0, -3.0, 5.0, 11.0, 0.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), -3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 11.0);
+  // Out-of-range ranks clamp to the endpoints.
+  EXPECT_DOUBLE_EQ(percentile(xs, -10.0), -3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 250.0), 11.0);
+}
+
+TEST(PercentileBoundary, InfiniteExtremesDoNotPoisonExactRanks) {
+  // With interpolation arithmetic at exact ranks, an infinite neighbour
+  // produced inf * 0 = NaN. Exact ranks must return the element directly.
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> xs{1.0, 2.0, inf};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.0);
+  EXPECT_EQ(percentile(xs, 100.0), inf);
+  const std::vector<double> neg{-inf, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(percentile(neg, 50.0), 5.0);
+  EXPECT_EQ(percentile(neg, 0.0), -inf);
+}
+
+TEST(PercentileBoundary, TwoElementInterpolation) {
+  const std::vector<double> xs{10.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 12.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 15.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 20.0);
+}
+
+TEST(PercentileBoundary, InPlaceVariantMatchesAllocatingVariant) {
+  Rng rng(5);
+  std::vector<double> xs(37);
+  for (double& x : xs) x = rng.uniform(-50.0, 50.0);
+  for (double p = 0.0; p <= 100.0; p += 2.5) {
+    std::vector<double> buf = xs;
+    EXPECT_EQ(percentileInPlace(buf, p), percentile(xs, p)) << "p=" << p;
+  }
+  std::vector<double> buf = xs;
+  EXPECT_EQ(medianInPlace(buf), median(xs));
+}
+
+TEST(PercentileBoundary, BufferedMadMatchesAllocatingMad) {
+  Rng rng(6);
+  std::vector<double> xs(41);
+  for (double& x : xs) x = rng.uniform(-50.0, 50.0);
+  std::vector<double> work, deviations;
+  EXPECT_EQ(medianAbsDeviation(xs, work, deviations), medianAbsDeviation(xs));
+  // And with warm (over-sized) buffers, which must be resized down.
+  work.assign(500, 0.0);
+  deviations.assign(500, 0.0);
+  EXPECT_EQ(medianAbsDeviation(xs, work, deviations), medianAbsDeviation(xs));
+}
 
 TEST_P(StatsProperty, PercentileIsMonotoneInP) {
   const auto xs = randomData(73);
