@@ -79,6 +79,12 @@ struct CampaignConfig {
   /// sweep uses a small cap; truncation happens *after* the shuffle so a
   /// capped sweep still samples the whole space uniformly.
   std::size_t max_episodes = 0;
+  /// Per-episode parallelism for runCampaign (<= 1 = serial). Episodes are
+  /// fully independent — each owns its simulator, monitor, and slaves — so
+  /// they run on a runtime::WorkerPool writing pre-allocated run-order
+  /// slots. The report is byte-identical to a serial run; only the progress
+  /// callback's arrival order changes (`done` still counts completions).
+  int worker_threads = 0;
 };
 
 /// Enumerates the full fault space for `config`, already shuffled into the

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <map>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <utility>
+
+#include "runtime/worker_pool.h"
 
 namespace fchain::campaign {
 
@@ -125,11 +128,31 @@ CampaignResult runCampaign(const CampaignConfig& config,
     }
   }
 
-  result.episodes.reserve(episodes.size());
-  for (std::size_t i = 0; i < episodes.size(); ++i) {
-    result.episodes.push_back(
-        runEpisode(episodes[i], deps.at(episodes[i].app)));
-    if (progress) progress(i + 1, episodes.size(), result.episodes.back());
+  // Episodes are independent; parallel runs write pre-allocated, disjoint
+  // run-order slots (the WorkerPool determinism contract), so the record
+  // vector — and therefore the report bytes — match the serial path exactly.
+  result.episodes.resize(episodes.size());
+  if (config.worker_threads > 1 && episodes.size() > 1) {
+    runtime::WorkerPool pool(config.worker_threads);
+    std::mutex progress_mutex;
+    std::size_t done = 0;
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(episodes.size());
+    for (std::size_t i = 0; i < episodes.size(); ++i) {
+      tasks.push_back([&, i] {
+        result.episodes[i] = runEpisode(episodes[i], deps.at(episodes[i].app));
+        if (progress) {
+          const std::lock_guard<std::mutex> lock(progress_mutex);
+          progress(++done, episodes.size(), result.episodes[i]);
+        }
+      });
+    }
+    pool.run(std::move(tasks));
+  } else {
+    for (std::size_t i = 0; i < episodes.size(); ++i) {
+      result.episodes[i] = runEpisode(episodes[i], deps.at(episodes[i].app));
+      if (progress) progress(i + 1, episodes.size(), result.episodes[i]);
+    }
   }
   result.report = buildFrontierReport(config, result.episodes);
   return result;

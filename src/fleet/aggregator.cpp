@@ -1,0 +1,69 @@
+#include "fleet/aggregator.h"
+
+#include <algorithm>
+#include <map>
+
+namespace fchain::fleet {
+
+core::PinpointResult FleetAggregator::merge(
+    const std::vector<ShardPartial>& partials, std::size_t total_components,
+    const netdep::DependencyGraph* dependencies) const {
+  // Union the evidence. Order does not matter — pinpoint() re-sorts by
+  // (onset, component), a total order because slices are disjoint — but
+  // walking partials in the given (ascending-shard) order keeps the
+  // pre-sort layout deterministic too.
+  std::vector<core::ComponentFinding> findings;
+  std::vector<ComponentId> unanalyzed;
+  std::size_t analyzed = 0;
+  for (const ShardPartial& partial : partials) {
+    findings.insert(findings.end(), partial.result.chain.begin(),
+                    partial.result.chain.end());
+    unanalyzed.insert(unanalyzed.end(), partial.result.unanalyzed.begin(),
+                      partial.result.unanalyzed.end());
+    // Every slice component was either analyzed or reported unanalyzed by
+    // its shard master; the counts are additive across disjoint slices.
+    analyzed += partial.components.size() - partial.result.unanalyzed.size();
+  }
+
+  core::PinpointResult result = pinpointer_.pinpoint(
+      std::move(findings), total_components, dependencies, analyzed);
+  std::sort(unanalyzed.begin(), unanalyzed.end());
+  result.unanalyzed = std::move(unanalyzed);
+  return result;
+}
+
+ShardPartial FleetAggregator::darkShard(ShardId shard,
+                                        std::vector<ComponentId> slice) {
+  ShardPartial partial;
+  partial.shard = shard;
+  partial.result.coverage = slice.empty() ? 1.0 : 0.0;
+  partial.result.unanalyzed = slice;
+  std::sort(partial.result.unanalyzed.begin(),
+            partial.result.unanalyzed.end());
+  partial.components = std::move(slice);
+  return partial;
+}
+
+std::vector<ShardPartial> partitionByOwner(
+    const HashRing& ring, const std::vector<ComponentId>& components) {
+  std::map<ShardId, std::size_t> slot_of;
+  std::vector<ShardPartial> slices;
+  for (const ComponentId id : components) {
+    const ShardId owner = ring.ownerOfComponent(id);
+    const auto [it, inserted] = slot_of.emplace(owner, slices.size());
+    if (inserted) {
+      slices.emplace_back();
+      slices.back().shard = owner;
+    }
+    slices[it->second].components.push_back(id);
+  }
+  // Ascending shard order: the merge (and any stats accounting walking the
+  // partials) must not depend on which component happened to come first.
+  std::sort(slices.begin(), slices.end(),
+            [](const ShardPartial& a, const ShardPartial& b) {
+              return a.shard < b.shard;
+            });
+  return slices;
+}
+
+}  // namespace fchain::fleet

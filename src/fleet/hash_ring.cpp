@@ -1,0 +1,95 @@
+#include "fleet/hash_ring.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace fchain::fleet {
+
+namespace {
+
+/// Salt streams keeping ring points, component keys, and app keys in
+/// disjoint hash families.
+constexpr std::uint64_t kVnodeSalt = 0x519a7d0full;
+constexpr std::uint64_t kComponentSalt = 0xc03b0e27ull;
+constexpr std::uint64_t kAppSalt = 0xa99f1ab5ull;
+
+/// FNV-1a 64 over the name bytes; folded through mixSeed below so app keys
+/// share the SplitMix64 avalanche with every other key family.
+std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+HashRing::HashRing(std::size_t shards, std::size_t vnodes)
+    : vnodes_(std::max<std::size_t>(1, vnodes)) {
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    shards_.push_back(static_cast<ShardId>(s));
+  }
+  rebuild();
+}
+
+HashRing::HashRing(const std::vector<ShardId>& shards, std::size_t vnodes)
+    : shards_(shards), vnodes_(std::max<std::size_t>(1, vnodes)) {
+  std::sort(shards_.begin(), shards_.end());
+  shards_.erase(std::unique(shards_.begin(), shards_.end()), shards_.end());
+  rebuild();
+}
+
+void HashRing::addShard(ShardId shard) {
+  const auto it = std::lower_bound(shards_.begin(), shards_.end(), shard);
+  if (it != shards_.end() && *it == shard) return;
+  shards_.insert(it, shard);
+  rebuild();
+}
+
+void HashRing::removeShard(ShardId shard) {
+  const auto it = std::lower_bound(shards_.begin(), shards_.end(), shard);
+  if (it == shards_.end() || *it != shard) return;
+  shards_.erase(it);
+  rebuild();
+}
+
+void HashRing::rebuild() {
+  points_.clear();
+  points_.reserve(shards_.size() * vnodes_);
+  for (const ShardId shard : shards_) {
+    for (std::size_t replica = 0; replica < vnodes_; ++replica) {
+      points_.emplace_back(
+          mixSeed(kVnodeSalt, shard, static_cast<std::uint64_t>(replica)),
+          shard);
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+ShardId HashRing::ownerOfKey(std::uint64_t key) const {
+  if (points_.empty()) {
+    throw std::logic_error("HashRing: ownerOfKey on an empty ring");
+  }
+  // First point at or clockwise after the key; wrap to the lowest point.
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), key,
+      [](const std::pair<std::uint64_t, ShardId>& point, std::uint64_t k) {
+        return point.first < k;
+      });
+  return it == points_.end() ? points_.front().second : it->second;
+}
+
+std::uint64_t HashRing::componentKey(ComponentId id) {
+  return mixSeed(kComponentSalt, static_cast<std::uint64_t>(id));
+}
+
+std::uint64_t HashRing::appKey(std::string_view name) {
+  return mixSeed(kAppSalt, fnv1a(name));
+}
+
+}  // namespace fchain::fleet

@@ -1,0 +1,88 @@
+// Consistent-hash assignment of components and applications to master
+// shards (fleet tier, see docs/ARCHITECTURE.md "Fleet-scale sharding").
+//
+// One FChainMaster can only analyze so many components per second; the
+// fleet tier splits ownership across N master shards. The assignment must
+// be:
+//   - total and unique: every key is owned by exactly one shard;
+//   - deterministic and insertion-order invariant: two processes that know
+//     the same shard set agree on every owner without coordination;
+//   - stable under membership change: adding or removing one shard remaps
+//     only the keys adjacent to the moved ring points (expected fraction
+//     1/N, bounded well under 2/N with the default virtual-node count) —
+//     a naive `id % N` would remap almost everything.
+//
+// Implementation: the classic ring. Each shard contributes `vnodes`
+// deterministic points (mixSeed of shard id and replica index); a key is
+// owned by the shard whose point is the first at or clockwise after the
+// key's hash, wrapping at the top. Everything hashes through the repo's
+// SplitMix64-based mixSeed, so owners are identical across platforms and
+// process restarts.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fchain::fleet {
+
+/// Identifier of one master shard in the fleet tier.
+using ShardId = std::uint32_t;
+
+class HashRing {
+ public:
+  /// Virtual nodes per shard. 128 keeps the worst observed remap fraction
+  /// across the tested fleet sizes comfortably below the 2/N contract.
+  static constexpr std::size_t kDefaultVnodes = 128;
+
+  HashRing() = default;
+
+  /// Ring over shards {0, 1, ..., shards-1}.
+  explicit HashRing(std::size_t shards, std::size_t vnodes = kDefaultVnodes);
+
+  /// Ring over an explicit shard set (duplicates ignored). The resulting
+  /// assignment depends only on the *set*, never on the vector's order.
+  explicit HashRing(const std::vector<ShardId>& shards,
+                    std::size_t vnodes = kDefaultVnodes);
+
+  /// Adds / removes one shard; both rebuild the point list deterministically
+  /// from the resulting shard set. Adding an existing shard or removing an
+  /// unknown one is a no-op.
+  void addShard(ShardId shard);
+  void removeShard(ShardId shard);
+
+  std::size_t shardCount() const { return shards_.size(); }
+  bool empty() const { return shards_.empty(); }
+
+  /// The shard set, ascending.
+  const std::vector<ShardId>& shards() const { return shards_; }
+
+  /// Owner of an arbitrary pre-hashed key. Throws std::logic_error on an
+  /// empty ring (there is no owner to return).
+  ShardId ownerOfKey(std::uint64_t key) const;
+
+  ShardId ownerOfComponent(ComponentId id) const {
+    return ownerOfKey(componentKey(id));
+  }
+  ShardId ownerOfApp(std::string_view name) const {
+    return ownerOfKey(appKey(name));
+  }
+
+  /// Key derivations, exposed so tests and tooling can reason about
+  /// placement without a ring instance.
+  static std::uint64_t componentKey(ComponentId id);
+  static std::uint64_t appKey(std::string_view name);
+
+ private:
+  void rebuild();
+
+  std::vector<ShardId> shards_;  ///< ascending, unique
+  std::size_t vnodes_ = kDefaultVnodes;
+  /// (point hash, shard), sorted by point then shard — the sort makes the
+  /// ring a pure function of the shard set.
+  std::vector<std::pair<std::uint64_t, ShardId>> points_;
+};
+
+}  // namespace fchain::fleet

@@ -216,12 +216,16 @@ void OnlineMonitor::fire(std::size_t app, TimeSec tv) {
   incident.violation_time = tv;
   incident.triggered_at = clock_;
   incident.queued_delay_sec = clock_ - tv;
-  // Dependency knowledge is per-application (see setDependencies): install
-  // this app's graph — or the cluster default — for the fan-out. Fires are
-  // serialized through latch()/pump(), so the swap cannot race a localize.
-  master_.setDependencies(state.has_deps ? state.deps : default_deps_);
   const core::MasterRuntimeStats before = master_.runtimeStats();
-  incident.result = master_.localize(state.spec.components, tv);
+  if (localizer_) {
+    incident.result = localizer_(app, state.spec.components, tv);
+  } else {
+    // Dependency knowledge is per-application (see setDependencies): install
+    // this app's graph — or the cluster default — for the fan-out. Fires are
+    // serialized through latch()/pump(), so the swap cannot race a localize.
+    master_.setDependencies(state.has_deps ? state.deps : default_deps_);
+    incident.result = master_.localize(state.spec.components, tv);
+  }
   const core::MasterRuntimeStats after = master_.runtimeStats();
   incident.watchdog_trips_delta = after.watchdog_trips - before.watchdog_trips;
   incident.deadline_skips_delta = after.deadline_skips - before.deadline_skips;

@@ -141,6 +141,10 @@ struct OnlineIncident {
 class OnlineMonitor {
  public:
   using IncidentCallback = std::function<void(const OnlineIncident&)>;
+  /// Replacement fan-out for a latched incident: (app index, the app's
+  /// components, violation time) -> PinpointResult. See setLocalizer().
+  using Localizer = std::function<core::PinpointResult(
+      std::size_t, const std::vector<ComponentId>&, TimeSec)>;
 
   explicit OnlineMonitor(OnlineMonitorConfig config = {});
 
@@ -176,6 +180,17 @@ class OnlineMonitor {
   void setWatchdog(runtime::WatchdogConfig config);
   /// Incident journal for crash recovery (not owned; see fchain/recovery.h).
   void setIncidentJournal(persist::IncidentJournal* journal);
+
+  /// Routes fired incidents through an external localizer instead of the
+  /// monitor's own master (the fleet tier's fan-in seam: the owning-shard
+  /// monitor keeps all latch/cooldown/re-arm semantics and hands only the
+  /// fan-out to the fleet). Everything else about an incident — tv
+  /// anchoring, queueing, callbacks, metrics — is unchanged; the master's
+  /// per-app dependency install is skipped, since the external localizer
+  /// owns dependency knowledge. Pass {} to restore the built-in path.
+  void setLocalizer(Localizer localizer) {
+    localizer_ = std::move(localizer);
+  }
 
   // --- Streaming ---------------------------------------------------------
 
@@ -282,6 +297,7 @@ class OnlineMonitor {
   std::deque<PendingTrigger> pending_;
   std::vector<OnlineIncident> incidents_;
   IncidentCallback callback_;
+  Localizer localizer_;  ///< empty = use the monitor's own master
 
   TimeSec clock_ = 0;
   bool fired_once_ = false;

@@ -298,5 +298,44 @@ TEST(CampaignDeterminism, SameSeedByteIdenticalReports) {
   EXPECT_EQ(first.report.totals.total(), first.episodes.size());
 }
 
+// Per-episode parallelism is a pure scheduling change: workers write
+// pre-allocated run-order slots, so the record vector and every report
+// rendering match the serial bytes exactly.
+TEST(CampaignDeterminism, ParallelWorkersByteIdenticalToSerial) {
+  CampaignConfig config;
+  config.seed = 11;
+  config.max_episodes = 6;
+  const CampaignResult serial = runCampaign(config);
+
+  config.worker_threads = 4;
+  std::size_t last_done = 0;
+  std::size_t calls = 0;
+  const CampaignResult parallel =
+      runCampaign(config, [&](std::size_t done, std::size_t total,
+                              const EpisodeRecord& record) {
+        // Completion order may differ from run order, but `done` counts
+        // monotonically and every record is a fully-classified episode.
+        EXPECT_EQ(done, last_done + 1);
+        EXPECT_EQ(total, 6u);
+        EXPECT_FALSE(record.relation.empty());
+        last_done = done;
+        ++calls;
+      });
+  EXPECT_EQ(calls, 6u);
+
+  ASSERT_EQ(parallel.episodes.size(), serial.episodes.size());
+  for (std::size_t i = 0; i < serial.episodes.size(); ++i) {
+    EXPECT_EQ(parallel.episodes[i].spec.id, serial.episodes[i].spec.id);
+    EXPECT_EQ(parallel.episodes[i].outcome, serial.episodes[i].outcome);
+    EXPECT_EQ(parallel.episodes[i].incident.pinpointed,
+              serial.episodes[i].incident.pinpointed);
+    EXPECT_EQ(parallel.episodes[i].relation, serial.episodes[i].relation);
+  }
+  EXPECT_EQ(eval::frontierJson(parallel.report),
+            eval::frontierJson(serial.report));
+  EXPECT_EQ(eval::frontierMarkdown(parallel.report),
+            eval::frontierMarkdown(serial.report));
+}
+
 }  // namespace
 }  // namespace fchain::campaign

@@ -1,0 +1,360 @@
+// Partitioned-replay golden suite for the fleet tier: the N-shard
+// localization result must be *byte-identical* to the single-master golden
+// for every N in {1, 2, 4, 8} on the campaign's canonical scenarios —
+// including a shard crash mid-localization followed by journal-driven
+// recovery, and the online FleetMonitor fan-in over a live stream.
+//
+// Golden ownership: single_fault / concurrent_fault are produced by
+// test_golden_localization (the offline single-master reference) and are
+// never regenerated here. The two fleet-only scenarios (System S CpuHog,
+// Hadoop InfiniteLoop — the campaign's other overlay bases) get their own
+// goldens, regenerated from the *single-master* path only:
+//   FCHAIN_UPDATE_GOLDEN=1 ./build/tests/test_fleet_identity
+// The sharded paths always compare against the bytes on disk.
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fchain/fchain.h"
+#include "fleet/fleet.h"
+#include "fleet/monitor.h"
+#include "netdep/dependency.h"
+#include "pinpoint_render.h"
+#include "sim/apps.h"
+#include "sim/simulator.h"
+#include "sim/stream.h"
+
+namespace fchain::fleet {
+namespace {
+
+// --- Scenarios ------------------------------------------------------------
+
+sim::ScenarioConfig scenario(sim::AppKind kind, faults::FaultType type,
+                             const std::vector<ComponentId>& targets,
+                             double intensity, TimeSec start = 2000) {
+  faults::FaultSpec fault;
+  fault.type = type;
+  fault.targets = targets;
+  fault.start_time = start;
+  fault.intensity = intensity;
+  sim::ScenarioConfig config;
+  config.kind = kind;
+  config.seed = 77;
+  config.faults = {fault};
+  return config;
+}
+
+sim::ScenarioConfig rubisCpuHog() {
+  return scenario(sim::AppKind::Rubis, faults::FaultType::CpuHog, {3}, 1.35);
+}
+sim::ScenarioConfig rubisOffloadBug() {
+  return scenario(sim::AppKind::Rubis, faults::FaultType::OffloadBug, {1, 2},
+                  1.0);
+}
+sim::ScenarioConfig systemSCpuHog() {
+  return scenario(sim::AppKind::SystemS, faults::FaultType::CpuHog, {2},
+                  1.35);
+}
+sim::ScenarioConfig hadoopInfiniteLoop() {
+  // Hadoop is a batch job: spin all three map nodes inside the campaign's
+  // fault-start window ([1150, 1450]) so the job's aggregate progress
+  // stalls hard enough to latch the progress SLO (one spinning map of
+  // three only slows the sort — the reducers keep draining).
+  return scenario(sim::AppKind::Hadoop, faults::FaultType::InfiniteLoop,
+                  {0, 1, 2}, 1.0, /*start=*/1300);
+}
+
+// --- Incident construction ------------------------------------------------
+
+/// A fully-ingested incident: two slaves splitting the app's components by
+/// index (front = first half on host 0), the recorded violation time, and
+/// the discovered dependency graph — the same construction the offline
+/// golden flow uses, generalized over application size.
+struct Incident {
+  std::unique_ptr<core::FChainSlave> front;
+  std::unique_ptr<core::FChainSlave> back;
+  std::vector<ComponentId> components;
+  TimeSec tv = 0;
+  netdep::DependencyGraph deps;
+};
+
+Incident makeIncident(const sim::ScenarioConfig& config) {
+  Incident incident;
+  sim::Simulation sim(config);
+  const std::size_t n = sim.app().componentCount();
+  incident.front = std::make_unique<core::FChainSlave>(0);
+  incident.back = std::make_unique<core::FChainSlave>(1);
+  for (ComponentId id = 0; id < n; ++id) {
+    incident.components.push_back(id);
+    (id < n / 2 ? *incident.front : *incident.back).addComponent(id, 0);
+  }
+  while (!sim.violationTime().has_value() && sim.now() < 3600) {
+    sim.step();
+    const TimeSec t = sim.now() - 1;
+    for (ComponentId id = 0; id < n; ++id) {
+      std::array<double, kMetricCount> sample{};
+      for (MetricKind kind : kAllMetrics) {
+        sample[metricIndex(kind)] = sim.app().metricsOf(id).of(kind).at(t);
+      }
+      (id < n / 2 ? *incident.front : *incident.back).ingest(id, sample);
+    }
+  }
+  EXPECT_TRUE(sim.violationTime().has_value())
+      << "scenario never violated its SLO";
+  incident.tv = sim.violationTime().value_or(sim.now());
+  incident.deps = netdep::discoverDependencies(sim.record());
+  return incident;
+}
+
+std::string singleMasterRender(const Incident& incident) {
+  core::FChainMaster master;
+  master.registerSlave(incident.front.get());
+  master.registerSlave(incident.back.get());
+  master.setDependencies(incident.deps);
+  return core::renderPinpoint(
+      master.localize(incident.components, incident.tv), incident.tv);
+}
+
+std::string fleetRender(const Incident& incident, FleetConfig config) {
+  FleetMaster fleet(std::move(config));
+  fleet.addSlave(incident.front.get());
+  fleet.addSlave(incident.back.get());
+  fleet.setDependencies(incident.deps);
+  return core::renderPinpoint(
+      fleet.localize(incident.components, incident.tv), incident.tv);
+}
+
+// --- Golden plumbing ------------------------------------------------------
+
+std::string goldenPath(const std::string& name) {
+  return std::string(FCHAIN_GOLDEN_DIR) + "/" + name + ".golden";
+}
+
+std::string readGolden(const std::string& name) {
+  const std::string path = goldenPath(name);
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing golden " << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+/// Regen-capable comparison, used ONLY by the single-master reference
+/// tests — the sharded paths must never write what they are checked against.
+void expectMatchesGolden(const std::string& name, const std::string& actual) {
+  const std::string path = goldenPath(name);
+  const char* update = std::getenv("FCHAIN_UPDATE_GOLDEN");
+  if (update != nullptr && update[0] != '\0' &&
+      !(update[0] == '0' && update[1] == '\0')) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write golden " << path;
+    out << actual;
+    GTEST_SKIP() << "regenerated golden " << path;
+  }
+  EXPECT_EQ(actual, readGolden(name))
+      << "single-master output diverged from " << path
+      << "; regenerate with FCHAIN_UPDATE_GOLDEN=1 and review the diff";
+}
+
+void expectFleetMatchesGolden(const sim::ScenarioConfig& config,
+                              const std::string& golden_name) {
+  const Incident incident = makeIncident(config);
+  const std::string golden = readGolden(golden_name);
+  // Guard against a stale golden: the single-master path must agree with
+  // the bytes on disk before they are used as the sharding reference.
+  ASSERT_EQ(singleMasterRender(incident), golden)
+      << golden_name << " is stale relative to the single-master path";
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    FleetConfig fleet_config;
+    fleet_config.shards = shards;
+    EXPECT_EQ(fleetRender(incident, fleet_config), golden)
+        << golden_name << " diverged at " << shards << " shards";
+  }
+}
+
+// --- Single-master references for the fleet-only goldens ------------------
+
+TEST(FleetGoldenReference, SystemSCpuHog) {
+  const Incident incident = makeIncident(systemSCpuHog());
+  expectMatchesGolden("fleet_systems_cpuhog", singleMasterRender(incident));
+}
+
+TEST(FleetGoldenReference, HadoopInfiniteLoop) {
+  const Incident incident = makeIncident(hadoopInfiniteLoop());
+  expectMatchesGolden("fleet_hadoop_infloop", singleMasterRender(incident));
+}
+
+// --- Partitioned replay: N in {1, 2, 4, 8} --------------------------------
+
+TEST(FleetIdentity, RubisSingleFault) {
+  expectFleetMatchesGolden(rubisCpuHog(), "single_fault");
+}
+
+TEST(FleetIdentity, RubisConcurrentFault) {
+  expectFleetMatchesGolden(rubisOffloadBug(), "concurrent_fault");
+}
+
+TEST(FleetIdentity, SystemSCpuHog) {
+  expectFleetMatchesGolden(systemSCpuHog(), "fleet_systems_cpuhog");
+}
+
+TEST(FleetIdentity, HadoopInfiniteLoop) {
+  expectFleetMatchesGolden(hadoopInfiniteLoop(), "fleet_hadoop_infloop");
+}
+
+/// Cross-shard fan-out on a worker pool plus batched per-shard masters:
+/// still the same bytes (this is the configuration the TSan job runs).
+TEST(FleetIdentity, ThreadedFanOutMatchesGolden) {
+  const Incident incident = makeIncident(rubisCpuHog());
+  FleetConfig config;
+  config.shards = 4;
+  config.fleet_threads = 4;
+  config.shard_worker_threads = 2;
+  EXPECT_EQ(fleetRender(incident, config), readGolden("single_fault"));
+}
+
+// --- Shard crash mid-localization + journal-driven recovery ---------------
+
+TEST(FleetFailover, CrashMidLocalizationThenRerunMatchesGolden) {
+  const Incident incident = makeIncident(rubisCpuHog());
+  const std::string golden = readGolden("single_fault");
+
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "fleet_failover_journal")
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  FleetConfig config;
+  config.shards = 4;
+  config.journal_dir = dir;
+  FleetMaster fleet(config);
+  fleet.addSlave(incident.front.get());
+  fleet.addSlave(incident.back.get());
+  fleet.setDependencies(incident.deps);
+
+  // Crash the shard owning the faulty db VM (component 3) with the incident
+  // journaled as started but not completed — exactly the on-disk state a
+  // real crash between fan-out and logDone leaves behind.
+  const ShardId crashed = fleet.ownerOf(3);
+  std::vector<ComponentId> slice;
+  for (const ShardPartial& partial :
+       partitionByOwner(fleet.ring(), incident.components)) {
+    if (partial.shard == crashed) slice = partial.components;
+  }
+  ASSERT_FALSE(slice.empty());
+  ASSERT_NE(fleet.shardJournal(crashed), nullptr);
+  fleet.shardJournal(crashed)->logStart(slice, incident.tv);
+  fleet.crashShard(crashed);
+  EXPECT_FALSE(fleet.shardAlive(crashed));
+
+  // Degraded mode while the shard is down: its whole slice is unanalyzed.
+  const core::PinpointResult degraded =
+      fleet.localize(incident.components, incident.tv);
+  EXPECT_EQ(degraded.unanalyzed, slice);
+  EXPECT_DOUBLE_EQ(
+      degraded.coverage,
+      static_cast<double>(incident.components.size() - slice.size()) /
+          static_cast<double>(incident.components.size()));
+
+  // Recovery re-runs the interrupted slice localization from the journal.
+  const std::vector<core::RerunIncident> reruns = fleet.recoverShard(crashed);
+  ASSERT_EQ(reruns.size(), 1u);
+  EXPECT_EQ(reruns[0].components, slice);
+  EXPECT_EQ(reruns[0].violation_time, incident.tv);
+  EXPECT_TRUE(
+      persist::IncidentJournal::pending(fleet.shardJournalPath(crashed))
+          .empty());
+
+  // The re-run partial hand-merged with the live shards' fresh partials
+  // reproduces the golden — the recovered shard's answer is byte-equivalent
+  // to one that never crashed.
+  std::vector<ShardPartial> partials =
+      partitionByOwner(fleet.ring(), incident.components);
+  for (ShardPartial& partial : partials) {
+    if (partial.shard == crashed) {
+      partial.result = reruns[0].result;
+    } else {
+      partial.result =
+          fleet.shardMaster(partial.shard)
+              .localize(partial.components, incident.tv);
+    }
+  }
+  const FleetAggregator aggregator{core::FChainConfig{}};
+  EXPECT_EQ(core::renderPinpoint(
+                aggregator.merge(partials, incident.components.size(),
+                                 &incident.deps),
+                incident.tv),
+            golden);
+
+  // And the fleet as a whole is healed: a full localization is golden again.
+  EXPECT_EQ(core::renderPinpoint(
+                fleet.localize(incident.components, incident.tv),
+                incident.tv),
+            golden);
+
+  // Recovering a live shard is a no-op.
+  EXPECT_TRUE(fleet.recoverShard(crashed).empty());
+  std::filesystem::remove_all(dir);
+}
+
+// --- Online fan-in: FleetMonitor over a live stream -----------------------
+
+TEST(FleetOnline, StreamedIncidentMatchesGolden) {
+  // Offline pass for the dependency graph + expected tv (discovery is
+  // deterministic on the record; see online_vs_offline_test.cpp).
+  const sim::ScenarioConfig config = rubisCpuHog();
+  sim::Simulation offline(config);
+  while (!offline.violationTime().has_value() && offline.now() < 3600) {
+    offline.step();
+  }
+  ASSERT_TRUE(offline.violationTime().has_value());
+  const TimeSec tv = *offline.violationTime();
+  const netdep::DependencyGraph deps =
+      netdep::discoverDependencies(offline.record());
+
+  core::FChainSlave front(0);
+  core::FChainSlave back(1);
+  front.addComponent(0, 0);
+  front.addComponent(1, 0);
+  back.addComponent(2, 0);
+  back.addComponent(3, 0);
+
+  FleetMonitorConfig monitor_config;
+  monitor_config.shards = 4;
+  FleetMonitor monitor(monitor_config);
+  monitor.addSlave(&front);
+  monitor.addSlave(&back);
+  monitor.setDependencies(deps);
+
+  online::AppSpec app;
+  app.name = "rubis";
+  app.components = {0, 1, 2, 3};
+  app.slo.kind = online::SloSpec::Kind::Latency;
+  app.slo.latency_threshold_sec = sim::sloLatencyThreshold(config.kind);
+  app.slo.sustain_sec = config.slo_sustain_sec;
+  const std::size_t app_index = monitor.addApplication(app);
+
+  sim::StreamingSource source(config);
+  while (monitor.incidents().empty() && source.now() < 3600) {
+    const sim::StreamTick tick = source.step(
+        [&](const sim::StreamSample& sample) { monitor.ingest(sample); });
+    monitor.observe(app_index, tick);
+    monitor.pump();
+  }
+  ASSERT_EQ(monitor.incidents().size(), 1u);
+  const online::OnlineIncident& incident = monitor.incidents().front();
+  EXPECT_EQ(incident.app, app_index);
+  EXPECT_EQ(incident.violation_time, tv);
+  EXPECT_EQ(core::renderPinpoint(incident.result, incident.violation_time),
+            readGolden("single_fault"));
+}
+
+}  // namespace
+}  // namespace fchain::fleet

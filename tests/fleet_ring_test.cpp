@@ -1,0 +1,168 @@
+// Property tests for the fleet tier's consistent-hash assignment
+// (fleet/hash_ring.h): total/unique ownership, shard-set-order invariance,
+// and the bounded-remap contract under membership change.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fleet/aggregator.h"
+#include "fleet/hash_ring.h"
+
+namespace fchain::fleet {
+namespace {
+
+constexpr ComponentId kKeySpace = 10'000;
+
+std::vector<ShardId> ownersOf(const HashRing& ring) {
+  std::vector<ShardId> owners;
+  owners.reserve(kKeySpace);
+  for (ComponentId id = 0; id < kKeySpace; ++id) {
+    owners.push_back(ring.ownerOfComponent(id));
+  }
+  return owners;
+}
+
+TEST(FleetRing, EveryComponentOwnedByExactlyOneKnownShard) {
+  for (const std::size_t shards : {1u, 2u, 3u, 4u, 8u}) {
+    const HashRing ring(shards);
+    std::set<ShardId> seen;
+    for (ComponentId id = 0; id < kKeySpace; ++id) {
+      const ShardId owner = ring.ownerOfComponent(id);
+      EXPECT_LT(owner, shards);
+      // Ownership is a pure function of the ring: asking again answers the
+      // same (exactly-one-owner is the conjunction of the two).
+      EXPECT_EQ(owner, ring.ownerOfComponent(id));
+      seen.insert(owner);
+    }
+    // With 10k keys over <= 8 shards every shard owns something.
+    EXPECT_EQ(seen.size(), shards);
+  }
+}
+
+TEST(FleetRing, PartitionCoversAndPreservesOrder) {
+  const HashRing ring(4);
+  std::vector<ComponentId> components;
+  for (ComponentId id = 0; id < 257; ++id) components.push_back(id * 7 + 1);
+
+  const std::vector<ShardPartial> slices = partitionByOwner(ring, components);
+  std::vector<ComponentId> gathered;
+  for (std::size_t i = 0; i < slices.size(); ++i) {
+    if (i > 0) {
+      EXPECT_LT(slices[i - 1].shard, slices[i].shard);
+    }
+    EXPECT_FALSE(slices[i].components.empty());
+    // Caller order inside the slice: our input is ascending, so each slice
+    // must be strictly ascending too.
+    EXPECT_TRUE(std::is_sorted(slices[i].components.begin(),
+                               slices[i].components.end()));
+    for (const ComponentId id : slices[i].components) {
+      EXPECT_EQ(ring.ownerOfComponent(id), slices[i].shard);
+      gathered.push_back(id);
+    }
+  }
+  // The slices are a partition: disjoint and covering.
+  std::sort(gathered.begin(), gathered.end());
+  EXPECT_EQ(gathered, components);
+}
+
+TEST(FleetRing, AssignmentInvariantUnderShardSetOrder) {
+  const std::vector<ShardId> base = {0, 1, 2, 3, 4, 5, 6};
+  const HashRing reference(base);
+  Rng rng(mixSeed(0xF1EE7, 1));
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<ShardId> shuffled = base;
+    for (std::size_t i = shuffled.size(); i > 1; --i) {
+      std::swap(shuffled[i - 1], shuffled[rng.below(i)]);
+    }
+    const HashRing permuted(shuffled);
+    EXPECT_EQ(permuted.shards(), reference.shards());
+    for (ComponentId id = 0; id < kKeySpace; id += 3) {
+      ASSERT_EQ(permuted.ownerOfComponent(id),
+                reference.ownerOfComponent(id))
+          << "owner depends on shard insertion order";
+    }
+  }
+}
+
+TEST(FleetRing, AddShardRemapsBoundedAndOnlyToNewShard) {
+  for (const std::size_t shards : {2u, 4u, 8u}) {
+    HashRing before(shards);
+    const std::vector<ShardId> old_owners = ownersOf(before);
+    HashRing after = before;
+    const ShardId added = static_cast<ShardId>(shards);
+    after.addShard(added);
+    std::size_t moved = 0;
+    const std::vector<ShardId> new_owners = ownersOf(after);
+    for (ComponentId id = 0; id < kKeySpace; ++id) {
+      if (new_owners[id] == old_owners[id]) continue;
+      ++moved;
+      // A key may only move to the shard that joined.
+      EXPECT_EQ(new_owners[id], added);
+    }
+    const double fraction = static_cast<double>(moved) / kKeySpace;
+    EXPECT_LT(fraction, 2.0 / static_cast<double>(shards + 1))
+        << "shards=" << shards << " moved=" << moved;
+    EXPECT_GT(moved, 0u);
+  }
+}
+
+TEST(FleetRing, RemoveShardRemapsBoundedAndOnlyFromRemovedShard) {
+  for (const std::size_t shards : {2u, 4u, 8u}) {
+    HashRing before(shards);
+    const std::vector<ShardId> old_owners = ownersOf(before);
+    HashRing after = before;
+    const ShardId removed = static_cast<ShardId>(shards / 2);
+    after.removeShard(removed);
+    std::size_t moved = 0;
+    const std::vector<ShardId> new_owners = ownersOf(after);
+    for (ComponentId id = 0; id < kKeySpace; ++id) {
+      if (new_owners[id] == old_owners[id]) continue;
+      ++moved;
+      // Only keys the removed shard owned may move.
+      EXPECT_EQ(old_owners[id], removed);
+      EXPECT_NE(new_owners[id], removed);
+    }
+    const double fraction = static_cast<double>(moved) / kKeySpace;
+    EXPECT_LT(fraction, 2.0 / static_cast<double>(shards));
+    EXPECT_GT(moved, 0u);
+  }
+}
+
+TEST(FleetRing, AddThenRemoveRoundTripsToTheSameAssignment) {
+  HashRing ring(4);
+  const std::vector<ShardId> before = ownersOf(ring);
+  ring.addShard(9);
+  ring.removeShard(9);
+  EXPECT_EQ(ownersOf(ring), before);
+  // Duplicate add / unknown remove are no-ops.
+  ring.addShard(2);
+  ring.removeShard(42);
+  EXPECT_EQ(ownersOf(ring), before);
+}
+
+TEST(FleetRing, AppKeysAreDeterministicAndNameSensitive) {
+  const HashRing ring(8);
+  EXPECT_EQ(ring.ownerOfApp("rubis"), ring.ownerOfApp("rubis"));
+  EXPECT_EQ(HashRing::appKey("systems"), HashRing::appKey("systems"));
+  EXPECT_NE(HashRing::appKey("rubis"), HashRing::appKey("rubis2"));
+  // Apps spread: 64 distinct names must not all land on one shard.
+  std::set<ShardId> owners;
+  for (int i = 0; i < 64; ++i) {
+    owners.insert(ring.ownerOfApp("app-" + std::to_string(i)));
+  }
+  EXPECT_GT(owners.size(), 1u);
+}
+
+TEST(FleetRing, EmptyRingThrows) {
+  const HashRing ring(std::vector<ShardId>{});
+  EXPECT_TRUE(ring.empty());
+  EXPECT_THROW(ring.ownerOfComponent(0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace fchain::fleet
