@@ -9,14 +9,18 @@
 //      each with a 700 s six-metric stream and one CpuHog-style step on the
 //      last component; LocalEndpoint transports, so the cells measure pure
 //      compute scaling (needs real cores to show > 1×).
-//   2. Emulated-WAN sweep — the same cluster behind a WanEndpoint decorator
-//      that blocks the calling thread for one simulated network round-trip
-//      per request, the way the paper's deployment pays a real RPC to each
-//      monitoring host. Here the engine's two levers are measurable even on
-//      a single-core machine: batching turns N per-component requests into
-//      S per-slave requests, and the worker pool overlaps the S round-trips.
-//      The 32-component / 4-slave / 4-thread cell must clear 2× or the
-//      bench exits nonzero.
+//   2. Real-socket sweep — the same cluster served by per-slave
+//      SlaveService instances over unix sockets, the master reaching them
+//      through SocketEndpoint: every cell pays genuine connect/encode/
+//      send/recv/decode costs through the production wire protocol instead
+//      of a sleep-based WAN emulation. Each service adds a 25 ms
+//      analyze-side delay (the crash-drill hook) so the round-trip cost is
+//      measurable even on a single-core machine: batching turns N
+//      per-component requests into S per-slave requests, and the worker
+//      pool overlaps the S socket round-trips. The 32-component / 4-slave /
+//      4-thread cell must clear 2× or the bench exits nonzero; every
+//      socket verdict must also be bit-identical to the in-process serial
+//      reference (transport transparency).
 //   3. Lossy-telemetry equivalence — replays the bench_robustness scenarios
 //      (10 % sample loss, rotating dead slave behind a FlakyEndpoint
 //      blackout) through both engines.
@@ -29,14 +33,18 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "fchain/fchain.h"
+#include "fchain/slave_service.h"
 #include "runtime/flaky_endpoint.h"
+#include "runtime/socket_endpoint.h"
 #include "sim/injector.h"
 #include "sim/simulator.h"
 
@@ -126,73 +134,18 @@ SyntheticCluster buildCluster(std::size_t components, std::size_t slave_count,
   return cluster;
 }
 
-/// Emulates the cloud deployment's network: every transport round-trip
-/// blocks the calling thread for `rtt_ms` before the in-process slave
-/// answers. The sleep never changes a reply, so determinism holds; it only
-/// makes the cost of a round-trip real, which is what lets a single-core
-/// machine observe the fan-out overlapping S slave RPCs in the time of one.
-class WanEndpoint final : public runtime::SlaveEndpoint {
- public:
-  WanEndpoint(std::shared_ptr<runtime::SlaveEndpoint> inner, double rtt_ms)
-      : inner_(std::move(inner)), rtt_ms_(rtt_ms) {}
-
-  HostId host() const override { return inner_->host(); }
-
-  runtime::ComponentListReply listComponents() override {
-    wait();
-    return inner_->listComponents();
-  }
-
-  runtime::AnalyzeReply analyze(const runtime::AnalyzeRequest& req) override {
-    wait();
-    auto reply = inner_->analyze(req);
-    reply.latency_ms += rtt_ms_;
-    return reply;
-  }
-
-  runtime::AnalyzeBatchReply analyzeBatch(
-      const runtime::AnalyzeBatchRequest& req) override {
-    wait();
-    auto reply = inner_->analyzeBatch(req);
-    reply.latency_ms += rtt_ms_;
-    return reply;
-  }
-
- private:
-  void wait() const {
-    std::this_thread::sleep_for(
-        std::chrono::duration<double, std::milli>(rtt_ms_));
-  }
-
-  std::shared_ptr<runtime::SlaveEndpoint> inner_;
-  double rtt_ms_;
-};
-
 struct TimedRun {
   core::PinpointResult result;
   double best_ms = 0.0;
 };
 
 TimedRun timeLocalize(SyntheticCluster& cluster, int threads,
-                      int slave_threads, std::size_t repetitions,
-                      double rtt_ms) {
+                      int slave_threads, std::size_t repetitions) {
   core::FChainMaster master;
   master.setWorkerThreads(threads);
-  for (std::size_t s = 0; s < cluster.slaves.size(); ++s) {
-    core::FChainSlave& slave = cluster.slaves[s];
+  for (core::FChainSlave& slave : cluster.slaves) {
     slave.setAnalysisThreads(slave_threads);
-    if (rtt_ms <= 0.0) {
-      master.registerSlave(&slave);
-      continue;
-    }
-    std::vector<ComponentId> manifest;
-    for (ComponentId id : cluster.components) {
-      if (id % cluster.slaves.size() == s) manifest.push_back(id);
-    }
-    master.registerEndpoint(
-        std::make_shared<WanEndpoint>(
-            std::make_shared<runtime::LocalEndpoint>(&slave), rtt_ms),
-        manifest);
+    master.registerSlave(&slave);
   }
   TimedRun run;
   run.best_ms = 1e300;
@@ -207,14 +160,79 @@ TimedRun timeLocalize(SyntheticCluster& cluster, int threads,
   return run;
 }
 
+/// One SlaveService per slave on a unix socket under a throwaway directory:
+/// the production wire path, in-process only so the bench stays hermetic.
+class SocketCluster {
+ public:
+  SocketCluster(SyntheticCluster& cluster, double analyze_delay_ms)
+      : cluster_(cluster) {
+    char tmpl[] = "/tmp/fchain_t2_XXXXXX";
+    if (mkdtemp(tmpl) == nullptr) {
+      std::perror("mkdtemp");
+      std::abort();
+    }
+    dir_ = tmpl;
+    for (std::size_t s = 0; s < cluster.slaves.size(); ++s) {
+      core::SlaveServiceConfig config;
+      config.listen = runtime::SocketAddress::unixPath(
+          dir_ + "/s" + std::to_string(s) + ".sock");
+      config.analyze_delay_ms = analyze_delay_ms;
+      services_.push_back(
+          std::make_unique<core::SlaveService>(cluster.slaves[s], config));
+      services_.back()->start();
+    }
+  }
+
+  ~SocketCluster() {
+    for (auto& service : services_) service->stop();
+    services_.clear();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  TimedRun timeLocalize(int threads, int slave_threads,
+                        std::size_t repetitions) {
+    core::FChainMaster master;
+    master.setWorkerThreads(threads);
+    for (std::size_t s = 0; s < cluster_.slaves.size(); ++s) {
+      cluster_.slaves[s].setAnalysisThreads(slave_threads);
+      std::vector<ComponentId> manifest;
+      for (ComponentId id : cluster_.components) {
+        if (id % cluster_.slaves.size() == s) manifest.push_back(id);
+      }
+      runtime::SocketEndpointConfig config;
+      config.address = services_[s]->address();
+      config.backoff_seed = s;
+      master.registerEndpoint(
+          std::make_shared<runtime::SocketEndpoint>(config), manifest);
+    }
+    TimedRun run;
+    run.best_ms = 1e300;
+    for (std::size_t rep = 0; rep < repetitions; ++rep) {
+      const auto start = Clock::now();
+      run.result = master.localize(cluster_.components, cluster_.tv);
+      run.best_ms = std::min(run.best_ms, msSince(start));
+    }
+    for (core::FChainSlave& slave : cluster_.slaves) {
+      slave.setAnalysisThreads(0);
+    }
+    return run;
+  }
+
+ private:
+  SyntheticCluster& cluster_;
+  std::string dir_;
+  std::vector<std::unique_ptr<core::SlaveService>> services_;
+};
+
 struct SweepOutcome {
   bool all_identical = true;
   /// Speedup of the 32-component / 4-thread cell (the acceptance headline).
   double headline_speedup = 0.0;
 };
 
-SweepOutcome sweepSynthetic(const char* title, double rtt_ms,
-                            std::size_t repetitions, std::uint64_t seed) {
+SweepOutcome sweepSynthetic(const char* title, std::size_t repetitions,
+                            std::uint64_t seed) {
   constexpr std::size_t kSlaves = 4;
   std::printf("%s (%zu slaves)\n", title, kSlaves);
   std::printf("  %-12s %-10s %-12s %-12s %-10s %s\n", "components", "threads",
@@ -223,8 +241,7 @@ SweepOutcome sweepSynthetic(const char* title, double rtt_ms,
   for (std::size_t components : {8u, 16u, 32u, 64u}) {
     SyntheticCluster cluster = buildCluster(components, kSlaves, seed);
     const TimedRun serial = timeLocalize(cluster, /*threads=*/0,
-                                         /*slave_threads=*/0, repetitions,
-                                         rtt_ms);
+                                         /*slave_threads=*/0, repetitions);
     for (int threads : {1, 2, 4, 8}) {
       // Threads beyond the slave count flow into slave-side batch analysis
       // (each slave fans its own components out across the spare cores).
@@ -232,9 +249,53 @@ SweepOutcome sweepSynthetic(const char* title, double rtt_ms,
           threads > static_cast<int>(kSlaves)
               ? threads / static_cast<int>(kSlaves)
               : 0;
-      const TimedRun parallel = timeLocalize(cluster, threads, slave_threads,
-                                             repetitions, rtt_ms);
+      const TimedRun parallel =
+          timeLocalize(cluster, threads, slave_threads, repetitions);
       const bool identical = samePinpoint(serial.result, parallel.result);
+      outcome.all_identical = outcome.all_identical && identical;
+      const double speedup = serial.best_ms / parallel.best_ms;
+      if (components == 32 && threads == 4) {
+        outcome.headline_speedup = speedup;
+      }
+      std::printf("  %-12zu %-10d %-12.2f %-12.2f %-10.2f %s\n", components,
+                  threads, serial.best_ms, parallel.best_ms, speedup,
+                  identical ? "yes" : "NO");
+    }
+  }
+  std::printf("\n");
+  return outcome;
+}
+
+/// The real-socket column: the same sweep over SlaveService/SocketEndpoint
+/// unix-socket transports with a 25 ms server-side analyze delay standing
+/// in for per-host network+analysis latency. Besides serial-vs-parallel
+/// identity, every socket verdict is checked bit-identical against the
+/// in-process serial reference — the wire codec must be transparent.
+SweepOutcome sweepSockets(const char* title, double analyze_delay_ms,
+                          std::size_t repetitions, std::uint64_t seed) {
+  constexpr std::size_t kSlaves = 4;
+  std::printf("%s (%zu slaves)\n", title, kSlaves);
+  std::printf("  %-12s %-10s %-12s %-12s %-10s %s\n", "components", "threads",
+              "serial_ms", "parallel_ms", "speedup", "identical");
+  SweepOutcome outcome;
+  for (std::size_t components : {8u, 16u, 32u, 64u}) {
+    SyntheticCluster cluster = buildCluster(components, kSlaves, seed);
+    const TimedRun reference = timeLocalize(cluster, /*threads=*/0,
+                                            /*slave_threads=*/0,
+                                            /*repetitions=*/1);
+    SocketCluster sockets(cluster, analyze_delay_ms);
+    const TimedRun serial =
+        sockets.timeLocalize(/*threads=*/0, /*slave_threads=*/0, repetitions);
+    outcome.all_identical = outcome.all_identical &&
+                            samePinpoint(reference.result, serial.result);
+    for (int threads : {1, 2, 4, 8}) {
+      const int slave_threads =
+          threads > static_cast<int>(kSlaves)
+              ? threads / static_cast<int>(kSlaves)
+              : 0;
+      const TimedRun parallel =
+          sockets.timeLocalize(threads, slave_threads, repetitions);
+      const bool identical = samePinpoint(reference.result, parallel.result);
       outcome.all_identical = outcome.all_identical && identical;
       const double speedup = serial.best_ms / parallel.best_ms;
       if (components == 32 && threads == 4) {
@@ -360,13 +421,13 @@ int main(int argc, char** argv) {
       "Parallel localization overhead (extends Table II; best of %zu)\n\n",
       repetitions);
   const SweepOutcome compute = sweepSynthetic(
-      "Sweep 1: in-process transports (pure compute scaling)", 0.0,
-      repetitions, seed);
-  // 25 ms RTT — a LAN-ish round-trip to each monitoring host, well under the
-  // default 200 ms request deadline.
-  const SweepOutcome wan = sweepSynthetic(
-      "Sweep 2: emulated WAN transports (25 ms blocking round-trip)", 25.0,
-      repetitions, seed);
+      "Sweep 1: in-process transports (pure compute scaling)", repetitions,
+      seed);
+  // 25 ms per-batch analyze delay — a LAN-ish round-trip plus analysis cost
+  // at each monitoring host, well under the default 200 ms request deadline.
+  const SweepOutcome socket = sweepSockets(
+      "Sweep 2: real unix-socket transports (25 ms per-slave analyze delay)",
+      25.0, repetitions, seed);
   const bool lossy_ok = lossyEquivalence(seed);
 
   // With FCHAIN_TRACE=1 every localize() above recorded master / pool /
@@ -375,20 +436,20 @@ int main(int argc, char** argv) {
   benchutil::maybeDumpTrace("bench_table2_parallel_overhead");
 
   bool failed = false;
-  if (!compute.all_identical || !wan.all_identical || !lossy_ok) {
+  if (!compute.all_identical || !socket.all_identical || !lossy_ok) {
     std::printf("FAILURE: parallel verdict diverged from serial\n");
     failed = true;
   }
-  if (wan.headline_speedup < 2.0) {
+  if (socket.headline_speedup < 2.0) {
     std::printf(
-        "FAILURE: WAN 32-component / 4-thread speedup %.2fx is below 2x\n",
-        wan.headline_speedup);
+        "FAILURE: socket 32-component / 4-thread speedup %.2fx is below 2x\n",
+        socket.headline_speedup);
     failed = true;
   }
   if (failed) return 1;
   std::printf(
-      "All parallel verdicts bit-identical to serial; WAN headline speedup "
-      "%.2fx.\n",
-      wan.headline_speedup);
+      "All parallel verdicts bit-identical to serial; socket headline "
+      "speedup %.2fx.\n",
+      socket.headline_speedup);
   return 0;
 }

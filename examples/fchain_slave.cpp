@@ -1,0 +1,166 @@
+// fchain_slave — the out-of-process slave daemon.
+//
+// Serves the framed wire protocol (src/runtime/wire.h) for one FChainSlave:
+// analyze batches, streaming ingest, component discovery. With --state-dir
+// every ingested sample is journaled before it mutates the models
+// (SlaveCheckpointer, journal-then-ingest), so a kill -9 at any moment is
+// healed on the next start: the daemon detects persisted state in the
+// directory and rebuilds the slave bit-identically from snapshot + journal
+// before listening again.
+//
+//   fchain_slave --listen <tcp:host:port|unix:path> --host <id>
+//                --components <id[:start],...>
+//                [--state-dir <dir>]          enable checkpoint + recovery
+//                [--snapshot-interval <sec>]  checkpoint cadence (default 600)
+//                [--analyze-delay-ms <ms>]    crash-drill hook: sleep before
+//                                             serving each analyze batch
+//
+// Prints one READY line (host, identity hash, resolved address, recovery
+// stats) to stdout once serving, so a supervisor can sequence against it.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fchain/slave.h"
+#include "fchain/slave_service.h"
+#include "persist/codec.h"
+#include "runtime/socket.h"
+#include "runtime/wire.h"
+
+namespace {
+
+using namespace fchain;
+
+struct Options {
+  std::string listen;
+  HostId host = 0;
+  std::vector<std::pair<ComponentId, TimeSec>> components;
+  std::string state_dir;
+  TimeSec snapshot_interval = 600;
+  double analyze_delay_ms = 0.0;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --listen <tcp:host:port|unix:path> --host <id> "
+               "--components <id[:start],...> [--state-dir <dir>] "
+               "[--snapshot-interval <sec>] [--analyze-delay-ms <ms>]\n",
+               argv0);
+  std::exit(2);
+}
+
+std::vector<std::pair<ComponentId, TimeSec>> parseComponents(
+    const std::string& spec) {
+  std::vector<std::pair<ComponentId, TimeSec>> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    const std::size_t colon = item.find(':');
+    const ComponentId id = static_cast<ComponentId>(
+        std::stoul(item.substr(0, colon)));
+    const TimeSec start =
+        colon == std::string::npos ? 0 : std::stoll(item.substr(colon + 1));
+    out.emplace_back(id, start);
+    pos = comma + 1;
+  }
+  return out;
+}
+
+Options parseArgs(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--listen") {
+      opt.listen = value();
+    } else if (arg == "--host") {
+      opt.host = static_cast<HostId>(std::stoul(value()));
+    } else if (arg == "--components") {
+      opt.components = parseComponents(value());
+    } else if (arg == "--state-dir") {
+      opt.state_dir = value();
+    } else if (arg == "--snapshot-interval") {
+      opt.snapshot_interval = std::stoll(value());
+    } else if (arg == "--analyze-delay-ms") {
+      opt.analyze_delay_ms = std::stod(value());
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (opt.listen.empty() || opt.components.empty()) usage(argv[0]);
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parseArgs(argc, argv);
+  // A master vanishing mid-reply must not kill the daemon via SIGPIPE
+  // (sends already use MSG_NOSIGNAL; this covers any stray write path).
+  std::signal(SIGPIPE, SIG_IGN);
+
+  try {
+    // Recover persisted state when present, else start fresh (creating the
+    // state directory on first boot, so a supervisor can point every slave
+    // at a not-yet-existing per-host subdirectory).
+    std::optional<core::FChainSlave> slave;
+    std::uint64_t recovered_epoch = 0;
+    std::size_t replayed = 0;
+    bool journal_clean = true;
+    if (!opt.state_dir.empty()) {
+      std::filesystem::create_directories(opt.state_dir);
+    }
+    const bool has_state =
+        !opt.state_dir.empty() &&
+        core::SlaveCheckpointer::hasState(opt.state_dir, opt.host);
+    if (has_state) {
+      auto recovered =
+          core::SlaveCheckpointer::recover(opt.state_dir, opt.host);
+      slave.emplace(std::move(recovered.slave));
+      recovered_epoch = recovered.epoch;
+      replayed = recovered.replayed;
+      journal_clean = recovered.journal_clean;
+    } else {
+      slave.emplace(opt.host);
+    }
+    for (const auto& [id, start] : opt.components) {
+      if (!slave->monitors(id)) slave->addComponent(id, start);
+    }
+
+    std::optional<core::SlaveCheckpointer> checkpointer;
+    if (!opt.state_dir.empty()) {
+      core::CheckpointPolicy policy;
+      policy.snapshot_interval_sec = opt.snapshot_interval;
+      checkpointer.emplace(*slave, opt.state_dir, policy);
+    }
+
+    core::SlaveServiceConfig config;
+    config.listen = runtime::SocketAddress::parse(opt.listen);
+    config.analyze_delay_ms = opt.analyze_delay_ms;
+    core::SlaveService service(*slave, config,
+                               checkpointer ? &*checkpointer : nullptr);
+    std::printf("READY host=%u identity=%016llx addr=%s recovered=%d "
+                "epoch=%llu replayed=%zu journal_clean=%d\n",
+                opt.host,
+                static_cast<unsigned long long>(service.identityHash()),
+                service.address().str().c_str(), has_state ? 1 : 0,
+                static_cast<unsigned long long>(recovered_epoch), replayed,
+                journal_clean ? 1 : 0);
+    std::fflush(stdout);
+    service.run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fchain_slave: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -19,6 +19,13 @@ EndpointStatus FlakyEndpoint::roll(std::uint64_t index, TimeSec now,
   Rng rng(mixSeed(config_.seed, 0x41afedull, index));
   if (rng.chance(config_.drop_probability)) return EndpointStatus::Dropped;
   if (rng.chance(config_.timeout_probability)) return EndpointStatus::Timeout;
+  // Guarded so the zero-probability default consumes no draw: existing
+  // seeded runs stay bit-identical with the torn-reply knob off.
+  if (config_.torn_reply_probability > 0.0 &&
+      rng.chance(config_.torn_reply_probability)) {
+    ++torn_replies_;
+    return EndpointStatus::Dropped;
+  }
   double latency = config_.latency_mean_ms;
   if (config_.latency_jitter_ms > 0.0) {
     latency = std::max(

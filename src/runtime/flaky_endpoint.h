@@ -21,6 +21,12 @@ struct FlakyConfig {
   double drop_probability = 0.0;
   /// Probability that the slave stalls past any deadline -> Timeout.
   double timeout_probability = 0.0;
+  /// Probability that the reply is cut off mid-frame — the peer (or its
+  /// network path) died while sending, the partial-frame signature a real
+  /// socket reports as a torn frame -> Dropped (retryable; same taxonomy as
+  /// SocketEndpoint's torn-frame handling). Distinguished from
+  /// drop_probability in bookkeeping only: tornReplies() counts these.
+  double torn_reply_probability = 0.0;
   /// Simulated service latency; a reply whose drawn latency exceeds the
   /// request deadline is reported as a Timeout by the endpoint itself.
   double latency_mean_ms = 5.0;
@@ -55,6 +61,8 @@ class FlakyEndpoint final : public SlaveEndpoint {
   bool isDown() const { return down_; }
 
   std::size_t requestCount() const { return requests_; }
+  /// Requests whose reply was truncated mid-frame (torn_reply_probability).
+  std::size_t tornReplies() const { return torn_replies_; }
 
  private:
   /// Drops/timeouts/outages for the request numbered `index` at sim time
@@ -66,6 +74,8 @@ class FlakyEndpoint final : public SlaveEndpoint {
   FlakyConfig config_;
   bool down_ = false;
   std::uint64_t requests_ = 0;
+  /// Counted inside the (logically const) fate roll.
+  mutable std::size_t torn_replies_ = 0;
 };
 
 }  // namespace fchain::runtime

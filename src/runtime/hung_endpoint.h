@@ -42,6 +42,27 @@ class HungEndpoint final : public SlaveEndpoint {
     cv_.notify_all();
   }
 
+  /// Unblocks every parked call as if the peer died mid-send: each one
+  /// returns a Dropped reply (the torn half-frame a real socket reports)
+  /// instead of reaching the inner endpoint — the partial-frame-delivery
+  /// failure mode, same retryable taxonomy as SocketEndpoint's torn-frame
+  /// handling. Calls arriving *after* this pass straight through: only the
+  /// in-flight replies were cut off.
+  void releaseWithTornReply() {
+    {
+      std::lock_guard<std::mutex> g(m_);
+      hung_ = false;
+      if (parked_ > 0) torn_release_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Calls abandoned by releaseWithTornReply().
+  std::size_t tornReplies() const {
+    std::lock_guard<std::mutex> g(m_);
+    return torn_replies_;
+  }
+
   /// Calls currently inside the endpoint — parked in the hang or executing
   /// the inner call (teardown drain for tests, see the header comment).
   int inFlight() const {
@@ -53,25 +74,29 @@ class HungEndpoint final : public SlaveEndpoint {
 
   ComponentListReply listComponents() override {
     const InFlightGuard guard(*this);
-    maybeBlock();
+    if (!maybeBlock()) return {EndpointStatus::Dropped, {}};
     return inner_->listComponents();
   }
 
   AnalyzeReply analyze(const AnalyzeRequest& request) override {
     const InFlightGuard guard(*this);
-    maybeBlock();
+    if (!maybeBlock()) {
+      AnalyzeReply reply;
+      reply.status = EndpointStatus::Dropped;
+      return reply;
+    }
     return inner_->analyze(request);
   }
 
   AnalyzeBatchReply analyzeBatch(const AnalyzeBatchRequest& request) override {
     const InFlightGuard guard(*this);
-    maybeBlock();
+    if (!maybeBlock()) return {EndpointStatus::Dropped, {}, 0.0};
     return inner_->analyzeBatch(request);
   }
 
   IngestReply ingest(const IngestRequest& request) override {
     const InFlightGuard guard(*this);
-    maybeBlock();
+    if (!maybeBlock()) return {EndpointStatus::Dropped, 0.0};
     return inner_->ingest(request);
   }
 
@@ -91,16 +116,30 @@ class HungEndpoint final : public SlaveEndpoint {
     HungEndpoint& endpoint_;
   };
 
-  void maybeBlock() {
+  /// False: the call was parked and then abandoned with a torn reply — the
+  /// caller must return Dropped without touching the inner endpoint.
+  bool maybeBlock() {
     std::unique_lock<std::mutex> g(m_);
+    if (!hung_) return true;
+    ++parked_;
     cv_.wait(g, [&] { return !hung_; });
+    --parked_;
+    if (torn_release_) {
+      ++torn_replies_;
+      if (parked_ == 0) torn_release_ = false;
+      return false;
+    }
+    return true;
   }
 
   std::shared_ptr<SlaveEndpoint> inner_;
   mutable std::mutex m_;
   std::condition_variable cv_;
   bool hung_ = false;
+  bool torn_release_ = false;
   int in_flight_ = 0;
+  int parked_ = 0;  ///< calls currently waiting in the hang window
+  std::size_t torn_replies_ = 0;
 };
 
 }  // namespace fchain::runtime

@@ -1,0 +1,55 @@
+// Master-side slave-claim registry: the split-brain guard.
+//
+// Every wire handshake carries the slave's identity hash — a deterministic
+// function of its host id and sorted component claims (wire.h,
+// slaveIdentityHash). The registry records the first claim per slave id;
+// a reconnect presenting the *same* hash (a restarted or
+// checkpoint-recovered slave serving its old manifest) re-registers
+// idempotently, while a second live process claiming the same slave id with
+// a *different* hash is rejected — two processes believing they are the
+// same slave but monitoring different components would corrupt the routing
+// table and split localization coverage between them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "common/types.h"
+
+namespace fchain::runtime {
+
+class SlaveRegistry {
+ public:
+  enum class Claim {
+    Registered,    ///< first claim for this slave id
+    Reregistered,  ///< same id, same identity hash: idempotent reconnect
+    Rejected,      ///< same id, different identity hash: split-brain
+  };
+
+  Claim claim(HostId slave_id, std::uint64_t identity_hash) {
+    std::lock_guard<std::mutex> g(mutex_);
+    const auto [it, inserted] = claims_.try_emplace(slave_id, identity_hash);
+    if (inserted) return Claim::Registered;
+    return it->second == identity_hash ? Claim::Reregistered : Claim::Rejected;
+  }
+
+  /// Forgets a claim (deliberate decommission — a crash must NOT release:
+  /// the restarted slave re-registers under the same hash anyway, and
+  /// releasing would let an impostor steal the id while it is down).
+  void release(HostId slave_id) {
+    std::lock_guard<std::mutex> g(mutex_);
+    claims_.erase(slave_id);
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> g(mutex_);
+    return claims_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<HostId, std::uint64_t> claims_;
+};
+
+}  // namespace fchain::runtime
