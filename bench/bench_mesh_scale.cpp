@@ -1,0 +1,272 @@
+// Mesh-scale benchmark: localization latency as the generated microservice
+// mesh grows, plus trace-driven flash-crowd replay throughput.
+//
+// Part 1 — services vs localization latency. For each mesh size a seeded
+// micro-mesh (sim/mesh.h) runs under a data-store bottleneck until its SLO
+// trips; the incident is then localized by a two-slave master and the wall
+// time of localize() is the curve point. The injected store must appear in
+// the pinpointed set — the mesh is black-box input, the verdict is not.
+//
+// Part 2 — million-user replay. A recorded workload trace (sim/trace.h) with
+// flash crowds and regional shifts, sized past one million simulated users,
+// is replayed twice: raw TraceCursor evaluation (streamed from disk, bounded
+// memory) and as the live workload of an 80-service mesh via
+// ScenarioConfig::workload_trace. The cursor must stay bit-equal to the
+// in-memory trace while holding only the active event window.
+//
+// Everything lands in bench_mesh_scale.json for the CI soak artifact. Exit
+// status gates: pinpoint misses on the curve, fewer than one million
+// simulated users, cursor/in-memory divergence, an unbounded event window,
+// or replay throughput below `floor_tps`.
+//
+// Usage: bench_mesh_scale [floor_tps] [seed]
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <sys/resource.h>
+
+#include "fchain/fchain.h"
+#include "netdep/dependency.h"
+#include "sim/mesh.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+
+namespace {
+
+using namespace fchain;
+
+double msSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+long maxRssKb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;
+}
+
+struct CurvePoint {
+  std::size_t services = 0;
+  TimeSec violation_time = 0;
+  double sim_wall_ms = 0.0;
+  double localize_ms = 0.0;
+  bool target_hit = false;
+};
+
+/// One mesh incident end to end: simulate under a store bottleneck until the
+/// SLO trips, then localize with a two-slave master and time localize().
+CurvePoint runMeshPoint(std::size_t services, std::uint64_t seed) {
+  CurvePoint point;
+  point.services = services;
+
+  sim::ScenarioConfig config;
+  config.kind = sim::AppKind::Mesh;
+  config.mesh = sim::meshConfigFor(services, seed);
+  config.seed = seed + 70;
+  config.duration_sec = 3600;
+  const sim::ApplicationSpec spec = sim::makeMicroMeshSpec(config.mesh);
+  const ComponentId target = spec.reference_path.back();
+  faults::FaultSpec fault;
+  fault.type = faults::FaultType::Bottleneck;
+  fault.targets = {target};
+  fault.start_time = 1300;
+  fault.intensity = 1.5;
+  config.faults = {fault};
+
+  sim::Simulation sim(config);
+  const std::size_t n = sim.app().componentCount();
+  core::FChainSlave front(0), back(1);
+  std::vector<ComponentId> ids;
+  for (ComponentId id = 0; id < n; ++id) {
+    ids.push_back(id);
+    (id < n / 2 ? front : back).addComponent(id, 0);
+  }
+
+  const auto t_sim = std::chrono::steady_clock::now();
+  while (!sim.violationTime().has_value() && sim.now() < 3600) {
+    sim.step();
+    const TimeSec t = sim.now() - 1;
+    for (ComponentId id = 0; id < n; ++id) {
+      std::array<double, kMetricCount> sample{};
+      for (MetricKind kind : kAllMetrics) {
+        sample[metricIndex(kind)] = sim.app().metricsOf(id).of(kind).at(t);
+      }
+      (id < n / 2 ? front : back).ingest(id, sample);
+    }
+  }
+  point.sim_wall_ms = msSince(t_sim);
+  if (!sim.violationTime().has_value()) return point;  // target_hit stays false
+  point.violation_time = *sim.violationTime();
+
+  core::FChainMaster master;
+  master.registerSlave(&front);
+  master.registerSlave(&back);
+  master.setDependencies(netdep::discoverDependencies(sim.record()));
+
+  const auto t_loc = std::chrono::steady_clock::now();
+  const core::PinpointResult result = master.localize(ids, point.violation_time);
+  point.localize_ms = msSince(t_loc);
+  point.target_hit =
+      std::find(result.pinpointed.begin(), result.pinpointed.end(), target) !=
+      result.pinpointed.end();
+  return point;
+}
+
+struct ReplayStats {
+  std::size_t trace_events = 0;
+  double total_users = 0.0;
+  double cursor_ticks_per_sec = 0.0;
+  double mesh_ticks_per_sec = 0.0;
+  std::size_t max_active_events = 0;
+  bool identity = true;
+  bool window_bounded = true;
+};
+
+/// Million-user flash-crowd replay: generate, persist, stream back.
+ReplayStats runReplay(std::uint64_t seed, const std::string& path) {
+  sim::TraceConfig config;
+  config.seed = seed;
+  config.duration_sec = 3600;
+  config.base_users_per_sec = 400.0;  // 3600 s x ~400/s ≈ 1.4M users
+  config.flash_per_hour = 40.0;
+  config.flash_magnitude = 0.8;
+  config.shift_per_hour = 6.0;
+
+  ReplayStats stats;
+  const sim::WorkloadTrace trace = sim::generateWorkloadTrace(config);
+  stats.trace_events = trace.events.size();
+  stats.total_users = trace.totalUsers();
+  sim::writeTraceFile(path, trace);
+
+  // Raw streamed evaluation, checked bit-for-bit against the in-memory
+  // trace at every tick.
+  sim::TraceCursor cursor(path);
+  const auto t_cursor = std::chrono::steady_clock::now();
+  for (TimeSec t = 0; t < static_cast<TimeSec>(config.duration_sec); ++t) {
+    if (std::bit_cast<std::uint64_t>(cursor.intensityAt(t)) !=
+        std::bit_cast<std::uint64_t>(trace.intensityAt(t))) {
+      stats.identity = false;
+    }
+  }
+  stats.cursor_ticks_per_sec = static_cast<double>(config.duration_sec) /
+                               (msSince(t_cursor) / 1000.0);
+  stats.max_active_events = cursor.maxActiveEvents();
+  stats.window_bounded = stats.max_active_events * 4 < stats.trace_events;
+
+  // The same recorded workload driving a live 80-service mesh.
+  sim::ScenarioConfig scenario;
+  scenario.kind = sim::AppKind::Mesh;
+  scenario.mesh = sim::meshConfigFor(80, seed);
+  scenario.seed = seed + 7;
+  scenario.duration_sec = config.duration_sec;
+  scenario.workload_trace =
+      std::make_shared<const sim::WorkloadTrace>(sim::readTraceFile(path));
+  sim::Simulation sim(scenario);
+  const auto t_mesh = std::chrono::steady_clock::now();
+  sim.runUntil(static_cast<TimeSec>(config.duration_sec));
+  stats.mesh_ticks_per_sec = static_cast<double>(config.duration_sec) /
+                             (msSince(t_mesh) / 1000.0);
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double floor_tps = 0.0;
+  std::uint64_t seed = 7;
+  if (argc > 1) floor_tps = std::strtod(argv[1], nullptr);
+  if (argc > 2) seed = std::strtoull(argv[2], nullptr, 10);
+
+  std::printf("Mesh-scale localization + trace replay (seed %llu)\n\n",
+              static_cast<unsigned long long>(seed));
+
+  std::vector<CurvePoint> curve;
+  std::printf("%10s %16s %12s %14s %12s\n", "services", "violation t",
+              "sim ms", "localize ms", "target hit");
+  for (const std::size_t services : {50u, 100u, 150u, 200u}) {
+    curve.push_back(runMeshPoint(services, seed));
+    const CurvePoint& p = curve.back();
+    std::printf("%10zu %16lld %12.0f %14.2f %12s\n", p.services,
+                static_cast<long long>(p.violation_time), p.sim_wall_ms,
+                p.localize_ms, p.target_hit ? "yes" : "NO");
+  }
+
+  const std::string trace_path =
+      (std::filesystem::temp_directory_path() / "bench_mesh_scale.fctrace")
+          .string();
+  const ReplayStats replay = runReplay(seed, trace_path);
+  std::filesystem::remove(trace_path);
+
+  std::printf("\nflash-crowd replay: %.0f simulated users, %zu events\n",
+              replay.total_users, replay.trace_events);
+  std::printf("  cursor replay:  %12.0f ticks/s (window %zu events, %s)\n",
+              replay.cursor_ticks_per_sec, replay.max_active_events,
+              replay.identity ? "bit-equal" : "DIVERGED");
+  std::printf("  mesh replay:    %12.0f ticks/s (80 services under trace)\n",
+              replay.mesh_ticks_per_sec);
+  std::printf("  max rss:        %12ld kb\n", maxRssKb());
+
+  std::ofstream out("bench_mesh_scale.json",
+                    std::ios::binary | std::ios::trunc);
+  out << "{\n  \"seed\": " << seed
+      << ",\n  \"floor_ticks_per_sec\": " << floor_tps << ",\n  \"curve\": [\n";
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    const CurvePoint& p = curve[i];
+    out << "    {\"services\": " << p.services
+        << ", \"violation_time\": " << p.violation_time
+        << ", \"sim_wall_ms\": " << p.sim_wall_ms
+        << ", \"localize_ms\": " << p.localize_ms
+        << ", \"target_hit\": " << (p.target_hit ? "true" : "false") << "}"
+        << (i + 1 < curve.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"replay\": {\n    \"total_users\": " << replay.total_users
+      << ",\n    \"trace_events\": " << replay.trace_events
+      << ",\n    \"cursor_ticks_per_sec\": " << replay.cursor_ticks_per_sec
+      << ",\n    \"mesh_ticks_per_sec\": " << replay.mesh_ticks_per_sec
+      << ",\n    \"max_active_events\": " << replay.max_active_events
+      << ",\n    \"identity\": " << (replay.identity ? "true" : "false")
+      << ",\n    \"max_rss_kb\": " << maxRssKb() << "\n  }\n}\n";
+  std::printf("\nwrote bench_mesh_scale.json\n");
+
+  for (const CurvePoint& p : curve) {
+    if (!p.target_hit) {
+      std::printf("FAIL: mesh%zu did not pinpoint the injected store\n",
+                  p.services);
+      return 1;
+    }
+  }
+  if (replay.total_users < 1e6) {
+    std::printf("FAIL: trace carries only %.0f simulated users (< 1M)\n",
+                replay.total_users);
+    return 1;
+  }
+  if (!replay.identity) {
+    std::printf("FAIL: streamed replay diverged from the in-memory trace\n");
+    return 1;
+  }
+  if (!replay.window_bounded) {
+    std::printf("FAIL: cursor held %zu of %zu events — streaming window is "
+                "not bounded\n",
+                replay.max_active_events, replay.trace_events);
+    return 1;
+  }
+  if (floor_tps > 0.0 && replay.mesh_ticks_per_sec < floor_tps) {
+    std::printf("FAIL: mesh replay throughput %.0f ticks/s is below the "
+                "floor %.0f\n",
+                replay.mesh_ticks_per_sec, floor_tps);
+    return 1;
+  }
+  return 0;
+}

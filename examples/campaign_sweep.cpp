@@ -1,16 +1,24 @@
 // campaign_sweep: run a seeded fault-injection campaign and write the
 // accuracy-frontier report (JSON + markdown). The CI campaign_smoke job runs
 // a capped sweep through this binary and gates on the single-fault resource
-// localized rate; a full sweep (max_episodes 0) reproduces the complete
-// frontier.
+// localized rate; the mesh_smoke job runs a mesh-only slice and gates on the
+// mesh rate; a full sweep (max_episodes 0) reproduces the complete frontier.
 //
 // Usage: campaign_sweep [out_dir] [seed] [max_episodes] [gate_rate]
-//        (defaults: ./campaign, seed 1, 64 episodes, gate disabled)
-//        max_episodes 0 runs the full >= 1000-episode fault space.
+//                       [apps] [mesh_services] [mesh_gate_rate]
+//        (defaults: ./campaign, seed 1, 64 episodes, gates disabled,
+//         apps "legacy", no mesh episodes)
+//        max_episodes 0 runs the full fault space.
 //        gate_rate in (0, 1]: exit nonzero when the single-fault resource
 //        localized rate falls below it.
+//        apps: "legacy" (benchmark sweep only), "mesh" (mesh sweep only),
+//        or "all" (both).
+//        mesh_services: mesh size for apps "mesh"/"all" (default 80).
+//        mesh_gate_rate in (0, 1]: exit nonzero when the mesh correct rate
+//        falls below it.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <string>
 
@@ -26,6 +34,18 @@ int main(int argc, char** argv) {
   config.max_episodes =
       argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 64;
   const double gate_rate = argc > 4 ? std::strtod(argv[4], nullptr) : 0.0;
+  const std::string apps = argc > 5 ? argv[5] : "legacy";
+  if (apps != "legacy" && apps != "mesh" && apps != "all") {
+    std::fprintf(stderr, "unknown apps filter '%s'\n", apps.c_str());
+    return 2;
+  }
+  if (apps != "legacy") {
+    config.mesh_services =
+        argc > 6 ? std::strtoull(argv[6], nullptr, 10) : 80;
+    config.mesh_only = apps == "mesh";
+  }
+  const double mesh_gate_rate =
+      argc > 7 ? std::strtod(argv[7], nullptr) : 0.0;
 
   const auto result = campaign::runCampaign(
       config, [](std::size_t done, std::size_t total,
@@ -55,6 +75,10 @@ int main(int argc, char** argv) {
   }
   std::printf("single-fault resource localized rate: %.3f\n",
               report.single_fault_resource_localized_rate);
+  if (report.mesh_episode_count > 0) {
+    std::printf("mesh correct rate: %.3f (%zu episodes)\n",
+                report.mesh_localized_rate, report.mesh_episode_count);
+  }
   std::printf("frontier written to %s/frontier.{json,md}\n", out_dir.c_str());
 
   if (gate_rate > 0.0 &&
@@ -62,6 +86,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "GATE FAILED: localized rate %.3f below threshold %.3f\n",
                  report.single_fault_resource_localized_rate, gate_rate);
+    return 1;
+  }
+  if (mesh_gate_rate > 0.0 && report.mesh_localized_rate < mesh_gate_rate) {
+    std::fprintf(stderr,
+                 "GATE FAILED: mesh correct rate %.3f below threshold %.3f\n",
+                 report.mesh_localized_rate, mesh_gate_rate);
     return 1;
   }
   return 0;

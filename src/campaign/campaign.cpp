@@ -1,6 +1,7 @@
 #include "campaign/campaign.h"
 
 #include <algorithm>
+#include <span>
 #include <string>
 #include <utility>
 
@@ -78,6 +79,8 @@ std::vector<PairTemplate> pairTemplates(sim::AppKind kind) {
       return {{FaultType::MemLeak, 0, FaultType::MemLeak, 1},
               {FaultType::InfiniteLoop, 0, FaultType::CpuHog, 1},
               {FaultType::CallLatency, 0, FaultType::DiskHog, 1}};
+    case sim::AppKind::Mesh:
+      break;  // mesh pairs are built from the generated topology below
   }
   return {};
 }
@@ -94,6 +97,8 @@ FaultSpec overlayBaseFault(sim::AppKind kind, TimeSec start,
       return fault(FaultType::CpuHog, {2}, start, intensity);
     case sim::AppKind::Hadoop:
       return fault(FaultType::InfiniteLoop, {0}, start, intensity);
+    case sim::AppKind::Mesh:
+      break;  // mesh overlays target the generated data store instead
   }
   return {};
 }
@@ -150,7 +155,9 @@ std::vector<EpisodeSpec> enumerateEpisodes(const CampaignConfig& config) {
     episodes.push_back(std::move(spec));
   };
 
-  for (sim::AppKind app : kApps) {
+  for (sim::AppKind app : config.mesh_only
+                              ? std::span<const sim::AppKind>{}
+                              : std::span<const sim::AppKind>(kApps)) {
     const sim::ApplicationSpec app_spec = sim::makeAppSpec(app);
     const std::size_t n = app_spec.components.size();
     const std::vector<ComponentId> call_targets = callers(app_spec);
@@ -204,6 +211,78 @@ std::vector<EpisodeSpec> enumerateEpisodes(const CampaignConfig& config) {
             push(app, {overlayBaseFault(app, 0, intensity)}, overlay,
                  intensity, duration);
           }
+        }
+      }
+    }
+  }
+
+  // Opt-in microservice-mesh sweep, appended after the legacy fault space so
+  // legacy ids (and, with mesh_services == 0, the shuffle input) are
+  // untouched. The mesh is too large for the exhaustive every-component
+  // sweep; instead the fault space is sampled at four representative
+  // services — the busiest gateway, the widest fan-out mid-tier service, a
+  // cache-fronted data-tier caller, and the hottest data store — which
+  // covers every tier role the localizer must distinguish.
+  if (config.mesh_services > 0 && !config.durations.empty()) {
+    const sim::MeshConfig mesh =
+        sim::meshConfigFor(config.mesh_services, mixSeed(config.seed, 0x3e57ull));
+    const sim::ApplicationSpec mesh_spec = sim::makeMicroMeshSpec(mesh);
+    const ComponentId gateway = mesh_spec.reference_path.front();
+    const ComponentId store = mesh_spec.reference_path.back();
+    const ComponentId cache_caller =
+        mesh_spec.reference_path[mesh_spec.reference_path.size() - 2];
+    std::vector<std::size_t> out_degree(mesh_spec.components.size(), 0);
+    for (const sim::EdgeSpec& e : mesh_spec.edges) ++out_degree[e.from];
+    ComponentId widest = 0;
+    for (ComponentId id = 0; id < mesh_spec.components.size(); ++id) {
+      if (id != gateway && out_degree[id] > out_degree[widest]) widest = id;
+    }
+    std::vector<ComponentId> targets;
+    for (ComponentId id : {gateway, widest, cache_caller, store}) {
+      if (std::find(targets.begin(), targets.end(), id) == targets.end()) {
+        targets.push_back(id);
+      }
+    }
+    auto pushMesh = [&](std::vector<FaultSpec> fault_list, OverlayKind overlay,
+                        double intensity, std::size_t duration) {
+      push(sim::AppKind::Mesh, std::move(fault_list), overlay, intensity,
+           duration);
+      episodes.back().mesh = mesh;
+    };
+    // One duration: the mesh sweep probes topology roles, not run-length
+    // sensitivity (the legacy sweep already covers that axis).
+    const std::size_t duration = config.durations.front();
+    for (double intensity : config.intensities) {
+      for (FaultType type : kResourceFaults) {
+        for (ComponentId id : targets) {
+          pushMesh({fault(type, {id}, 0, intensity)}, OverlayKind::None,
+                   intensity, duration);
+        }
+      }
+      for (FaultType type : {FaultType::CallLatency, FaultType::CallFailure}) {
+        for (ComponentId id : {gateway, cache_caller}) {
+          pushMesh({fault(type, {id}, 0, intensity)}, OverlayKind::None,
+                   intensity, duration);
+        }
+      }
+      pushMesh({fault(FaultType::WorkloadSurge, {}, 0, intensity)},
+               OverlayKind::None, intensity, duration);
+      pushMesh({fault(FaultType::SharedSlowdown, {}, 0, intensity)},
+               OverlayKind::None, intensity, duration);
+      if (config.include_pairs) {
+        // Retry-storm pair: a slow data store plus a hot mid-tier service —
+        // the amplification path the mesh generator exists to model.
+        pushMesh({fault(FaultType::Bottleneck, {store}, 0, intensity),
+                  fault(FaultType::CpuHog, {widest}, 0, intensity)},
+                 OverlayKind::None, intensity, duration);
+        pushMesh({fault(FaultType::MemLeak, {widest}, 0, intensity),
+                  fault(FaultType::MemLeak, {cache_caller}, 0, intensity)},
+                 OverlayKind::None, intensity, duration);
+      }
+      if (config.include_overlays) {
+        for (OverlayKind overlay : kOverlays) {
+          pushMesh({fault(FaultType::Bottleneck, {store}, 0, intensity)},
+                   overlay, intensity, duration);
         }
       }
     }

@@ -25,6 +25,7 @@
 
 #include "faults/fault.h"
 #include "sim/apps.h"
+#include "sim/mesh.h"
 
 namespace fchain::campaign {
 
@@ -58,6 +59,9 @@ struct EpisodeSpec {
   std::size_t duration_sec = 2400;
   /// Drives simulator noise and any overlay loss pattern.
   std::uint64_t seed = 0;
+  /// Topology knobs for AppKind::Mesh episodes (ignored otherwise). Filled
+  /// at enumeration time so the runner needs no campaign-level state.
+  sim::MeshConfig mesh{};
 
   /// True when any injected fault is an external factor (empty truth set).
   bool externalFault() const;
@@ -79,6 +83,15 @@ struct CampaignConfig {
   /// sweep uses a small cap; truncation happens *after* the shuffle so a
   /// capped sweep still samples the whole space uniformly.
   std::size_t max_episodes = 0;
+  /// Opt-in microservice-mesh sweep: 0 disables it (the default — legacy
+  /// enumeration, ids, shuffle, and report bytes are untouched). A nonzero
+  /// value adds episodes over a makeMicroMesh of that many services,
+  /// appended *after* the legacy fault space so legacy episode ids stay
+  /// stable when the mesh sweep is toggled on.
+  std::size_t mesh_services = 0;
+  /// Restrict enumeration to the mesh sweep (mesh_services must be set) —
+  /// the mesh smoke job's cheap slice. Default off.
+  bool mesh_only = false;
   /// Per-episode parallelism for runCampaign (<= 1 = serial). Episodes are
   /// fully independent — each owns its simulator, monitor, and slaves — so
   /// they run on a runtime::WorkerPool writing pre-allocated run-order

@@ -153,9 +153,11 @@ std::string setRelation(const std::vector<ComponentId>& truth,
 }
 
 netdep::DependencyGraph discoverAppDependencies(sim::AppKind kind,
-                                                std::uint64_t campaign_seed) {
+                                                std::uint64_t campaign_seed,
+                                                const sim::MeshConfig& mesh) {
   sim::ScenarioConfig config;
   config.kind = kind;
+  config.mesh = mesh;
   config.seed = mixSeed(campaign_seed, 0xdeb5ull,
                         static_cast<std::uint64_t>(kind));
   config.duration_sec = 1200;  // healthy run; discovery converges well before
@@ -174,6 +176,7 @@ EpisodeRecord runEpisode(const EpisodeSpec& spec,
 
   sim::ScenarioConfig scenario;
   scenario.kind = spec.app;
+  scenario.mesh = spec.mesh;
   scenario.faults = spec.faults;
   scenario.seed = spec.seed;
   scenario.duration_sec = spec.duration_sec;
@@ -204,7 +207,10 @@ EpisodeRecord runEpisode(const EpisodeSpec& spec,
   if (spec.app == sim::AppKind::Hadoop) {
     app.slo.kind = online::SloSpec::Kind::Progress;
   } else {
-    app.slo.latency_threshold_sec = sim::sloLatencyThreshold(spec.app);
+    app.slo.latency_threshold_sec =
+        spec.app == sim::AppKind::Mesh
+            ? sim::meshSloLatencyThreshold(spec.mesh)
+            : sim::sloLatencyThreshold(spec.app);
     app.slo.sustain_sec = scenario.slo_sustain_sec;
   }
   const std::size_t app_index = monitor.addApplication(app);

@@ -63,8 +63,11 @@ struct EpisodeRecord {
 /// run of the benchmark, long enough for the traffic-based discovery to
 /// converge. System S discovers nothing (the paper's streaming negative
 /// finding) and correctly falls back to chronology-only pinpointing.
+/// `mesh` configures the topology when kind == AppKind::Mesh (ignored for
+/// the fixed benchmarks).
 netdep::DependencyGraph discoverAppDependencies(sim::AppKind kind,
-                                                std::uint64_t campaign_seed);
+                                                std::uint64_t campaign_seed,
+                                                const sim::MeshConfig& mesh = {});
 
 /// Runs one episode end to end. `deps` is the kind's discovered graph
 /// (cached per campaign — discovery is per application, not per episode).

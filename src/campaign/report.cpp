@@ -15,11 +15,25 @@ namespace {
 
 bool isSingleResourceEpisode(const EpisodeRecord& record) {
   const EpisodeSpec& spec = record.spec;
+  // Mesh episodes are tracked by their own rate; keeping them out of this
+  // one preserves the CI smoke gate's baseline when the mesh sweep is on.
+  if (spec.app == sim::AppKind::Mesh) return false;
   if (spec.faults.size() != 1 || spec.overlay != OverlayKind::None) {
     return false;
   }
   const faults::FaultType type = spec.faults.front().type;
   return !faults::isExternalFactor(type) && !faults::isCallLevel(type);
+}
+
+/// Frontier-cell label: the fault label, app-kind-qualified for mesh
+/// episodes so a mesh regression is attributable to the mesh sweep rather
+/// than diluting the benchmark cells. (Benchmark kinds keep the bare label —
+/// existing report bytes depend on it; their attribution lives in the
+/// cluster signatures, which always carried the app kind.)
+std::string cellLabel(const EpisodeRecord& record) {
+  std::string label = record.spec.faultLabel();
+  if (record.spec.app == sim::AppKind::Mesh) label.insert(0, "Mesh/");
+  return label;
 }
 
 std::string describe(const EpisodeRecord& record) {
@@ -71,10 +85,13 @@ eval::FrontierReport buildFrontierReport(
   std::map<std::string, Cluster> clusters;
 
   std::size_t single_resource = 0, single_resource_localized = 0;
+  eval::OutcomeCounts mesh_counts;
   for (const EpisodeRecord& record : episodes) {
     report.totals.add(record.outcome);
-    cells[{record.spec.faultLabel(), record.spec.intensity}].add(
-        record.outcome);
+    cells[{cellLabel(record), record.spec.intensity}].add(record.outcome);
+    if (record.spec.app == sim::AppKind::Mesh) {
+      mesh_counts.add(record.outcome);
+    }
     if (isSingleResourceEpisode(record)) {
       ++single_resource;
       if (record.outcome == eval::Outcome::Localized) {
@@ -98,6 +115,9 @@ eval::FrontierReport buildFrontierReport(
           ? 0.0
           : static_cast<double>(single_resource_localized) /
                 static_cast<double>(single_resource);
+  report.mesh_episode_count = mesh_counts.total();
+  report.mesh_localized_rate =
+      mesh_counts.total() == 0 ? 0.0 : mesh_counts.correctRate();
 
   for (auto& [key, counts] : cells) {
     report.cells.push_back({key.first, key.second, counts});
@@ -124,7 +144,8 @@ CampaignResult runCampaign(const CampaignConfig& config,
   std::map<sim::AppKind, netdep::DependencyGraph> deps;
   for (const EpisodeSpec& spec : episodes) {
     if (!deps.contains(spec.app)) {
-      deps.emplace(spec.app, discoverAppDependencies(spec.app, config.seed));
+      deps.emplace(spec.app,
+                   discoverAppDependencies(spec.app, config.seed, spec.mesh));
     }
   }
 

@@ -65,6 +65,11 @@ void writeFrontierJson(std::ostream& out, const FrontierReport& report) {
   out << ",\n";
   out << "  \"single_fault_resource_localized_rate\": "
       << num(report.single_fault_resource_localized_rate) << ",\n";
+  if (report.mesh_episode_count > 0) {
+    out << "  \"mesh_episodes\": " << report.mesh_episode_count << ",\n";
+    out << "  \"mesh_localized_rate\": " << num(report.mesh_localized_rate)
+        << ",\n";
+  }
   out << "  \"frontier\": [\n";
   for (std::size_t i = 0; i < report.cells.size(); ++i) {
     const FrontierCell& cell = report.cells[i];
@@ -101,6 +106,10 @@ void writeFrontierMarkdown(std::ostream& out, const FrontierReport& report) {
   }
   out << "\nSingle-fault resource-episode localized rate: "
       << num(report.single_fault_resource_localized_rate) << "\n\n";
+  if (report.mesh_episode_count > 0) {
+    out << "Mesh-episode correct rate: " << num(report.mesh_localized_rate)
+        << " (" << report.mesh_episode_count << " episodes)\n\n";
+  }
 
   out << "## Accuracy vs. intensity (per fault type)\n\n";
   out << "| fault | intensity | correct | localized | mislocalized | "

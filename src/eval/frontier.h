@@ -88,8 +88,17 @@ struct FrontierReport {
   std::size_t episode_count = 0;
   OutcomeCounts totals;
   /// Localized rate over single-fault, resource-metric, overlay-free
-  /// episodes — the CI smoke gate's guarded scalar.
+  /// episodes — the CI smoke gate's guarded scalar. Mesh episodes are
+  /// excluded (they have their own rate below) so enabling the mesh sweep
+  /// never moves this gate.
   double single_fault_resource_localized_rate = 0.0;
+  /// Mesh-sweep attribution. Zero when the campaign has no mesh episodes,
+  /// in which case the renderings omit both fields — legacy report bytes
+  /// are unchanged.
+  std::size_t mesh_episode_count = 0;
+  /// Correct-verdict rate (Localized + ExternalCauseCorrect) over mesh
+  /// episodes — the mesh smoke job's guarded scalar.
+  double mesh_localized_rate = 0.0;
   /// Sorted by fault name, then ascending intensity.
   std::vector<FrontierCell> cells;
   /// Non-Localized/-ExternalCauseCorrect modes, by count desc then signature.

@@ -32,6 +32,8 @@ Application::Application(ApplicationSpec spec, std::uint64_t noise_seed)
     in_edges_[spec_.edges[e].to].push_back(e);
   }
   edge_traffic_.assign(spec_.edges.size(), 0.0);
+  edge_cache_demand_.assign(spec_.edges.size(), 0.0);
+  edge_retry_factor_.assign(spec_.edges.size(), 1.0);
   staged_.resize(spec_.edges.size());
   for (std::size_t e = 0; e < spec_.edges.size(); ++e) {
     staged_[e].assign(std::max<std::size_t>(1, spec_.edges[e].delay_sec), 0.0);
@@ -141,7 +143,9 @@ void Application::step() {
 
   // --- 2. External arrivals (into source pseudo-queues). ---
   double intensity = 0.0;
-  if (!workload_.empty()) {
+  if (workload_provider_) {
+    intensity = workload_provider_(now_) * workload_multiplier_;
+  } else if (!workload_.empty()) {
     const auto idx = std::min<std::size_t>(static_cast<std::size_t>(now_),
                                            workload_.size() - 1);
     intensity = workload_[idx] * workload_multiplier_;
@@ -173,8 +177,20 @@ void Application::step() {
     const auto& ins = in_edges_[edge.to];
     const auto pos = static_cast<std::size_t>(
         std::find(ins.begin(), ins.end(), e) - ins.begin());
-    dst.in_queues[pos] += delivered;
-    dst.arrived += delivered;
+    if (edge.max_retries > 0) {
+      // Open-loop RPC edge: the caller did not respect back-pressure, so the
+      // receiver sheds whatever exceeds its buffer (the NIC still sees the
+      // full arrival — an overloaded callee looks overloaded).
+      const double free = std::max(
+          0.0, spec_.components[edge.to].buffer_limit - dst.in_queues[pos]);
+      const double accepted = std::min(delivered, free);
+      dst.in_queues[pos] += accepted;
+      dst.arrived += delivered;
+      dst.dropped += delivered - accepted;
+    } else {
+      dst.in_queues[pos] += delivered;
+      dst.arrived += delivered;
+    }
   }
 
   // --- 4. Process every component against capacity and back-pressure. ---
@@ -202,6 +218,10 @@ void Application::step() {
     for (std::size_t e : out_edges_[i]) {
       const EdgeSpec& edge = spec_.edges[e];
       if (edge.weight <= kEps) continue;
+      // Bounded-retry RPC clients are open-loop: the caller keeps sending
+      // regardless of downstream buffer space (overflow is shed on
+      // delivery), so a retrying edge never throttles its caller.
+      if (edge.max_retries > 0) continue;
       const auto& ins = in_edges_[edge.to];
       const auto pos = static_cast<std::size_t>(
           std::find(ins.begin(), ins.end(), e) - ins.begin());
@@ -273,8 +293,43 @@ void Application::step() {
         static_cast<std::size_t>(state.fault.call_latency_extra_sec);
     for (std::size_t e : out_edges_[i]) {
       const EdgeSpec& edge = spec_.edges[e];
-      const double units =
+      double units =
           processed * (1.0 - fail_rate) * cspec.amplification * edge.weight;
+      // Caller-side cache: a fraction of calls is answered locally and never
+      // traverses the edge. The effective hit ratio degrades once smoothed
+      // demand outgrows the cache's working-set knee, so a surge turns into
+      // a miss storm on the tier behind the cache.
+      if (edge.cache_hit_ratio > 0.0) {
+        double& demand = edge_cache_demand_[e];
+        demand = 0.8 * demand + 0.2 * units;
+        double hit = edge.cache_hit_ratio;
+        if (edge.cache_knee > 0.0 && demand > edge.cache_knee) {
+          hit *= edge.cache_knee / demand;
+        }
+        units *= 1.0 - hit;
+      }
+      // Retry storm: once the callee's queue fill crosses the timeout
+      // threshold, the caller duplicates calls — linearly up to the bounded
+      // 1 + max_retries. The duplicates are *real* downstream load (they get
+      // processed and fan out further), which is the positive feedback that
+      // multiplies upstream call volume under downstream slowdown; the
+      // per-edge bound keeps the amplification provably finite.
+      if (edge.max_retries > 0) {
+        const ComponentSpec& to_spec = spec_.components[edge.to];
+        const auto& ins = in_edges_[edge.to];
+        const auto pos = static_cast<std::size_t>(
+            std::find(ins.begin(), ins.end(), e) - ins.begin());
+        double in_flight = 0.0;
+        for (double slot : staged_[e]) in_flight += slot;
+        const double fill = (states_[edge.to].in_queues[pos] + in_flight) /
+                            std::max(kEps, to_spec.buffer_limit);
+        const double theta = std::clamp(edge.retry_threshold, 0.0, 0.99);
+        const double pressure =
+            std::clamp((fill - theta) / (1.0 - theta), 0.0, 1.0);
+        const double factor = 1.0 + edge.max_retries * pressure;
+        edge_retry_factor_[e] = factor;
+        units *= factor;
+      }
       // The pipeline keeps its length across deliveries, so the slot for the
       // nominal transfer delay is fixed at delay_sec - 1 even after a
       // call-latency fault has grown the vector.
@@ -324,6 +379,18 @@ void Application::step() {
     // CallLatency: the injected RPC-stack delay sits directly on the
     // request path of every outbound call.
     if (!out_edges_[id].empty()) delay += state.fault.call_latency_extra_sec;
+    // Bounded retries: each duplicate round trip costs the caller a timeout
+    // + backoff wait before the answer arrives (worst outbound edge counts —
+    // the request path blocks on its slowest dependency).
+    double retry_wait = 0.0;
+    for (std::size_t e : out_edges_[id]) {
+      const EdgeSpec& edge = spec_.edges[e];
+      if (edge.max_retries > 0 && edge.retry_backoff_sec > 0.0) {
+        retry_wait = std::max(retry_wait, (edge_retry_factor_[e] - 1.0) *
+                                              edge.retry_backoff_sec);
+      }
+    }
+    delay += retry_wait;
     if (queue > kEps) {
       delay += queue / std::max(state.processed, 0.5);
     }

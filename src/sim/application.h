@@ -11,6 +11,7 @@
 // hop with multi-second delays once queue buildup is included.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -32,6 +33,30 @@ struct EdgeSpec {
   /// batched shuffle fetches use several seconds, which is what gives its
   /// fault propagation the multi-second lag the paper relies on.
   std::size_t delay_sec = 1;
+
+  // --- Microservice-mesh edge semantics (sim/mesh.h). All default to the
+  // --- inert values, so the legacy RUBiS/System-S/Hadoop specs behave (and
+  // --- sample noise) exactly as before these fields existed.
+
+  /// Fraction of calls served by a caller-side cache and never sent over the
+  /// edge (0 = no cache).
+  double cache_hit_ratio = 0.0;
+  /// Smoothed pre-cache demand (units/s) the cache's working set can cover.
+  /// Beyond the knee the effective hit ratio degrades inversely with demand
+  /// — the hit-ratio dynamics that turn a load surge into a miss storm on
+  /// the tier behind the cache. 0 keeps the ratio static.
+  double cache_knee = 0.0;
+  /// Bounded-retry RPC client: when the callee is under pressure the caller
+  /// re-sends up to this many duplicates per call (0 = no retries, and the
+  /// edge stays a closed-loop back-pressured link). A retrying edge is
+  /// open-loop: the caller ignores downstream buffer space and overflow is
+  /// shed at the receiver instead.
+  int max_retries = 0;
+  /// Destination queue-fill fraction at which client timeouts (and therefore
+  /// retries) begin; duplication scales linearly up to max_retries at 100 %.
+  double retry_threshold = 0.6;
+  /// Client-side wait added to the path latency per retry in flight.
+  double retry_backoff_sec = 0.0;
 };
 
 /// How the application exchanges data on the wire; decides whether black-box
@@ -65,6 +90,13 @@ class Application {
   /// (no in-edges, no self work) share each tick's intensity equally.
   void setWorkload(std::vector<double> trace);
 
+  /// Streams the arrival intensity from a callback instead of a prebuilt
+  /// vector (trace-driven replay, sim/trace.h). When set, it overrides the
+  /// setWorkload trace; the workload multiplier still applies.
+  void setWorkloadProvider(std::function<double(TimeSec)> provider) {
+    workload_provider_ = std::move(provider);
+  }
+
   /// Multiplies the external workload (WorkloadSurge fault). Takes effect on
   /// the next tick.
   void setWorkloadMultiplier(double multiplier) {
@@ -97,6 +129,12 @@ class Application {
   /// Work units carried by each edge this tick (for the packet trace layer).
   const std::vector<double>& edgeTraffic() const { return edge_traffic_; }
 
+  /// Per-edge retry amplification applied this tick (1.0 = no retries). The
+  /// mesh property suite pins the bound factor <= 1 + max_retries.
+  const std::vector<double>& edgeRetryFactors() const {
+    return edge_retry_factor_;
+  }
+
   /// Looks up a component id by name; kNoComponent when absent.
   ComponentId findComponent(std::string_view name) const;
 
@@ -116,10 +154,15 @@ class Application {
 
   // Workload.
   std::vector<double> workload_;
+  std::function<double(TimeSec)> workload_provider_;
   double workload_multiplier_ = 1.0;
 
   // Per-tick scratch.
   std::vector<double> edge_traffic_;
+  /// EMA of each caching edge's pre-cache routed demand (hit-ratio dynamics).
+  std::vector<double> edge_cache_demand_;
+  /// Retry amplification applied to each edge this tick (1.0 when idle).
+  std::vector<double> edge_retry_factor_;
   /// Per-edge delivery pipeline: slot 0 is delivered this tick, the last
   /// slot receives this tick's emissions (length == edge delay).
   std::vector<std::vector<double>> staged_;

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "sim/mesh.h"
 #include "trace/workload_trace.h"
 
 namespace fchain::sim {
@@ -14,6 +15,8 @@ std::string_view appKindName(AppKind kind) {
       return "SystemS";
     case AppKind::Hadoop:
       return "Hadoop";
+    case AppKind::Mesh:
+      return "Mesh";
   }
   return "unknown";
 }
@@ -195,6 +198,8 @@ ApplicationSpec makeAppSpec(AppKind kind) {
       return makeSystemSSpec();
     case AppKind::Hadoop:
       return makeHadoopSpec();
+    case AppKind::Mesh:
+      return makeMicroMeshSpec(MeshConfig{});
   }
   throw std::invalid_argument("unknown AppKind");
 }
@@ -207,11 +212,16 @@ double sloLatencyThreshold(AppKind kind) {
       return 0.020;  // 20 ms per-tuple processing time
     case AppKind::Hadoop:
       return 0.0;  // progress-based SLO instead
+    case AppKind::Mesh:
+      return meshSloLatencyThreshold(MeshConfig{});
   }
   throw std::invalid_argument("unknown AppKind");
 }
 
 Application makeApplication(AppKind kind, std::size_t seconds, Rng& rng) {
+  if (kind == AppKind::Mesh) {
+    return makeMicroMesh(MeshConfig{}, seconds, rng);
+  }
   Application app(makeAppSpec(kind), rng.next());
   switch (kind) {
     case AppKind::Rubis:
@@ -224,6 +234,8 @@ Application makeApplication(AppKind kind, std::size_t seconds, Rng& rng) {
       break;
     case AppKind::Hadoop:
       break;  // batch job: work comes from the map-side reservoirs
+    case AppKind::Mesh:
+      break;  // handled above
   }
   return app;
 }

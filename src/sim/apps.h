@@ -20,11 +20,13 @@
 
 namespace fchain::sim {
 
-enum class AppKind : std::uint8_t { Rubis, SystemS, Hadoop };
+enum class AppKind : std::uint8_t { Rubis, SystemS, Hadoop, Mesh };
 
 std::string_view appKindName(AppKind kind);
 
-/// Topology + calibration for the requested benchmark.
+/// Topology + calibration for the requested benchmark. AppKind::Mesh yields
+/// the default-config microservice mesh (sim/mesh.h); parameterized meshes go
+/// through makeMicroMeshSpec directly.
 ApplicationSpec makeRubisSpec();
 ApplicationSpec makeSystemSSpec();
 ApplicationSpec makeHadoopSpec();

@@ -1,0 +1,84 @@
+// Microservice-mesh workload generator.
+//
+// The paper's three benchmarks are monolithic-era topologies (4, 7, and 9
+// components). Modern cloud applications are meshes: hundreds of services in
+// tiered fan-out, caches in front of the data tier, bounded-retry RPC
+// clients — and the retry-storm amplification those clients produce when a
+// downstream tier slows (each caller duplicates calls into the already-slow
+// callee, multiplying upstream call volume). `makeMicroMesh` generates such
+// applications — 50–200+ services, seeded and byte-deterministic — as
+// standard ApplicationSpec/Application objects, so the simulator, injector,
+// online monitor, fleet tier, and campaign sweep compose with them
+// unchanged (tests/mesh_property_test.cpp pins the structural contract).
+//
+// Topology: `tiers` layers — an entry tier of gateways (the workload
+// sources), fan-out middle tiers, and a data tier of stores (the sinks).
+// Every edge goes from tier t to tier t+1 (the DAG depth bound), each
+// service calls `min_fanout..max_fanout` distinct services of the next tier,
+// and an uncovered-service repair pass guarantees every service is reachable
+// from the entry tier without exceeding the fan-out bound. Component
+// capacities are auto-calibrated from the propagated expected load so that
+// utilization at workload peak stays below `peak_utilization` — SLO
+// violations therefore only occur under injected faults or deliberate
+// surges, matching the calibration contract of sim/apps.h.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "sim/application.h"
+
+namespace fchain::sim {
+
+struct MeshConfig {
+  /// Total service count across all tiers (>= 3 * tiers).
+  std::size_t services = 120;
+  /// Topology seed: same seed, same config -> byte-identical spec. Distinct
+  /// from the Application noise seed, so one topology can be replayed under
+  /// many noise draws.
+  std::uint64_t seed = 1;
+  /// Layer count: 1 entry tier + (tiers - 2) fan-out tiers + 1 data tier.
+  std::size_t tiers = 6;
+  /// Per-service out-degree bounds (data-tier services are sinks).
+  std::size_t min_fanout = 2;
+  std::size_t max_fanout = 4;
+  /// Cache in front of the data tier: fraction of calls served caller-side.
+  double cache_hit_ratio = 0.35;
+  /// Working-set headroom: the cache knee sits at this multiple of each
+  /// edge's calibrated healthy demand, so normal diurnal peaks keep their
+  /// hit ratio while a surge (or a hog on the cache host) degrades it.
+  double cache_headroom = 2.8;
+  /// Bounded-retry RPC clients on every edge (0 disables retries).
+  int max_retries = 2;
+  /// Callee queue-fill fraction where client timeouts (retries) begin.
+  double retry_threshold = 0.55;
+  /// Client wait per retry in flight (feeds the path-latency estimate).
+  double retry_backoff_sec = 0.05;
+  /// Mean external request rate driving the entry tier.
+  double base_users_per_sec = 400.0;
+  /// Target utilization of the busiest resource at diurnal peak.
+  double peak_utilization = 0.45;
+};
+
+/// Canonical config for a mesh of `services` services under `seed` (the knob
+/// the campaign and benches sweep; everything else keeps defaults).
+MeshConfig meshConfigFor(std::size_t services, std::uint64_t seed);
+
+/// Generates the mesh topology + calibration. Byte-deterministic in the
+/// config; throws std::invalid_argument for infeasible configs (too few
+/// services for the tier count, fan-out bounds that cannot cover a tier).
+ApplicationSpec makeMicroMeshSpec(const MeshConfig& config);
+
+/// Latency SLO threshold (seconds) for the mesh: a fixed multiple of the
+/// healthy reference-path service time, recomputed from the (deterministic)
+/// spec so it scales with depth and calibration.
+double meshSloLatencyThreshold(const MeshConfig& config);
+
+/// Builds the mesh application and attaches its diurnal workload trace
+/// (`seconds` long), mirroring sim::makeApplication's rng discipline: one
+/// draw for the noise seed, then the trace generation.
+Application makeMicroMesh(const MeshConfig& config, std::size_t seconds,
+                          Rng& rng);
+
+}  // namespace fchain::sim

@@ -4,15 +4,35 @@ namespace fchain::sim {
 
 namespace {
 Rng makeRng(const ScenarioConfig& config) { return Rng(config.seed); }
+
+Application makeScenarioApp(const ScenarioConfig& config, Rng& rng) {
+  if (config.kind == AppKind::Mesh) {
+    return makeMicroMesh(config.mesh, config.duration_sec, rng);
+  }
+  return makeApplication(config.kind, config.duration_sec, rng);
+}
+
+double scenarioSloThreshold(const ScenarioConfig& config) {
+  if (config.kind == AppKind::Mesh) {
+    return meshSloLatencyThreshold(config.mesh);
+  }
+  return sloLatencyThreshold(config.kind);
+}
 }  // namespace
 
 Simulation::Simulation(const ScenarioConfig& config)
     : config_(config), rng_(makeRng(config)),
-      app_(makeApplication(config.kind, config.duration_sec, rng_)),
+      app_(makeScenarioApp(config, rng_)),
       injector_(config.faults),
-      latency_slo_(sloLatencyThreshold(config.kind), config.slo_sustain_sec),
+      latency_slo_(scenarioSloThreshold(config), config.slo_sustain_sec),
       progress_slo_() {
   edge_traffic_.resize(app_.spec().edges.size());
+  if (config_.workload_trace) {
+    app_.setWorkloadProvider(
+        [trace = config_.workload_trace](TimeSec t) {
+          return trace->intensityAt(t);
+        });
+  }
 }
 
 void Simulation::step() {

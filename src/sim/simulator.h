@@ -12,7 +12,9 @@
 #include "common/rng.h"
 #include "sim/apps.h"
 #include "sim/injector.h"
+#include "sim/mesh.h"
 #include "sim/slo.h"
+#include "sim/trace.h"
 
 namespace fchain::sim {
 
@@ -26,6 +28,14 @@ struct ScenarioConfig {
   /// Extra seconds simulated past the SLO violation so the analysis window
   /// has data up to (and slightly past) tv.
   std::size_t post_violation_sec = 5;
+  /// Topology + calibration used when kind == AppKind::Mesh.
+  MeshConfig mesh;
+  /// Optional recorded workload: when set, external arrivals come from
+  /// trace->intensityAt(t) instead of the app's generated workload vector.
+  /// The rng stream is untouched (the default trace is still drawn, then
+  /// overridden), so two runs differing only in this pointer are comparable
+  /// trace-vs-trace — the replay identity tests depend on that.
+  std::shared_ptr<const WorkloadTrace> workload_trace;
 };
 
 /// Everything a fault localizer may look at after a run, plus the ground

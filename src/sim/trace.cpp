@@ -1,0 +1,434 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <tuple>
+
+#include "common/rng.h"
+#include "persist/codec.h"
+
+namespace fchain::sim {
+
+namespace {
+
+constexpr std::uint32_t kTraceMagic = 0x46435452;  // "FCTR"
+constexpr std::uint32_t kEventMagic = 0x46435445;  // "FCTE"
+constexpr std::uint32_t kTraceVersion = 1;
+
+/// Closed-form diurnal baseline (no per-tick state).
+double baseAt(const TraceConfig& config, TimeSec t) {
+  const double phase = 2.0 * std::numbers::pi * static_cast<double>(t) /
+                       std::max(1.0, config.diurnal_period_sec);
+  return config.base_users_per_sec *
+         (1.0 + config.diurnal_amplitude * std::sin(phase));
+}
+
+/// Counter-hashed per-tick noise: a fresh Rng per (seed, t), so the factor
+/// is a pure function of time — identical between live generation, full-file
+/// replay, and cursor replay.
+double noiseFactorAt(const TraceConfig& config, TimeSec t) {
+  if (config.noise_level <= 0.0) return 1.0;
+  Rng rng(mixSeed(config.seed, 0x401aeull, static_cast<std::uint64_t>(t)));
+  return std::max(0.0, 1.0 + config.noise_level * rng.gaussian());
+}
+
+double composeIntensity(const TraceConfig& config, TimeSec t,
+                        double flash_sum, double shift_sum) {
+  const double value = baseAt(config, t) * (1.0 + flash_sum) *
+                       (1.0 + shift_sum) * noiseFactorAt(config, t);
+  return std::max(0.0, value);
+}
+
+void encodeEvent(persist::Encoder& out, const TraceEvent& event) {
+  out.u8(static_cast<std::uint8_t>(event.kind));
+  out.i64(event.start);
+  out.f64(event.magnitude);
+  out.f64(event.duration_sec);
+}
+
+TraceEvent decodeEvent(persist::Decoder& in) {
+  TraceEvent event;
+  const std::uint8_t kind = in.u8();
+  if (kind != static_cast<std::uint8_t>(TraceEvent::Kind::FlashCrowd) &&
+      kind != static_cast<std::uint8_t>(TraceEvent::Kind::RegionalShift)) {
+    in.fail("unknown trace event kind " + std::to_string(kind));
+  }
+  event.kind = static_cast<TraceEvent::Kind>(kind);
+  event.start = static_cast<TimeSec>(in.i64());
+  event.magnitude = in.f64();
+  event.duration_sec = in.f64();
+  if (!in.done()) in.fail("trailing bytes in trace event");
+  return event;
+}
+
+/// Parses one frame starting at `offset` (advanced past it on return);
+/// rethrows decode errors with the file-absolute byte offset.
+persist::FrameView takeFrame(std::span<const std::uint8_t> bytes,
+                             std::size_t& offset, std::uint32_t magic,
+                             const char* what) {
+  if (bytes.size() - offset < persist::kFrameHeaderSize) {
+    throw persist::CorruptDataError(
+        std::string("truncated trace file: incomplete ") + what + " frame",
+        bytes.size());
+  }
+  std::uint64_t payload_len = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    payload_len |= static_cast<std::uint64_t>(bytes[offset + 8 + i])
+                   << (8 * i);
+  }
+  const std::size_t remaining =
+      bytes.size() - offset - persist::kFrameHeaderSize;
+  if (payload_len > remaining) {
+    throw persist::CorruptDataError(
+        std::string("truncated trace file: ") + what + " payload cut short",
+        bytes.size());
+  }
+  const std::size_t frame_len = persist::kFrameHeaderSize +
+                                static_cast<std::size_t>(payload_len);
+  try {
+    const persist::FrameView view =
+        persist::unframe(bytes.subspan(offset, frame_len), magic,
+                         kTraceVersion);
+    offset += frame_len;
+    return view;
+  } catch (const persist::CorruptDataError& e) {
+    throw persist::CorruptDataError(e.what(), offset + e.offset());
+  }
+}
+
+struct TraceHeader {
+  TraceConfig config;
+  std::uint64_t event_count = 0;
+};
+
+void encodeHeader(persist::Encoder& out, const TraceConfig& config,
+                  std::uint64_t event_count) {
+  out.u64(config.seed);
+  out.u64(config.duration_sec);
+  out.f64(config.base_users_per_sec);
+  out.f64(config.diurnal_amplitude);
+  out.f64(config.diurnal_period_sec);
+  out.f64(config.noise_level);
+  out.f64(config.flash_per_hour);
+  out.f64(config.flash_magnitude);
+  out.f64(config.flash_duration_sec);
+  out.f64(config.shift_per_hour);
+  out.f64(config.shift_magnitude);
+  out.f64(config.shift_ramp_sec);
+  out.u64(event_count);
+}
+
+TraceHeader decodeHeader(persist::Decoder& in) {
+  TraceHeader header;
+  header.config.seed = in.u64();
+  header.config.duration_sec = static_cast<std::size_t>(in.u64());
+  header.config.base_users_per_sec = in.f64();
+  header.config.diurnal_amplitude = in.f64();
+  header.config.diurnal_period_sec = in.f64();
+  header.config.noise_level = in.f64();
+  header.config.flash_per_hour = in.f64();
+  header.config.flash_magnitude = in.f64();
+  header.config.flash_duration_sec = in.f64();
+  header.config.shift_per_hour = in.f64();
+  header.config.shift_magnitude = in.f64();
+  header.config.shift_ramp_sec = in.f64();
+  header.event_count = in.u64();
+  if (!in.done()) in.fail("trailing bytes in trace header");
+  return header;
+}
+
+}  // namespace
+
+double traceEventContribution(const TraceEvent& event, TimeSec t) {
+  if (t < event.start) return 0.0;
+  const double dt = static_cast<double>(t - event.start);
+  if (event.kind == TraceEvent::Kind::FlashCrowd) {
+    if (event.duration_sec <= 0.0 ||
+        dt >= kFlashWindowFactor * event.duration_sec) {
+      // Defined as exactly zero past the window, so pruning is bit-neutral.
+      return 0.0;
+    }
+    return event.magnitude * std::exp(-dt / event.duration_sec);
+  }
+  // Regional shift: ramp to the (signed) step, then hold forever. The
+  // completed branch returns the stored magnitude verbatim so a folded
+  // cursor accumulates the identical bits.
+  if (event.duration_sec <= 0.0 || dt >= event.duration_sec) {
+    return event.magnitude;
+  }
+  return event.magnitude * (dt / event.duration_sec);
+}
+
+bool traceEventExpired(const TraceEvent& event, TimeSec t) {
+  if (t < event.start) return false;
+  const double dt = static_cast<double>(t - event.start);
+  if (event.kind == TraceEvent::Kind::FlashCrowd) {
+    return event.duration_sec <= 0.0 ||
+           dt >= kFlashWindowFactor * event.duration_sec;
+  }
+  return event.duration_sec <= 0.0 || dt >= event.duration_sec;
+}
+
+double WorkloadTrace::intensityAt(TimeSec t) const {
+  double flash_sum = 0.0;
+  double shift_sum = 0.0;
+  for (const TraceEvent& event : events) {
+    if (event.kind == TraceEvent::Kind::FlashCrowd) {
+      flash_sum += traceEventContribution(event, t);
+    } else {
+      shift_sum += traceEventContribution(event, t);
+    }
+  }
+  return composeIntensity(config, t, flash_sum, shift_sum);
+}
+
+double WorkloadTrace::totalUsers() const {
+  double total = 0.0;
+  for (std::size_t t = 0; t < config.duration_sec; ++t) {
+    total += intensityAt(static_cast<TimeSec>(t));
+  }
+  return total;
+}
+
+WorkloadTrace generateWorkloadTrace(const TraceConfig& config) {
+  WorkloadTrace trace;
+  trace.config = config;
+  Rng rng(mixSeed(config.seed, 0xf1a5ull));
+  const double hours = static_cast<double>(config.duration_sec) / 3600.0;
+  const auto draw_count = [&](double per_hour) {
+    const double expected = std::max(0.0, per_hour * hours);
+    auto n = static_cast<std::size_t>(expected);
+    if (rng.uniform() < expected - static_cast<double>(n)) ++n;
+    return n;
+  };
+
+  const std::size_t flashes = draw_count(config.flash_per_hour);
+  for (std::size_t i = 0; i < flashes; ++i) {
+    TraceEvent event;
+    event.kind = TraceEvent::Kind::FlashCrowd;
+    event.start = static_cast<TimeSec>(
+        rng.below(std::max<std::uint64_t>(1, config.duration_sec)));
+    event.magnitude = config.flash_magnitude * (0.6 + 0.8 * rng.uniform());
+    event.duration_sec =
+        config.flash_duration_sec * (0.7 + 0.6 * rng.uniform());
+    trace.events.push_back(event);
+  }
+  const std::size_t shifts = draw_count(config.shift_per_hour);
+  for (std::size_t i = 0; i < shifts; ++i) {
+    TraceEvent event;
+    event.kind = TraceEvent::Kind::RegionalShift;
+    event.start = static_cast<TimeSec>(
+        rng.below(std::max<std::uint64_t>(1, config.duration_sec)));
+    const double sign = rng.chance(0.5) ? 1.0 : -1.0;
+    event.magnitude =
+        sign * config.shift_magnitude * (0.6 + 0.8 * rng.uniform());
+    event.duration_sec = config.shift_ramp_sec * (0.7 + 0.6 * rng.uniform());
+    trace.events.push_back(event);
+  }
+
+  std::sort(trace.events.begin(), trace.events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return std::tie(a.start, a.kind, a.magnitude, a.duration_sec) <
+                     std::tie(b.start, b.kind, b.magnitude, b.duration_sec);
+            });
+  return trace;
+}
+
+std::vector<std::uint8_t> encodeTrace(const WorkloadTrace& trace) {
+  persist::Encoder header;
+  encodeHeader(header, trace.config, trace.events.size());
+  std::vector<std::uint8_t> bytes =
+      persist::frame(kTraceMagic, kTraceVersion, header.buffer());
+  for (const TraceEvent& event : trace.events) {
+    persist::Encoder body;
+    encodeEvent(body, event);
+    const std::vector<std::uint8_t> framed =
+        persist::frame(kEventMagic, kTraceVersion, body.buffer());
+    bytes.insert(bytes.end(), framed.begin(), framed.end());
+  }
+  return bytes;
+}
+
+WorkloadTrace decodeTrace(const std::vector<std::uint8_t>& bytes) {
+  std::size_t offset = 0;
+  const persist::FrameView header_frame =
+      takeFrame(bytes, offset, kTraceMagic, "header");
+  persist::Decoder header_in(header_frame.payload);
+  TraceHeader header;
+  try {
+    header = decodeHeader(header_in);
+  } catch (const persist::CorruptDataError& e) {
+    throw persist::CorruptDataError(e.what(),
+                                    persist::kFrameHeaderSize + e.offset());
+  }
+  WorkloadTrace trace;
+  trace.config = header.config;
+  for (std::uint64_t i = 0; i < header.event_count; ++i) {
+    const std::size_t frame_start = offset;
+    const persist::FrameView view =
+        takeFrame(bytes, offset, kEventMagic, "event");
+    persist::Decoder in(view.payload);
+    try {
+      trace.events.push_back(decodeEvent(in));
+    } catch (const persist::CorruptDataError& e) {
+      throw persist::CorruptDataError(
+          e.what(), frame_start + persist::kFrameHeaderSize + e.offset());
+    }
+  }
+  if (offset != bytes.size()) {
+    throw persist::CorruptDataError("trailing bytes after trace events",
+                                    offset);
+  }
+  return trace;
+}
+
+void writeTraceFile(const std::string& path, const WorkloadTrace& trace) {
+  persist::writeFileAtomic(path, encodeTrace(trace));
+}
+
+WorkloadTrace readTraceFile(const std::string& path) {
+  return decodeTrace(persist::readFileBytes(path));
+}
+
+// --- TraceCursor -----------------------------------------------------------
+
+namespace {
+
+/// Reads exactly one frame from the stream; throws CorruptDataError with the
+/// absolute file offset on short reads or damage.
+persist::FrameView readFrameFrom(std::ifstream& in, std::size_t& offset,
+                                 std::uint32_t magic, const char* what,
+                                 std::vector<std::uint8_t>& storage) {
+  storage.resize(persist::kFrameHeaderSize);
+  in.read(reinterpret_cast<char*>(storage.data()),
+          static_cast<std::streamsize>(storage.size()));
+  if (in.gcount() != static_cast<std::streamsize>(storage.size())) {
+    throw persist::CorruptDataError(
+        std::string("truncated trace file: incomplete ") + what + " frame",
+        offset + static_cast<std::size_t>(std::max<std::streamsize>(
+                     0, in.gcount())));
+  }
+  std::uint64_t payload_len = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    payload_len |= static_cast<std::uint64_t>(storage[8 + i]) << (8 * i);
+  }
+  // An implausible length means a corrupt header; cap before allocating.
+  if (payload_len > (1u << 20)) {
+    throw persist::CorruptDataError("implausible trace frame length",
+                                    offset + 8);
+  }
+  storage.resize(persist::kFrameHeaderSize +
+                 static_cast<std::size_t>(payload_len));
+  in.read(reinterpret_cast<char*>(storage.data() + persist::kFrameHeaderSize),
+          static_cast<std::streamsize>(payload_len));
+  if (in.gcount() != static_cast<std::streamsize>(payload_len)) {
+    throw persist::CorruptDataError(
+        std::string("truncated trace file: ") + what + " payload cut short",
+        offset + persist::kFrameHeaderSize +
+            static_cast<std::size_t>(
+                std::max<std::streamsize>(0, in.gcount())));
+  }
+  try {
+    const persist::FrameView view =
+        persist::unframe(storage, magic, kTraceVersion);
+    offset += storage.size();
+    return view;
+  } catch (const persist::CorruptDataError& e) {
+    throw persist::CorruptDataError(e.what(), offset + e.offset());
+  }
+}
+
+}  // namespace
+
+TraceCursor::TraceCursor(const std::string& path)
+    : in_(path, std::ios::binary), path_(path) {
+  if (!in_) throw std::runtime_error("cannot open trace file: " + path);
+  std::vector<std::uint8_t> storage;
+  const persist::FrameView header_frame =
+      readFrameFrom(in_, file_offset_, kTraceMagic, "header", storage);
+  persist::Decoder header_in(header_frame.payload);
+  TraceHeader header;
+  try {
+    header = decodeHeader(header_in);
+  } catch (const persist::CorruptDataError& e) {
+    throw persist::CorruptDataError(e.what(),
+                                    persist::kFrameHeaderSize + e.offset());
+  }
+  config_ = header.config;
+  events_total_ = header.event_count;
+}
+
+void TraceCursor::admitUpTo(TimeSec t) {
+  // A frame read ahead of its due time parks in pending_ — events are sorted
+  // by start, so nothing behind it can be due either, and the file is not
+  // touched again until t catches up.
+  if (pending_) {
+    if (pending_->start > t) return;
+    active_.push_back(*pending_);
+    max_active_ = std::max(max_active_, active_.size());
+    pending_.reset();
+  }
+  std::vector<std::uint8_t> storage;
+  while (events_read_ < events_total_) {
+    const std::size_t frame_start = file_offset_;
+    const persist::FrameView view =
+        readFrameFrom(in_, file_offset_, kEventMagic, "event", storage);
+    persist::Decoder in(view.payload);
+    TraceEvent event;
+    try {
+      event = decodeEvent(in);
+    } catch (const persist::CorruptDataError& e) {
+      throw persist::CorruptDataError(
+          e.what(), frame_start + persist::kFrameHeaderSize + e.offset());
+    }
+    ++events_read_;
+    if (event.start > t) {
+      pending_ = event;
+      break;
+    }
+    active_.push_back(event);
+    max_active_ = std::max(max_active_, active_.size());
+  }
+}
+
+double TraceCursor::intensityAt(TimeSec t) {
+  admitUpTo(t);
+
+  // Prune in event order. Flash contributions are exactly zero once expired,
+  // so dropping them never changes the sum. A completed regional shift folds
+  // its exact magnitude into the running scalar — but only while it is the
+  // earliest unfolded shift, so the fold order equals the full-scan
+  // accumulation order and the arithmetic stays bit-equal.
+  std::size_t write = 0;
+  bool shift_blocked = false;
+  for (std::size_t read = 0; read < active_.size(); ++read) {
+    const TraceEvent& event = active_[read];
+    const bool expired = traceEventExpired(event, t);
+    if (event.kind == TraceEvent::Kind::FlashCrowd) {
+      if (expired) continue;  // drop
+    } else {
+      if (expired && !shift_blocked) {
+        folded_shift_ += event.magnitude;
+        continue;  // folded
+      }
+      shift_blocked = true;  // later shifts must wait for this one
+    }
+    active_[write++] = event;
+  }
+  active_.resize(write);
+
+  double flash_sum = 0.0;
+  double shift_sum = folded_shift_;
+  for (const TraceEvent& event : active_) {
+    if (event.kind == TraceEvent::Kind::FlashCrowd) {
+      flash_sum += traceEventContribution(event, t);
+    } else {
+      shift_sum += traceEventContribution(event, t);
+    }
+  }
+  return composeIntensity(config_, t, flash_sum, shift_sum);
+}
+
+}  // namespace fchain::sim

@@ -1,0 +1,248 @@
+// Property suite for the microservice-mesh generator (sim/mesh.h): across
+// 500 seeds and sizes in [50, 200], every generated mesh must be a DAG,
+// respect the fan-out and depth bounds, reach every service from the entry
+// tier, and regenerate byte-identically from its config. The retry-storm
+// amplifier carries a provable bound — 1 + max_retries per edge — which the
+// dynamic cases pin under a deliberately saturated data store, along with
+// the calibration contract (a healthy mesh never violates its SLO).
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/mesh.h"
+#include "sim/simulator.h"
+
+namespace fchain::sim {
+namespace {
+
+constexpr std::size_t kSeeds = 500;
+
+/// Deterministic (seed -> size) spread covering [50, 200].
+std::size_t servicesFor(std::uint64_t seed) {
+  return 50 + static_cast<std::size_t>((seed * 7919) % 151);
+}
+
+/// Exact textual serialization: %a renders doubles bit-exactly, so two
+/// specs serialize equal iff they are bit-identical.
+std::string serialize(const ApplicationSpec& spec) {
+  std::string out = spec.name + "\n";
+  char buf[512];
+  for (const ComponentSpec& c : spec.components) {
+    std::snprintf(buf, sizeof buf, "c %s %a %a %a %a %a %a %a %a %a %a %a\n",
+                  c.name.c_str(), c.cpu_capacity, c.cpu_demand, c.mem_base,
+                  c.mem_limit, c.mem_per_queued, c.buffer_limit,
+                  c.noise_level, c.net_in_per_unit, c.net_out_per_unit,
+                  c.disk_read_per_unit, c.disk_capacity);
+    out += buf;
+  }
+  for (const EdgeSpec& e : spec.edges) {
+    std::snprintf(buf, sizeof buf, "e %u %u %a %a %a %d %a %a\n", e.from,
+                  e.to, e.weight, e.cache_hit_ratio, e.cache_knee,
+                  e.max_retries, e.retry_threshold, e.retry_backoff_sec);
+    out += buf;
+  }
+  for (ComponentId id : spec.reference_path) {
+    out += std::to_string(id) + " ";
+  }
+  return out;
+}
+
+struct Degrees {
+  std::vector<std::size_t> in, out;
+};
+
+Degrees degreesOf(const ApplicationSpec& spec) {
+  Degrees d;
+  d.in.assign(spec.components.size(), 0);
+  d.out.assign(spec.components.size(), 0);
+  for (const EdgeSpec& e : spec.edges) {
+    ++d.out[e.from];
+    ++d.in[e.to];
+  }
+  return d;
+}
+
+TEST(MeshProperty, StructuralInvariantsAcross500Seeds) {
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const MeshConfig config = meshConfigFor(servicesFor(seed), seed);
+    const ApplicationSpec spec = makeMicroMeshSpec(config);
+    SCOPED_TRACE("seed " + std::to_string(seed) + " services " +
+                 std::to_string(config.services));
+
+    ASSERT_EQ(spec.components.size(), config.services);
+
+    // Byte-determinism: regenerating from the same config is bit-identical.
+    ASSERT_EQ(serialize(spec), serialize(makeMicroMeshSpec(config)));
+
+    // No self-loops or duplicate edges; every endpoint in range.
+    std::vector<std::vector<bool>> seen(
+        spec.components.size(),
+        std::vector<bool>(spec.components.size(), false));
+    for (const EdgeSpec& e : spec.edges) {
+      ASSERT_LT(e.from, spec.components.size());
+      ASSERT_LT(e.to, spec.components.size());
+      ASSERT_NE(e.from, e.to);
+      ASSERT_FALSE(seen[e.from][e.to]) << "duplicate edge " << e.from
+                                       << " -> " << e.to;
+      seen[e.from][e.to] = true;
+    }
+
+    const Degrees deg = degreesOf(spec);
+
+    // Acyclic (Kahn), and the longest path obeys the tier depth bound.
+    std::vector<std::size_t> in_left = deg.in;
+    std::vector<std::size_t> depth(spec.components.size(), 0);
+    std::deque<ComponentId> frontier;
+    for (ComponentId id = 0; id < spec.components.size(); ++id) {
+      if (in_left[id] == 0) frontier.push_back(id);
+    }
+    std::size_t processed = 0;
+    std::size_t max_depth = 0;
+    while (!frontier.empty()) {
+      const ComponentId id = frontier.front();
+      frontier.pop_front();
+      ++processed;
+      max_depth = std::max(max_depth, depth[id]);
+      for (const EdgeSpec& e : spec.edges) {
+        if (e.from != id) continue;
+        depth[e.to] = std::max(depth[e.to], depth[id] + 1);
+        if (--in_left[e.to] == 0) frontier.push_back(e.to);
+      }
+    }
+    ASSERT_EQ(processed, spec.components.size()) << "cycle detected";
+    ASSERT_LE(max_depth, config.tiers - 1);
+
+    // Fan-out bounds: sinks (the data tier) make no calls; everything else
+    // calls at least one and at most max_fanout distinct services.
+    for (ComponentId id = 0; id < spec.components.size(); ++id) {
+      ASSERT_LE(deg.out[id], config.max_fanout);
+      if (deg.out[id] == 0) {
+        ASSERT_EQ(spec.components[id].name.rfind("db", 0), 0u)
+            << "non-data-tier sink " << spec.components[id].name;
+      }
+    }
+
+    // Reachability: BFS from the entry tier (the in-degree-0 services, all
+    // of which must be gateways) covers every service.
+    std::vector<bool> reached(spec.components.size(), false);
+    std::deque<ComponentId> queue;
+    for (ComponentId id = 0; id < spec.components.size(); ++id) {
+      if (deg.in[id] == 0) {
+        ASSERT_EQ(spec.components[id].name.rfind("gw", 0), 0u)
+            << "orphan non-gateway " << spec.components[id].name;
+        reached[id] = true;
+        queue.push_back(id);
+      }
+    }
+    while (!queue.empty()) {
+      const ComponentId id = queue.front();
+      queue.pop_front();
+      for (const EdgeSpec& e : spec.edges) {
+        if (e.from == id && !reached[e.to]) {
+          reached[e.to] = true;
+          queue.push_back(e.to);
+        }
+      }
+    }
+    for (ComponentId id = 0; id < spec.components.size(); ++id) {
+      ASSERT_TRUE(reached[id])
+          << spec.components[id].name << " unreachable from the entry tier";
+    }
+
+    // The reference path runs entry tier -> data tier.
+    ASSERT_FALSE(spec.reference_path.empty());
+    ASSERT_EQ(deg.in[spec.reference_path.front()], 0u);
+    ASSERT_EQ(deg.out[spec.reference_path.back()], 0u);
+  }
+}
+
+TEST(MeshProperty, DistinctSeedsProduceDistinctTopologies) {
+  const std::size_t services = 120;
+  const std::string a = serialize(makeMicroMeshSpec(meshConfigFor(services, 1)));
+  const std::string b = serialize(makeMicroMeshSpec(meshConfigFor(services, 2)));
+  EXPECT_NE(a, b);
+}
+
+TEST(MeshProperty, InfeasibleConfigsThrow) {
+  MeshConfig too_few = meshConfigFor(120, 1);
+  too_few.tiers = 60;  // cannot keep >= 2 services per middle tier
+  EXPECT_THROW(makeMicroMeshSpec(too_few), std::invalid_argument);
+
+  MeshConfig narrow = meshConfigFor(120, 1);
+  narrow.max_fanout = 1;  // one parent cannot cover a wider next tier
+  narrow.min_fanout = 1;
+  EXPECT_THROW(makeMicroMeshSpec(narrow), std::invalid_argument);
+
+  MeshConfig inverted = meshConfigFor(120, 1);
+  inverted.min_fanout = 5;
+  inverted.max_fanout = 3;
+  EXPECT_THROW(makeMicroMeshSpec(inverted), std::invalid_argument);
+}
+
+/// Calibration contract: a healthy mesh (no faults) never violates its SLO
+/// across the diurnal cycle, at several sizes and seeds.
+TEST(MeshProperty, HealthyMeshStaysWithinSlo) {
+  for (const std::uint64_t seed : {11ull, 23ull, 47ull}) {
+    ScenarioConfig config;
+    config.kind = AppKind::Mesh;
+    config.mesh = meshConfigFor(servicesFor(seed), seed);
+    config.seed = seed;
+    config.duration_sec = 2400;
+    Simulation sim(config);
+    sim.runUntil(static_cast<TimeSec>(config.duration_sec));
+    EXPECT_FALSE(sim.violationTime().has_value())
+        << "healthy mesh" << config.mesh.services << " seed " << seed
+        << " violated its SLO";
+  }
+}
+
+/// The retry-storm amplifier is provably bounded: per-edge call volume is
+/// multiplied by at most 1 + max_retries, even with the data store saturated
+/// hard enough to trip the SLO. Traffic stays finite (no runaway feedback).
+TEST(MeshProperty, RetryStormAmplificationIsBounded) {
+  for (const std::uint64_t seed : {7ull, 101ull, 303ull}) {
+    const std::size_t services = servicesFor(seed);
+    ScenarioConfig config;
+    config.kind = AppKind::Mesh;
+    config.mesh = meshConfigFor(services, seed);
+    config.seed = seed;
+    config.duration_sec = 2200;
+    const ApplicationSpec spec = makeMicroMeshSpec(config.mesh);
+    faults::FaultSpec fault;
+    fault.type = faults::FaultType::Bottleneck;
+    fault.targets = {spec.reference_path.back()};
+    fault.start_time = 1300;
+    fault.intensity = 1.8;  // deliberately past the SLO calibration point
+    config.faults = {fault};
+
+    Simulation sim(config);
+    const double bound =
+        1.0 + static_cast<double>(config.mesh.max_retries) + 1e-12;
+    double max_factor = 0.0;
+    bool saw_amplification = false;
+    for (TimeSec t = 0; t < static_cast<TimeSec>(config.duration_sec); ++t) {
+      sim.step();
+      for (const double factor : sim.app().edgeRetryFactors()) {
+        ASSERT_TRUE(std::isfinite(factor));
+        ASSERT_GE(factor, 1.0);
+        ASSERT_LE(factor, bound);
+        max_factor = std::max(max_factor, factor);
+        if (factor > 1.0) saw_amplification = true;
+      }
+      for (const double units : sim.app().edgeTraffic()) {
+        ASSERT_TRUE(std::isfinite(units));
+      }
+    }
+    EXPECT_TRUE(saw_amplification)
+        << "saturating the data store never engaged the retry amplifier "
+        << "(seed " << seed << ")";
+    EXPECT_LE(max_factor, bound);
+  }
+}
+
+}  // namespace
+}  // namespace fchain::sim

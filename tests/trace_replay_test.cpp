@@ -1,0 +1,291 @@
+// Trace-replay identity suite (sim/trace.h): a recorded workload trace
+// replayed from disk must be *bit-identical* to live generation at the same
+// seed — intensities, the telemetry they drive through sim::StreamingSource,
+// and the pinpoint verdict of an incident under that workload. The streaming
+// TraceCursor must match the full in-memory evaluation bit for bit while
+// keeping only the active event window resident. Damaged trace files are
+// rejected with the absolute byte offset of the damage, per the persist
+// conventions.
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fchain/fchain.h"
+#include "netdep/dependency.h"
+#include "persist/codec.h"
+#include "pinpoint_render.h"
+#include "sim/mesh.h"
+#include "sim/simulator.h"
+#include "sim/stream.h"
+#include "sim/trace.h"
+
+namespace fchain::sim {
+namespace {
+
+TraceConfig testTraceConfig() {
+  TraceConfig config;
+  config.seed = 42;
+  config.duration_sec = 4000;
+  config.base_users_per_sec = 350.0;
+  config.flash_per_hour = 4.0;
+  config.shift_per_hour = 2.0;
+  return config;
+}
+
+std::string tempPath(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+TEST(TraceFormat, RoundTripIsBitExact) {
+  const WorkloadTrace trace = generateWorkloadTrace(testTraceConfig());
+  ASSERT_FALSE(trace.events.empty());
+  const std::string path = tempPath("roundtrip.fctrace");
+  writeTraceFile(path, trace);
+  const WorkloadTrace loaded = readTraceFile(path);
+
+  EXPECT_EQ(loaded.config.seed, trace.config.seed);
+  EXPECT_EQ(loaded.config.duration_sec, trace.config.duration_sec);
+  ASSERT_EQ(loaded.events.size(), trace.events.size());
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    EXPECT_EQ(loaded.events[i].kind, trace.events[i].kind);
+    EXPECT_EQ(loaded.events[i].start, trace.events[i].start);
+    // Bit-level double equality, not approximate.
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(loaded.events[i].magnitude),
+              std::bit_cast<std::uint64_t>(trace.events[i].magnitude));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(loaded.events[i].duration_sec),
+              std::bit_cast<std::uint64_t>(trace.events[i].duration_sec));
+  }
+  // And the replayed intensity function is the same bits everywhere.
+  for (TimeSec t = 0; t < static_cast<TimeSec>(trace.config.duration_sec);
+       ++t) {
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(loaded.intensityAt(t)),
+              std::bit_cast<std::uint64_t>(trace.intensityAt(t)))
+        << "intensity diverged at t=" << t;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(TraceCursorStreaming, BitEqualToFullEvaluationWithBoundedWindow) {
+  // A long, dense trace: the streaming claim is only meaningful when the
+  // event population far exceeds what can be active at once.
+  TraceConfig config = testTraceConfig();
+  config.duration_sec = 50'000;
+  config.flash_per_hour = 80.0;
+  config.shift_per_hour = 10.0;
+  const WorkloadTrace trace = generateWorkloadTrace(config);
+  ASSERT_GT(trace.events.size(), 400u);
+  const std::string path = tempPath("cursor.fctrace");
+  writeTraceFile(path, trace);
+
+  TraceCursor cursor(path);
+  for (TimeSec t = 0; t < static_cast<TimeSec>(trace.config.duration_sec);
+       ++t) {
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(cursor.intensityAt(t)),
+              std::bit_cast<std::uint64_t>(trace.intensityAt(t)))
+        << "cursor diverged at t=" << t;
+  }
+  // Streaming keeps only the active window resident, not the whole trace.
+  EXPECT_LT(cursor.maxActiveEvents(), trace.events.size() / 4);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceGeneration, DeterministicPerSeedAndSeedSensitive) {
+  const WorkloadTrace a = generateWorkloadTrace(testTraceConfig());
+  const WorkloadTrace b = generateWorkloadTrace(testTraceConfig());
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.events[i].magnitude),
+              std::bit_cast<std::uint64_t>(b.events[i].magnitude));
+    EXPECT_EQ(a.events[i].start, b.events[i].start);
+  }
+  TraceConfig other = testTraceConfig();
+  other.seed = 43;
+  const WorkloadTrace c = generateWorkloadTrace(other);
+  bool differs = c.events.size() != a.events.size();
+  for (std::size_t i = 0; !differs && i < a.events.size(); ++i) {
+    differs = a.events[i].start != c.events[i].start;
+  }
+  EXPECT_TRUE(differs) << "seed 43 produced the same event schedule as 42";
+}
+
+// --- Replay identity through the simulator --------------------------------
+
+/// Runs a faulted mesh scenario under the given recorded workload and
+/// returns (pinpoint render, flattened telemetry) for byte comparison.
+struct ReplayResult {
+  std::string verdict;
+  std::vector<std::uint64_t> telemetry_bits;
+};
+
+ReplayResult runUnderTrace(std::shared_ptr<const WorkloadTrace> workload) {
+  ScenarioConfig config;
+  config.kind = AppKind::Mesh;
+  config.mesh = meshConfigFor(80, /*seed=*/7);
+  config.seed = 77;
+  config.duration_sec = 3600;
+  config.workload_trace = std::move(workload);
+  const ApplicationSpec spec = makeMicroMeshSpec(config.mesh);
+  faults::FaultSpec fault;
+  fault.type = faults::FaultType::Bottleneck;
+  fault.targets = {spec.reference_path.back()};
+  fault.start_time = 1300;
+  fault.intensity = 1.5;
+  config.faults = {fault};
+
+  StreamingSource source(config);
+  const std::vector<ComponentId> ids = source.componentIds();
+  core::FChainSlave slave(0);
+  for (ComponentId id : ids) slave.addComponent(id, 0);
+
+  ReplayResult result;
+  while (!source.simulation().violationTime().has_value() &&
+         source.now() < 3600) {
+    source.step([&](const StreamSample& sample) {
+      slave.ingestAt(sample.component, sample.t, sample.values);
+      for (const double v : sample.values) {
+        result.telemetry_bits.push_back(std::bit_cast<std::uint64_t>(v));
+      }
+    });
+  }
+  EXPECT_TRUE(source.simulation().violationTime().has_value());
+  const TimeSec tv =
+      source.simulation().violationTime().value_or(source.now());
+
+  core::FChainMaster master;
+  master.registerSlave(&slave);
+  master.setDependencies(netdep::discoverDependencies(source.record()));
+  result.verdict = core::renderPinpoint(master.localize(ids, tv), tv);
+  return result;
+}
+
+TEST(TraceReplayIdentity, FileReplayMatchesLiveGeneration) {
+  TraceConfig config = testTraceConfig();
+  config.base_users_per_sec = 400.0;  // match the mesh calibration default
+
+  // "Live": the trace as generated in memory this run.
+  const auto live = std::make_shared<const WorkloadTrace>(
+      generateWorkloadTrace(config));
+  // "Replay": the same trace after a disk round trip.
+  const std::string path = tempPath("replay.fctrace");
+  writeTraceFile(path, *live);
+  const auto replayed =
+      std::make_shared<const WorkloadTrace>(readTraceFile(path));
+
+  const ReplayResult live_run = runUnderTrace(live);
+  const ReplayResult replay_run = runUnderTrace(replayed);
+
+  // Byte-identical telemetry, byte-identical verdict.
+  ASSERT_EQ(live_run.telemetry_bits.size(), replay_run.telemetry_bits.size());
+  EXPECT_EQ(live_run.telemetry_bits, replay_run.telemetry_bits);
+  EXPECT_EQ(live_run.verdict, replay_run.verdict);
+  EXPECT_FALSE(live_run.verdict.empty());
+  std::filesystem::remove(path);
+}
+
+// --- Damage rejection (persist fuzz conventions) --------------------------
+
+TEST(TraceDamage, TruncationRejectedWithByteOffset) {
+  const WorkloadTrace trace = generateWorkloadTrace(testTraceConfig());
+  const std::vector<std::uint8_t> bytes = encodeTrace(trace);
+  ASSERT_GT(bytes.size(), persist::kFrameHeaderSize * 2);
+
+  // Truncating anywhere must throw, and the reported offset must be within
+  // the truncated buffer (never past it) — pointing at the damage.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{7}, persist::kFrameHeaderSize,
+        bytes.size() / 2, bytes.size() - 3}) {
+    const std::vector<std::uint8_t> cut(bytes.begin(),
+                                        bytes.begin() + keep);
+    try {
+      decodeTrace(cut);
+      FAIL() << "truncation to " << keep << " bytes was accepted";
+    } catch (const persist::CorruptDataError& e) {
+      EXPECT_LE(e.offset(), cut.size()) << e.what();
+    }
+  }
+}
+
+TEST(TraceDamage, BitFlipRejectedWithOffsetInsideDamagedFrame) {
+  const WorkloadTrace trace = generateWorkloadTrace(testTraceConfig());
+  std::vector<std::uint8_t> bytes = encodeTrace(trace);
+
+  // Locate the second frame (the first event) by walking the first frame's
+  // length field, then flip one payload byte inside it.
+  std::uint64_t header_len = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    header_len |= static_cast<std::uint64_t>(bytes[8 + i]) << (8 * i);
+  }
+  const std::size_t event_frame =
+      persist::kFrameHeaderSize + static_cast<std::size_t>(header_len);
+  const std::size_t victim = event_frame + persist::kFrameHeaderSize + 2;
+  ASSERT_LT(victim, bytes.size());
+  bytes[victim] ^= 0x40;
+
+  try {
+    decodeTrace(bytes);
+    FAIL() << "bit flip was accepted";
+  } catch (const persist::CorruptDataError& e) {
+    // The checksum failure is attributed to the damaged frame, not the file
+    // start: absolute offset = frame start + header size.
+    EXPECT_EQ(e.offset(), event_frame + persist::kFrameHeaderSize)
+        << e.what();
+  }
+}
+
+TEST(TraceDamage, TrailingBytesRejected) {
+  const WorkloadTrace trace = generateWorkloadTrace(testTraceConfig());
+  std::vector<std::uint8_t> bytes = encodeTrace(trace);
+  const std::size_t clean_size = bytes.size();
+  bytes.push_back(0xEE);
+  try {
+    decodeTrace(bytes);
+    FAIL() << "trailing byte was accepted";
+  } catch (const persist::CorruptDataError& e) {
+    EXPECT_EQ(e.offset(), clean_size) << e.what();
+  }
+}
+
+TEST(TraceDamage, CursorRejectsTruncatedFile) {
+  const WorkloadTrace trace = generateWorkloadTrace(testTraceConfig());
+  const std::vector<std::uint8_t> bytes = encodeTrace(trace);
+  // Cut mid-way through the event list.
+  const std::vector<std::uint8_t> cut(bytes.begin(),
+                                      bytes.begin() + bytes.size() / 2);
+  const std::string path = tempPath("truncated.fctrace");
+  persist::writeFileAtomic(path, cut);
+
+  TraceCursor cursor(path);
+  bool threw = false;
+  try {
+    for (TimeSec t = 0; t < static_cast<TimeSec>(trace.config.duration_sec);
+         ++t) {
+      cursor.intensityAt(t);
+    }
+  } catch (const persist::CorruptDataError& e) {
+    threw = true;
+    EXPECT_LE(e.offset(), cut.size()) << e.what();
+  }
+  EXPECT_TRUE(threw) << "cursor replayed a truncated file to completion";
+  std::filesystem::remove(path);
+}
+
+TEST(TraceDamage, WrongMagicRejectedAtOffsetZero) {
+  const WorkloadTrace trace = generateWorkloadTrace(testTraceConfig());
+  std::vector<std::uint8_t> bytes = encodeTrace(trace);
+  bytes[0] ^= 0xFF;
+  try {
+    decodeTrace(bytes);
+    FAIL() << "wrong magic was accepted";
+  } catch (const persist::CorruptDataError& e) {
+    EXPECT_EQ(e.offset(), 0u) << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace fchain::sim
